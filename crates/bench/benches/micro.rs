@@ -1,0 +1,176 @@
+//! Microbenchmarks of the simulator's building blocks: cache operations,
+//! in-cache translation, counters, trace generation, and the end-to-end
+//! per-reference cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use spur_cache::cache::VirtualCache;
+use spur_cache::counters::{CounterEvent, PerfCounters};
+use spur_cache::translate::InCacheTranslator;
+use spur_core::system::{SimConfig, SpurSystem};
+use spur_mem::pagetable::PageTable;
+use spur_mem::phys::PhysMemory;
+use spur_mem::pte::Pte;
+use spur_trace::workloads::slc;
+use spur_types::{CostParams, GlobalAddr, MemSize, Pfn, Protection, Vpn};
+
+fn bench_cache_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+
+    let mut cache = VirtualCache::prototype();
+    for i in 0..4096u64 {
+        cache.fill_for_read(GlobalAddr::new(i * 32), Protection::ReadWrite, false);
+    }
+    let mut i = 0u64;
+    group.bench_function("probe_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(cache.probe(GlobalAddr::new(i * 32)))
+        })
+    });
+    group.bench_function("probe_miss", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(cache.probe(GlobalAddr::new(((i * 32) + (1 << 20)) & 0x3f_ffff_ffe0)))
+        })
+    });
+    group.bench_function("fill_evict", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(32);
+            let addr = GlobalAddr::new((i * 32) & GlobalAddr::MASK & !31);
+            if !cache.probe(addr).hit {
+                black_box(cache.fill_for_read(addr, Protection::ReadWrite, false));
+            }
+        })
+    });
+    group.bench_function("flush_page_tag_checked", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = VirtualCache::prototype();
+                let vpn = Vpn::new(100);
+                for j in 0..64 {
+                    cache.fill_for_write(vpn.block(j).base_addr(), Protection::ReadWrite, true);
+                }
+                (cache, vpn)
+            },
+            |(mut cache, vpn)| black_box(cache.flush_page_tag_checked(vpn)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation");
+    group.throughput(Throughput::Elements(1));
+
+    let mut cache = VirtualCache::prototype();
+    let mut pt = PageTable::new();
+    let mut phys = PhysMemory::new(MemSize::MB8);
+    let mut counters = PerfCounters::promiscuous();
+    let translator = InCacheTranslator::new(CostParams::paper());
+    for i in 0..512u64 {
+        let vpn = Vpn::new(0x4_0000 + i);
+        pt.ensure_second_level(vpn, &mut phys).unwrap();
+        pt.insert(vpn, Pte::resident(Pfn::new(i as u32), Protection::ReadWrite));
+    }
+    // Warm the PTE blocks.
+    for i in 0..512u64 {
+        translator.translate(
+            Vpn::new(0x4_0000 + i).base_addr(),
+            &mut cache,
+            &pt,
+            &mut counters,
+        );
+    }
+    let mut i = 0u64;
+    group.bench_function("pte_cached_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(translator.translate(
+                Vpn::new(0x4_0000 + i).base_addr(),
+                &mut cache,
+                &pt,
+                &mut counters,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counters");
+    group.throughput(Throughput::Elements(1));
+    let mut pc = PerfCounters::promiscuous();
+    group.bench_function("record", |b| {
+        b.iter(|| {
+            pc.record(black_box(CounterEvent::Read));
+        })
+    });
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(10_000));
+    let workload = slc();
+    group.bench_function("generate_10k_refs", |b| {
+        let mut gen = workload.generator(1);
+        b.iter(|| {
+            for _ in 0..10_000 {
+                black_box(gen.next());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_record_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record");
+    group.throughput(Throughput::Elements(10_000));
+    let workload = slc();
+    let refs: Vec<_> = workload.generator(1).take(10_000).collect();
+    group.bench_function("encode_10k", |b| {
+        b.iter(|| black_box(spur_trace::record::RecordedTrace::record(refs.iter().copied())))
+    });
+    let trace = spur_trace::record::RecordedTrace::record(refs.iter().copied());
+    group.bench_function("replay_10k", |b| {
+        b.iter(|| black_box(trace.iter().count()))
+    });
+    group.finish();
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.throughput(Throughput::Elements(10_000));
+    group.sample_size(20);
+    let workload = slc();
+    let mut sim = SpurSystem::new(SimConfig {
+        mem: MemSize::MB6,
+        ..SimConfig::default()
+    })
+    .unwrap();
+    sim.load_workload(&workload).unwrap();
+    let mut gen = workload.generator(1);
+    // Warm up past the cold-start transient.
+    sim.run(&mut gen, 500_000).unwrap();
+    group.bench_function("reference_10k", |b| {
+        b.iter(|| {
+            sim.run(&mut gen, 10_000).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_ops,
+    bench_translation,
+    bench_counters,
+    bench_trace_generation,
+    bench_record_replay,
+    bench_full_system
+);
+criterion_main!(benches);

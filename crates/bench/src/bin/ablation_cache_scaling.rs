@@ -1,0 +1,31 @@
+//! Ablation: Section 4.1's extrapolation that the MISS-bit approximation
+//! degrades as the cache grows (an infinite cache never misses, so the
+//! reference bit is never re-set and active pages look idle).
+
+use spur_bench::{print_header, scale_from_args};
+use spur_core::experiments::ablation::{miss_approximation_vs_cache_size, render_cache_scaling};
+use spur_trace::workloads::slc;
+use spur_types::MemSize;
+
+fn main() {
+    let mut scale = scale_from_args();
+    scale.refs = scale.refs.min(8_000_000);
+    print_header("ablation: MISS approximation vs cache size", &scale);
+    let workload = slc();
+    match miss_approximation_vs_cache_size(
+        &workload,
+        MemSize::MB5,
+        &scale,
+        &[32, 128, 512, 2048],
+    ) {
+        Ok(rows) => {
+            println!("{}", render_cache_scaling(&rows));
+            println!("Expected trend: the MISS/REF page-in ratio grows with cache size,");
+            println!("and MISS's ref faults (its chances to re-set R) shrink.");
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

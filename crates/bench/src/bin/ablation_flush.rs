@@ -1,0 +1,35 @@
+//! Ablation: SPUR's actual tag-blind page flush vs the assumed
+//! tag-checked flush (Section 3.2's 2000-vs-500-cycle estimate), measured
+//! on real cache states.
+
+use spur_core::experiments::ablation::flush_cost_comparison;
+use spur_core::report::Table;
+use spur_types::CostParams;
+
+fn main() {
+    let costs = CostParams::paper();
+    let mut t = Table::new("Page flush: tag-checked vs SPUR's tag-blind operation");
+    t.headers(&[
+        "page occupancy",
+        "checked flushed",
+        "checked cycles",
+        "blind flushed",
+        "blind cycles",
+        "collateral blocks",
+    ]);
+    for frac in [0.05, 0.10, 0.25, 0.50, 1.00] {
+        let cmp = flush_cost_comparison(frac, &costs);
+        t.row(vec![
+            format!("{:.0}%", frac * 100.0),
+            cmp.checked_flushed.to_string(),
+            cmp.checked_cycles.to_string(),
+            cmp.blind_flushed.to_string(),
+            cmp.blind_cycles.to_string(),
+            cmp.collateral.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Section 3.2 assumed ~10% occupancy: the checked flush lands near the");
+    println!("paper's ~500 cycles while the blind flush is several times costlier and");
+    println!("destroys aliasing blocks from unrelated pages.");
+}

@@ -1,0 +1,36 @@
+//! Ablation: cost-parameter sensitivity — the paper's t_dc = 1 argument
+//! and the "just tune the fault handler" remark, evaluated on measured
+//! event frequencies.
+
+use spur_bench::{print_header, scale_from_args};
+use spur_core::experiments::ablation::{handler_tuning, render_handler_tuning, tdc_sensitivity};
+use spur_core::experiments::events::measure_events;
+use spur_core::report::Table;
+use spur_trace::workloads::slc;
+use spur_types::MemSize;
+
+fn main() {
+    let scale = scale_from_args();
+    print_header("ablation: cost-parameter sensitivity", &scale);
+    let workload = slc();
+    let row = match measure_events(&workload, MemSize::MB5, &scale) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut t = Table::new("t_dc sensitivity: does WRITE ever stop losing?");
+    t.headers(&["t_dc", "O(WRITE) Mcycles", "worst other Mcycles", "WRITE still worst?"]);
+    for r in tdc_sensitivity(&row.events) {
+        t.row(vec![
+            r.t_dc.to_string(),
+            format!("{:.3}", r.write_overhead.millions()),
+            format!("{:.3}", r.best_other.millions()),
+            if r.write_still_loses { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("{}", render_handler_tuning(&handler_tuning(&row.events)));
+}

@@ -1,0 +1,51 @@
+//! Ablation: the page daemon's watermarks size the free-list soft-fault
+//! window, and NOREF's survivability depends on it directly — the
+//! window is the only thing standing between its FIFO-ish reclaims and
+//! full page-in costs. MISS barely cares.
+
+use spur_bench::{print_header, scale_from_args};
+use spur_core::dirty::DirtyPolicy;
+use spur_core::report::Table;
+use spur_core::system::{SimConfig, SpurSystem};
+use spur_trace::workloads::workload1;
+use spur_types::MemSize;
+use spur_vm::policy::RefPolicy;
+
+fn main() {
+    let mut scale = scale_from_args();
+    scale.refs = scale.refs.min(6_000_000);
+    print_header("ablation: daemon watermarks (WORKLOAD1 @ 5 MB)", &scale);
+    let workload = workload1();
+    let mut t = Table::new("High watermark (= soft-fault window) vs paging");
+    t.headers(&["high water", "policy", "page-ins", "soft faults", "elapsed(s)"]);
+    for high in [32u32, 64, 107, 160, 320] {
+        for policy in [RefPolicy::Miss, RefPolicy::Noref] {
+            let mut sim = SpurSystem::new(SimConfig {
+                mem: MemSize::MB5,
+                dirty: DirtyPolicy::Spur,
+                ref_policy: policy,
+                free_low_water: (high / 4).max(8),
+                free_high_water: high,
+                ..SimConfig::default()
+            })
+            .expect("config valid");
+            sim.load_workload(&workload).expect("registers");
+            if let Err(e) = sim.run(&mut workload.generator(scale.seed), scale.refs) {
+                eprintln!("run failed: {e}");
+                std::process::exit(1);
+            }
+            let stats = sim.vm().stats();
+            t.row(vec![
+                high.to_string(),
+                policy.to_string(),
+                stats.page_ins.to_string(),
+                stats.soft_faults.to_string(),
+                format!("{:.1}", sim.events().elapsed_seconds()),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("The window trades resident capacity for forgiveness: tiny windows");
+    println!("punish NOREF's mis-reclaims with page-ins; huge ones shrink usable");
+    println!("memory and push page-ins up for everyone.");
+}

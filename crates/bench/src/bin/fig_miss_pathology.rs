@@ -1,0 +1,94 @@
+//! Executes Section 4.1's MISS-approximation pathology: "the page daemon
+//! may incorrectly replace pages that have actually been recently
+//! referenced, but have not recently caused a cache miss."
+//!
+//! A hot page whose blocks all sit in the cache never misses; its
+//! reference bit, once cleared, never gets re-set, and the daemon
+//! reclaims it while the processor is using it every few cycles. Under
+//! `REF` the clear comes with a flush, the next access misses, and the
+//! bit survives.
+
+use spur_core::dirty::DirtyPolicy;
+use spur_core::system::{SimConfig, SpurSystem};
+use spur_trace::process::ProcessSpec;
+use spur_trace::stream::{Pid, TraceRef};
+use spur_trace::workloads::Workload;
+use spur_types::{AccessKind, MemSize};
+use spur_vm::policy::RefPolicy;
+
+fn main() {
+    println!("The MISS-bit approximation's failure mode (Section 4.1)");
+    println!("=======================================================\n");
+
+    for policy in [RefPolicy::Miss, RefPolicy::Ref] {
+        let workload =
+            Workload::build("demo", vec![ProcessSpec::new("hot", 8, 64, 8, 8)]).unwrap();
+        let heap = workload.proc_regions(0).heap;
+        let page = heap.start;
+
+        let mut sim = SpurSystem::new(SimConfig {
+            mem: MemSize::new(2),
+            kernel_reserved_frames: 64,
+            dirty: DirtyPolicy::Spur,
+            ref_policy: policy,
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.load_workload(&workload).unwrap();
+
+        let touch = |sim: &mut SpurSystem, block: u64| {
+            sim.reference(TraceRef {
+                pid: Pid(0),
+                addr: page.block(block).base_addr(),
+                kind: AccessKind::Read,
+            })
+            .unwrap();
+        };
+
+        // Make the page hot: every block cached, referenced constantly.
+        for round in 0..3 {
+            for b in 0..8 {
+                touch(&mut sim, b);
+            }
+            let _ = round;
+        }
+        let r_before = sim.vm().pte(page).referenced();
+
+        // A daemon clearing pass clears reference bits (and, under REF,
+        // flushes the page)...
+        sim.daemon_clear_pass();
+
+        // ...then the processor KEEPS USING the page from the cache:
+        for _ in 0..1000 {
+            for b in 0..8 {
+                touch(&mut sim, b);
+            }
+        }
+        let r_after_heavy_use = sim.vm().pte(page).referenced();
+
+        println!("{policy}:");
+        println!("  R after first touches:        {r_before}");
+        println!(
+            "  cached blocks of the page:    {}",
+            sim.cache().resident_blocks_of_page(page)
+        );
+        println!(
+            "  R after 8000 more references: {r_after_heavy_use}  \
+             (set only by cache misses{})",
+            if policy == RefPolicy::Ref {
+                "; REF's flush forces one"
+            } else {
+                " — and there were none"
+            }
+        );
+        println!(
+            "  ref faults taken:             {}\n",
+            sim.counters()
+                .total(spur_cache::counters::CounterEvent::RefFault)
+        );
+    }
+    println!("Under MISS the daemon would reclaim this blazing-hot page; Sprite's");
+    println!("free-list soft faults are what make that mistake survivable (see");
+    println!("ablation_soft_faults). Under REF the accuracy costs a page flush per");
+    println!("clear — Table 4.1 shows that price never pays for itself.");
+}

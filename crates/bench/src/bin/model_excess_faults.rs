@@ -1,0 +1,22 @@
+//! Regenerates the footnote-3 analytic model comparison: the geometric
+//! excess-fault model's prediction vs the measured excess-fault ratio.
+
+use spur_bench::{print_header, scale_from_args};
+use spur_core::experiments::events::table_3_3;
+use spur_core::experiments::overhead::{model_vs_measured, render_model};
+
+fn main() {
+    let scale = scale_from_args();
+    print_header("Footnote 3 (geometric excess-fault model)", &scale);
+    match table_3_3(&scale) {
+        Ok(events) => {
+            println!("{}", render_model(&model_vs_measured(&events)));
+            println!("The model assumes uniform miss interleaving and infinite pages, so");
+            println!("it upper-bounds the measured ratio; both should sit near one fifth.");
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates every table and figure in one go, in paper order.
+//!
+//! ```text
+//! cargo run --release -p spur-bench --bin reproduce_all -- --scale default
+//! ```
+
+use spur_bench::scale_from_args;
+use spur_core::experiments::{self, events, overhead, pageout, refbit};
+use spur_types::{CostParams, SystemConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("SPUR reference/dirty-bit reproduction — all artifacts");
+    println!("scale: {} references/run, {} rep(s), seed {}\n", scale.refs, scale.reps, scale.seed);
+
+    println!("Table 2.1: SPUR System Configuration");
+    println!("====================================");
+    println!("{}\n", SystemConfig::prototype());
+
+    println!("Table 3.2: Time Parameters (cycle counts)");
+    println!("=========================================");
+    println!("{}\n", CostParams::paper());
+
+    let rows = match events::table_3_3(&scale) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("event measurement failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", events::render_table_3_3(&rows));
+
+    let oh = overhead::table_3_4(&rows, &CostParams::paper());
+    println!("{}", overhead::render_table_3_4(&oh));
+
+    println!("{}", overhead::render_model(&overhead::model_vs_measured(&rows)));
+
+    match pageout::table_3_5(&scale) {
+        Ok(rows) => println!("{}", pageout::render_table_3_5(&rows)),
+        Err(e) => eprintln!("table 3.5 failed: {e}"),
+    }
+
+    match refbit::table_4_1(&scale) {
+        Ok(rows) => println!("{}", refbit::render_table_4_1(&rows)),
+        Err(e) => eprintln!("table 4.1 failed: {e}"),
+    }
+
+    let _ = experiments::Scale::default();
+    println!("done; see EXPERIMENTS.md for paper-vs-measured commentary.");
+}

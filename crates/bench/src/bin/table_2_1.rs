@@ -1,0 +1,9 @@
+//! Regenerates Table 2.1: the SPUR system configuration.
+
+use spur_types::SystemConfig;
+
+fn main() {
+    println!("Table 2.1: SPUR System Configuration");
+    println!("====================================");
+    println!("{}", SystemConfig::prototype());
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 3.1: the dirty-bit implementation alternatives.
+
+use spur_core::dirty::DirtyPolicy;
+use spur_core::report::Table;
+
+fn main() {
+    let mut t = Table::new("Table 3.1: Dirty Bit Implementation Alternatives");
+    t.headers(&["Policy", "Description"]);
+    for p in [
+        DirtyPolicy::Fault,
+        DirtyPolicy::Flush,
+        DirtyPolicy::Spur,
+        DirtyPolicy::Write,
+        DirtyPolicy::Min,
+    ] {
+        t.row(vec![p.to_string(), p.description().to_string()]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,23 @@
+//! Regenerates Table 3.4: overhead of the dirty-bit alternatives,
+//! computed from measured event frequencies via the Section 3.2 models.
+
+use spur_bench::{print_header, scale_from_args};
+use spur_core::experiments::events::table_3_3;
+use spur_core::experiments::overhead::{render_table_3_4, table_3_4};
+use spur_types::CostParams;
+
+fn main() {
+    let scale = scale_from_args();
+    print_header("Table 3.4 (dirty-bit alternative overheads)", &scale);
+    match table_3_3(&scale) {
+        Ok(events) => {
+            let rows = table_3_4(&events, &CostParams::paper());
+            println!("{}", render_table_3_4(&rows));
+            println!("Paper shape check: MIN (1.00) < SPUR (~1.03) < FAULT < FLUSH (1.50) << WRITE.");
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Shared helpers for the table/figure regenerator binaries and the
+//! criterion benches.
+//!
+//! Every regenerator accepts an optional scale argument:
+//!
+//! ```text
+//! cargo run --release -p spur-bench --bin table_3_3 -- --scale quick
+//! cargo run --release -p spur-bench --bin table_3_3 -- --scale default
+//! cargo run --release -p spur-bench --bin table_3_3 -- --scale full
+//! ```
+
+use spur_core::experiments::Scale;
+
+/// Parses `--scale {quick|default|full}` from process args; defaults to
+/// `default`.
+///
+/// Unknown arguments are reported on stderr and ignored.
+pub fn scale_from_args() -> Scale {
+    parse_scale(std::env::args().skip(1))
+}
+
+/// The testable core of [`scale_from_args`].
+pub fn parse_scale<I: IntoIterator<Item = String>>(args: I) -> Scale {
+    let mut args = args.into_iter().peekable();
+    let mut scale = Scale::default_scale();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("quick") => scale = Scale::quick(),
+                Some("default") => scale = Scale::default_scale(),
+                Some("full") => scale = Scale::full(),
+                other => eprintln!("unknown scale {other:?}; using default"),
+            },
+            other if other.starts_with("--") => {} // bare flags belong to the binary
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    scale
+}
+
+/// Whether a bare `--csv` style flag is present in the process args.
+pub fn has_flag(name: &str) -> bool {
+    let want = format!("--{name}");
+    std::env::args().skip(1).any(|a| a == want)
+}
+
+/// Prints the standard run header for a regenerator.
+pub fn print_header(what: &str, scale: &Scale) {
+    println!("SPUR reference/dirty-bit reproduction — {what}");
+    println!(
+        "scale: {} references/run, {} rep(s), seed {}\n",
+        scale.refs, scale.reps, scale.seed
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_known_scales() {
+        let q = parse_scale(["--scale".to_string(), "quick".to_string()]);
+        assert_eq!(q.refs, Scale::quick().refs);
+        let f = parse_scale(["--scale".to_string(), "full".to_string()]);
+        assert_eq!(f.refs, Scale::full().refs);
+    }
+
+    #[test]
+    fn defaults_on_empty_or_unknown() {
+        assert_eq!(parse_scale(Vec::<String>::new()).refs, Scale::default_scale().refs);
+        let d = parse_scale(["--scale".to_string(), "bogus".to_string()]);
+        assert_eq!(d.refs, Scale::default_scale().refs);
+    }
+}

@@ -1,0 +1,245 @@
+//! A translation lookaside buffer — the mechanism SPUR deliberately
+//! omits.
+//!
+//! The paper's framing (Section 1): "Systems with physical address caches
+//! usually use a translation lookaside buffer... The TLB provides a
+//! convenient place to cache the reference and dirty bits... Since the
+//! TLB must be accessed on each reference, checking the bits incurs no
+//! additional overhead." This module implements that conventional
+//! baseline: a fully-associative, LRU, per-page TLB whose entries carry
+//! R/D state alongside the frame number.
+
+use core::fmt;
+
+use spur_types::{Pfn, Protection, Vpn};
+
+/// One TLB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// The virtual page.
+    pub vpn: Vpn,
+    /// Its frame.
+    pub pfn: Pfn,
+    /// Protection, checked on every access.
+    pub prot: Protection,
+    /// Referenced bit (hardware-set on access in this baseline).
+    pub referenced: bool,
+    /// Dirty bit (set by the software handler on the first write).
+    pub dirty: bool,
+}
+
+/// A fully-associative LRU TLB.
+///
+/// ```
+/// use spur_cache::tlb::Tlb;
+/// use spur_types::{Pfn, Protection, Vpn};
+///
+/// let mut tlb = Tlb::new(2);
+/// tlb.insert(Vpn::new(1), Pfn::new(10), Protection::ReadWrite);
+/// tlb.insert(Vpn::new(2), Pfn::new(20), Protection::ReadWrite);
+/// assert!(tlb.probe(Vpn::new(1)).is_some()); // touches 1: now MRU
+/// tlb.insert(Vpn::new(3), Pfn::new(30), Protection::ReadWrite);
+/// assert!(tlb.probe(Vpn::new(2)).is_none(), "LRU entry evicted");
+/// assert!(tlb.probe(Vpn::new(1)).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    /// Entries with their last-touch stamp.
+    entries: Vec<(TlbEntry, u64)>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries (64 was typical of the era).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a TLB needs at least one entry");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Probes for `vpn`, updating recency. Returns a mutable handle so
+    /// the caller can set R/D bits "for free", as the hardware would.
+    pub fn probe(&mut self, vpn: Vpn) -> Option<&mut TlbEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.iter_mut().find(|(e, _)| e.vpn == vpn) {
+            Some((entry, stamp)) => {
+                *stamp = clock;
+                self.hits += 1;
+                Some(entry)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a fresh entry (clean, referenced) for `vpn`, evicting the
+    /// LRU entry if full. Returns the evicted entry, whose R/D state the
+    /// OS would write back to the PTE.
+    pub fn insert(&mut self, vpn: Vpn, pfn: Pfn, prot: Protection) -> Option<TlbEntry> {
+        self.clock += 1;
+        debug_assert!(
+            !self.entries.iter().any(|(e, _)| e.vpn == vpn),
+            "inserting duplicate TLB entry for {vpn}"
+        );
+        let entry = TlbEntry {
+            vpn,
+            pfn,
+            prot,
+            referenced: true,
+            dirty: false,
+        };
+        let evicted = if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(i, _)| i)
+                .expect("TLB is full, so nonempty");
+            Some(self.entries.swap_remove(lru).0)
+        } else {
+            None
+        };
+        self.entries.push((entry, self.clock));
+        evicted
+    }
+
+    /// Invalidates the entry for `vpn` (OS shootdown on unmap/reclaim).
+    /// Returns it for PTE write-back.
+    pub fn invalidate(&mut self, vpn: Vpn) -> Option<TlbEntry> {
+        let i = self.entries.iter().position(|(e, _)| e.vpn == vpn)?;
+        Some(self.entries.swap_remove(i).0)
+    }
+
+    /// Drops every entry (context-switch flush on untagged TLBs).
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Probe hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probe misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio over all probes.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for Tlb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tlb[{}/{} entries, {:.1}% hit]",
+            self.entries.len(),
+            self.capacity,
+            100.0 * self.hit_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RW: Protection = Protection::ReadWrite;
+
+    #[test]
+    fn probe_miss_then_insert_then_hit() {
+        let mut tlb = Tlb::new(4);
+        assert!(tlb.probe(Vpn::new(7)).is_none());
+        tlb.insert(Vpn::new(7), Pfn::new(3), RW);
+        let e = tlb.probe(Vpn::new(7)).unwrap();
+        assert_eq!(e.pfn, Pfn::new(3));
+        assert!(e.referenced, "fresh entries are referenced");
+        assert!(!e.dirty);
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut tlb = Tlb::new(3);
+        for i in 0..3 {
+            tlb.insert(Vpn::new(i), Pfn::new(i as u32), RW);
+        }
+        // Touch 0 and 2; 1 becomes LRU.
+        tlb.probe(Vpn::new(0));
+        tlb.probe(Vpn::new(2));
+        let evicted = tlb.insert(Vpn::new(9), Pfn::new(9), RW).unwrap();
+        assert_eq!(evicted.vpn, Vpn::new(1));
+    }
+
+    #[test]
+    fn dirty_state_survives_until_eviction() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(Vpn::new(1), Pfn::new(1), RW);
+        tlb.probe(Vpn::new(1)).unwrap().dirty = true;
+        tlb.insert(Vpn::new(2), Pfn::new(2), RW);
+        let evicted = tlb.insert(Vpn::new(3), Pfn::new(3), RW).unwrap();
+        assert_eq!(evicted.vpn, Vpn::new(1));
+        assert!(evicted.dirty, "the OS writes D back to the PTE on eviction");
+    }
+
+    #[test]
+    fn invalidate_removes_exactly_one_entry() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(Vpn::new(1), Pfn::new(1), RW);
+        tlb.insert(Vpn::new(2), Pfn::new(2), RW);
+        let gone = tlb.invalidate(Vpn::new(1)).unwrap();
+        assert_eq!(gone.vpn, Vpn::new(1));
+        assert!(tlb.probe(Vpn::new(1)).is_none());
+        assert!(tlb.probe(Vpn::new(2)).is_some());
+        assert!(tlb.invalidate(Vpn::new(1)).is_none());
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(Vpn::new(1), Pfn::new(1), RW);
+        tlb.flush_all();
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = Tlb::new(0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Table 3.3: event frequencies.
+//!
+//! The paper measured these with the prototype's performance counters
+//! while running its native dirty-bit mechanism (the `SPUR` dirty-bit
+//! miss scheme) under the default `MISS` reference-bit policy; every
+//! other alternative's cost is then *modeled* from these counts
+//! (Table 3.4). This runner does the same.
+
+use spur_trace::workloads::{slc, workload1, Workload};
+use spur_types::{MemSize, Result};
+use spur_vm::policy::RefPolicy;
+
+use crate::dirty::DirtyPolicy;
+use crate::events::EventCounts;
+use crate::experiments::Scale;
+use crate::report::Table;
+use crate::system::{SimConfig, SpurSystem};
+
+/// One Table 3.3 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRow {
+    /// Workload name.
+    pub workload: String,
+    /// Memory size.
+    pub mem: MemSize,
+    /// Measured event frequencies.
+    pub events: EventCounts,
+}
+
+/// Runs the canonical event-measurement configuration for one
+/// (workload, memory) point.
+///
+/// # Errors
+///
+/// Propagates simulator errors (exhausted memory, bad workload).
+pub fn measure_events(workload: &Workload, mem: MemSize, scale: &Scale) -> Result<EventRow> {
+    let mut sim = SpurSystem::new(SimConfig {
+        mem,
+        dirty: DirtyPolicy::Spur,
+        ref_policy: RefPolicy::Miss,
+        ..SimConfig::default()
+    })?;
+    sim.load_workload(workload)?;
+    let mut gen = workload.generator(scale.seed);
+    sim.run(&mut gen, scale.refs)?;
+    Ok(EventRow {
+        workload: workload.name().to_string(),
+        mem,
+        events: sim.events(),
+    })
+}
+
+/// Regenerates every Table 3.3 row: `SLC` and `WORKLOAD1` at 5, 6, and
+/// 8 MB.
+///
+/// # Errors
+///
+/// Propagates the first failing run.
+pub fn table_3_3(scale: &Scale) -> Result<Vec<EventRow>> {
+    let mut rows = Vec::new();
+    for workload in [slc(), workload1()] {
+        for mem in MemSize::STUDY_SIZES {
+            rows.push(measure_events(&workload, mem, scale)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders rows in the paper's Table 3.3 format.
+pub fn render_table_3_3(rows: &[EventRow]) -> String {
+    let mut t = Table::new("Table 3.3: Event Frequencies");
+    t.headers(&[
+        "Workload",
+        "Size(MB)",
+        "N_ds",
+        "N_zfod",
+        "N_ef=N_dm",
+        "N_w-hit(M)",
+        "N_w-miss(M)",
+        "elapsed(s)",
+    ]);
+    for r in rows {
+        let e = &r.events;
+        t.row(vec![
+            r.workload.clone(),
+            r.mem.megabytes().to_string(),
+            e.n_ds.to_string(),
+            e.n_zfod.to_string(),
+            e.n_ef.to_string(),
+            format!("{:.3}", e.n_whit_millions()),
+            format!("{:.3}", e.n_wmiss_millions()),
+            format!("{:.1}", e.elapsed_seconds()),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_quick_point() {
+        let w = slc();
+        let scale = Scale::quick();
+        let row = measure_events(&w, MemSize::MB8, &scale).unwrap();
+        assert_eq!(row.workload, "SLC");
+        assert!(row.events.refs == scale.refs);
+        assert!(row.events.n_ds > 0);
+        assert!(row.events.n_wmiss > 0);
+    }
+
+    #[test]
+    fn render_includes_all_columns() {
+        let rows = vec![EventRow {
+            workload: "SLC".into(),
+            mem: MemSize::MB5,
+            events: EventCounts {
+                n_ds: 2349,
+                n_zfod: 905,
+                n_ef: 237,
+                n_whit: 1_270_000,
+                n_wmiss: 7_380_000,
+                ..EventCounts::default()
+            },
+        }];
+        let text = render_table_3_3(&rows);
+        assert!(text.contains("2349"));
+        assert!(text.contains("905"));
+        assert!(text.contains("1.270"));
+        assert!(text.contains("N_w-miss"));
+    }
+}

@@ -1,0 +1,176 @@
+//! The multiprocessor extrapolation.
+//!
+//! Section 4.1: maintaining true reference bits "is especially true in a
+//! multiprocessor, which must flush the page from all the caches", and
+//! Section 3.1 motivates software PTE updates by multiprocessor
+//! synchronization. The prototype was a uniprocessor, so the paper could
+//! only argue; this experiment measures, on an `n`-CPU node with a shared
+//! data region, how the `REF` policy's flush bill grows with the number
+//! of caches while `MISS` stays flat.
+
+use spur_cache::counters::CounterEvent;
+use spur_trace::workloads::mp_workers;
+use spur_types::{MemSize, Result};
+use spur_vm::policy::RefPolicy;
+
+use crate::dirty::DirtyPolicy;
+use crate::experiments::Scale;
+use crate::report::Table;
+use crate::system::{SimConfig, SpurSystem};
+
+/// One multiprocessor data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpRow {
+    /// Number of processors (and caches).
+    pub cpus: usize,
+    /// Reference-bit policy.
+    pub policy: RefPolicy,
+    /// Page-ins.
+    pub page_ins: u64,
+    /// Cache blocks destroyed by daemon page flushes, across all caches.
+    pub flush_writebacks: u64,
+    /// Pages flushed by the daemon (counts once per daemon action).
+    pub page_flushes: u64,
+    /// Invalidations from write-sharing (coherence traffic).
+    pub invalidations: u64,
+    /// Modeled elapsed seconds.
+    pub elapsed_secs: f64,
+}
+
+/// Runs `mp_workers(cpus)` under `policy` on a `cpus`-CPU node.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_mp(cpus: usize, policy: RefPolicy, scale: &Scale) -> Result<MpRow> {
+    let workload = mp_workers(cpus, 256);
+    let mut sim = SpurSystem::new(SimConfig {
+        mem: MemSize::MB8,
+        dirty: DirtyPolicy::Spur,
+        ref_policy: policy,
+        cpus,
+        ..SimConfig::default()
+    })?;
+    sim.load_workload(&workload)?;
+    let mut gen = workload.generator(scale.seed);
+    sim.run(&mut gen, scale.refs)?;
+    let stats = sim.vm().stats();
+    Ok(MpRow {
+        cpus,
+        policy,
+        page_ins: stats.page_ins,
+        flush_writebacks: stats.flush_writebacks,
+        page_flushes: sim.counters().total(CounterEvent::PageFlush),
+        invalidations: sim.counters().total(CounterEvent::Invalidation),
+        elapsed_secs: sim.events().elapsed_seconds(),
+    })
+}
+
+/// Sweeps CPU counts for `MISS` and `REF`.
+///
+/// # Errors
+///
+/// Propagates the first failing run.
+pub fn mp_sweep(scale: &Scale, cpu_counts: &[usize]) -> Result<Vec<MpRow>> {
+    let mut rows = Vec::new();
+    for &cpus in cpu_counts {
+        for policy in [RefPolicy::Miss, RefPolicy::Ref] {
+            rows.push(measure_mp(cpus, policy, scale)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the sweep.
+pub fn render_mp(rows: &[MpRow]) -> String {
+    let mut t = Table::new(
+        "Multiprocessor reference-bit maintenance (workers share a 1 MB region)",
+    );
+    t.headers(&[
+        "CPUs",
+        "Policy",
+        "Page-Ins",
+        "Daemon flushes",
+        "Flush writebacks",
+        "Invalidations",
+        "Elapsed(s)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.cpus.to_string(),
+            r.policy.to_string(),
+            r.page_ins.to_string(),
+            r.page_flushes.to_string(),
+            r.flush_writebacks.to_string(),
+            r.invalidations.to_string(),
+            format!("{:.1}", r.elapsed_secs),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            refs: 400_000,
+            seed: 21,
+            reps: 1,
+            dev_refs_per_hour: 0,
+        }
+    }
+
+    #[test]
+    fn multiprocessor_runs_uphold_invariants() {
+        let workload = mp_workers(4, 128);
+        let mut sim = SpurSystem::new(SimConfig {
+            mem: MemSize::MB8,
+            cpus: 4,
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.load_workload(&workload).unwrap();
+        sim.run(&mut workload.generator(3), 400_000).unwrap();
+        sim.check_invariants().unwrap();
+        // Sharing must actually generate coherence traffic.
+        assert!(
+            sim.counters().total(CounterEvent::Invalidation) > 0,
+            "shared writes must invalidate peer copies"
+        );
+    }
+
+    #[test]
+    fn uniprocessor_has_no_coherence_traffic() {
+        let row = measure_mp(1, RefPolicy::Miss, &tiny()).unwrap();
+        assert_eq!(row.invalidations, 0);
+    }
+
+    #[test]
+    fn ref_flush_bill_grows_with_cpu_count() {
+        let scale = tiny();
+        let ref1 = measure_mp(1, RefPolicy::Ref, &scale).unwrap();
+        let ref4 = measure_mp(4, RefPolicy::Ref, &scale).unwrap();
+        // More caches, more blocks destroyed per daemon flush — as long
+        // as any daemon activity occurred at all.
+        if ref1.page_flushes > 0 && ref4.page_flushes > 0 {
+            let per1 = ref1.flush_writebacks as f64 / ref1.page_flushes as f64;
+            let per4 = ref4.flush_writebacks as f64 / ref4.page_flushes as f64;
+            assert!(
+                per4 >= per1 * 0.8,
+                "flush damage per daemon action should not shrink: {per1} -> {per4}"
+            );
+        }
+    }
+
+    #[test]
+    fn too_many_cpus_is_rejected() {
+        let err = SpurSystem::new(SimConfig {
+            cpus: 13,
+            ..SimConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("12"));
+    }
+}

@@ -1,0 +1,637 @@
+//! The trace generator: turns a [`Workload`]
+//! into a deterministic reference stream.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spur_types::{AccessKind, GlobalAddr, BLOCKS_PER_PAGE};
+
+use crate::layout::Region;
+use crate::locality::HotSet;
+use crate::process::{BehaviorSpec, Schedule};
+use crate::stream::{Pid, TraceRef};
+use crate::workloads::Workload;
+
+/// References per scheduling quantum (times the process's weight).
+const QUANTUM: u64 = 4_096;
+
+/// Capacity of the recent-reads ring that feeds read-before-write
+/// behavior.
+const READ_HISTORY: usize = 32;
+
+/// Per-segment generation state.
+///
+/// References are generated in **bursts**: a burst pins a page and a
+/// small window of blocks within it and re-touches them repeatedly
+/// before moving on. Block-level temporal reuse is what gives the
+/// 128 KB cache its high hit ratio; without it every reference would be
+/// a compulsory-style miss and none of the paper's cost structure would
+/// hold.
+#[derive(Debug, Clone)]
+struct SegState {
+    region: Region,
+    hot: HotSet,
+    /// The write-hot subset: pages that are actively being modified.
+    /// Keeping writes concentrated here is what makes real programs
+    /// "modify pages quickly" — the property behind the paper's low
+    /// excess-fault counts.
+    write_hot: HotSet,
+    /// Bump pointer for fresh-page allocation (page index within region).
+    alloc_next: u64,
+    /// Current read burst: (page, window base block, refs left).
+    rd_page: u64,
+    rd_base: u64,
+    rd_left: u32,
+    /// Current write burst.
+    wr_page: u64,
+    wr_base: u64,
+    wr_left: u32,
+}
+
+/// Blocks in a burst's reuse window.
+const BURST_WINDOW: u64 = 4;
+
+impl SegState {
+    fn new(region: Region, hot_pages: usize, theta: f64) -> Self {
+        let hot_pages = hot_pages.min(region.pages as usize).max(1);
+        let wr_pages = (hot_pages / 3).max(1);
+        // The write-hot seed pages sit at the far end of the region,
+        // disjoint from the read working set: their first touch is a
+        // write, so they are dirty from the start of their residency
+        // (real allocation behavior, and the reason excess faults are
+        // rare in the paper's measurements).
+        let wr_first = region.pages.saturating_sub(wr_pages as u64);
+        SegState {
+            region,
+            hot: HotSet::new(hot_pages, 0, theta),
+            write_hot: HotSet::new(wr_pages, wr_first, theta),
+            alloc_next: hot_pages as u64 % region.pages,
+            rd_page: 0,
+            rd_base: 0,
+            rd_left: 0,
+            wr_page: 0,
+            wr_base: 0,
+            wr_left: 0,
+        }
+    }
+
+    /// One read access: continue the current burst or start a new one.
+    fn read_step(&mut self, rng: &mut SmallRng, burst_len: u32, cold_frac: f64) -> (u64, u64) {
+        if self.rd_left == 0 {
+            let u: f64 = rng.random();
+            self.rd_page = if u < cold_frac {
+                // Cold reference: revisit an *old* page — one behind the
+                // allocation pointer, so it has been written already.
+                // (Reading ahead of the pointer would zero-fill a page
+                // the allocator later writes, manufacturing stale-copy
+                // faults that real programs do not exhibit.)
+                let span = (self.region.pages / 2).max(1);
+                let back = 1 + rng.random_range(0..span);
+                let page = (self.alloc_next + self.region.pages - back) % self.region.pages;
+                self.hot.promote(page);
+                page
+            } else {
+                self.hot.sample(rng)
+            };
+            self.rd_base = rng.random_range(0..BLOCKS_PER_PAGE);
+            self.rd_left = rng.random_range(burst_len / 2..=burst_len.max(1));
+        }
+        self.rd_left -= 1;
+        let block = (self.rd_base + rng.random_range(0..BURST_WINDOW)) % BLOCKS_PER_PAGE;
+        (self.rd_page, block)
+    }
+
+    /// One in-place update write: usually continues a burst on a
+    /// write-hot page (already dirty); rarely targets an old read-mostly
+    /// page (the excess-fault source).
+    fn write_step(&mut self, rng: &mut SmallRng, burst_len: u32, old_frac: f64) -> (u64, u64) {
+        if rng.random::<f64>() < old_frac {
+            // A one-off write to an old read-mostly page, sampled
+            // uniformly so the touch-ups spread out instead of piling
+            // onto the hottest (and most-cached) pages. It does NOT join
+            // the write-hot set: real programs touch up a cold structure
+            // occasionally without turning it into hot data.
+            let page = self.hot.sample_uniform(rng);
+            let block = rng.random_range(0..BLOCKS_PER_PAGE);
+            return (page, block);
+        }
+        if self.wr_left == 0 {
+            self.wr_page = self.write_hot.sample(rng);
+            self.wr_base = rng.random_range(0..BLOCKS_PER_PAGE);
+            self.wr_left = rng.random_range(burst_len / 2..=burst_len.max(1));
+        }
+        self.wr_left -= 1;
+        let block = (self.wr_base + rng.random_range(0..BURST_WINDOW)) % BLOCKS_PER_PAGE;
+        (self.wr_page, block)
+    }
+
+    /// Takes the next `n` fresh pages from the bump pointer (wrapping
+    /// around the region).
+    fn take_fresh(&mut self, n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.alloc_next);
+            self.alloc_next = (self.alloc_next + 1) % self.region.pages;
+        }
+        out
+    }
+
+    fn addr_of(&self, page: u64, block: u64) -> GlobalAddr {
+        debug_assert!(page < self.region.pages);
+        self.region
+            .start
+            .offset(page)
+            .block(block % BLOCKS_PER_PAGE)
+            .base_addr()
+    }
+}
+
+/// Instruction-fetch state: a loop model. The PC runs a short loop many
+/// iterations, then jumps to a new loop site; loops are what make
+/// instruction streams cache-friendly.
+#[derive(Debug, Clone)]
+struct CodeState {
+    region: Region,
+    hot: HotSet,
+    page: u64,
+    start_block: u64,
+    len: u64,
+    pos: u64,
+    iters_left: u32,
+}
+
+impl CodeState {
+    fn new(region: Region, hot_pages: usize, theta: f64) -> Self {
+        let hot_pages = hot_pages.min(region.pages as usize).max(1);
+        CodeState {
+            region,
+            hot: HotSet::new(hot_pages, 0, theta),
+            page: 0,
+            start_block: 0,
+            len: 4,
+            pos: 0,
+            iters_left: 1,
+        }
+    }
+
+    fn step(&mut self, rng: &mut SmallRng) -> (u64, u64) {
+        let block = (self.start_block + self.pos) % BLOCKS_PER_PAGE;
+        self.pos += 1;
+        if self.pos >= self.len {
+            self.pos = 0;
+            self.iters_left = self.iters_left.saturating_sub(1);
+            if self.iters_left == 0 {
+                // Jump to a new loop site.
+                self.page = self.hot.sample(rng);
+                self.start_block = rng.random_range(0..BLOCKS_PER_PAGE);
+                self.len = rng.random_range(2..=16);
+                self.iters_left = rng.random_range(8..=256);
+            }
+        }
+        (self.page, block)
+    }
+
+    fn shift(&mut self, n: usize, rng: &mut SmallRng) {
+        let pages = self.region.pages;
+        self.hot
+            .shift(n, (0..n as u64).map(|_| rng.random_range(0..pages)));
+    }
+
+    fn addr_of(&self, page: u64, block: u64) -> GlobalAddr {
+        self.region
+            .start
+            .offset(page)
+            .block(block % BLOCKS_PER_PAGE)
+            .base_addr()
+    }
+}
+
+/// Per-process generation state.
+#[derive(Debug, Clone)]
+struct ProcState {
+    pid: Pid,
+    behavior: BehaviorSpec,
+    schedule: Schedule,
+    weight: u32,
+    code: CodeState,
+    heap: SegState,
+    stack: SegState,
+    file: SegState,
+    shared: Option<SegState>,
+    /// Allocation write stream: current fresh heap page and block cursor.
+    alloc_page: u64,
+    alloc_block: u64,
+    /// Recently read (page, block) pairs on actively-written pages.
+    read_history: VecDeque<(u64, u64, Seg)>,
+    /// Pages recently written (guaranteed dirty): the population rw-reads
+    /// sample from, so reads of "active data" never race a page's first
+    /// write.
+    write_history: VecDeque<(u64, Seg)>,
+    /// Scripted follow-up references for old-page touch-ups. The scripted
+    /// triple read(b2), write(b1), write(b2) reproduces Figure 3.1's
+    /// scenario exactly: the read caches b2 while the page is clean, the
+    /// first write faults the page dirty, and the second write then finds
+    /// a stale cached copy — one controlled excess fault.
+    pending_ops: VecDeque<(u64, u64, Seg, AccessKind)>,
+    /// Process-local reference count (drives phases).
+    local_time: u64,
+    /// Activation instance currently running (None while idle).
+    instance: Option<u64>,
+}
+
+/// Which segment a history entry refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Seg {
+    Heap,
+    Stack,
+    File,
+    /// The workload-wide shared region (if declared).
+    Shared,
+}
+
+impl ProcState {
+    fn new(workload: &Workload, idx: usize) -> Self {
+        let spec = &workload.processes()[idx];
+        let regions = workload.proc_regions(idx);
+        let b = spec.behavior;
+        let mut heap = SegState::new(regions.heap, b.heap_hot_pages, b.zipf_theta);
+        let alloc_page = heap.take_fresh(1)[0];
+        ProcState {
+            pid: Pid(idx as u32),
+            behavior: b,
+            schedule: spec.schedule,
+            weight: spec.weight,
+            code: CodeState::new(regions.code, b.code_hot_pages, b.zipf_theta),
+            heap,
+            stack: SegState::new(regions.stack, b.stack_hot_pages, b.zipf_theta),
+            file: SegState::new(regions.file, b.file_hot_pages, b.zipf_theta),
+            shared: workload
+                .shared_region()
+                .map(|r| SegState::new(r, b.shared_hot_pages, b.zipf_theta)),
+            alloc_page,
+            alloc_block: 0,
+            read_history: VecDeque::with_capacity(READ_HISTORY),
+            write_history: VecDeque::with_capacity(READ_HISTORY),
+            pending_ops: VecDeque::new(),
+            local_time: 0,
+            instance: Some(0),
+        }
+    }
+
+    fn seg(&mut self, which: Seg) -> &mut SegState {
+        match which {
+            Seg::Heap => &mut self.heap,
+            Seg::Stack => &mut self.stack,
+            Seg::File => &mut self.file,
+            Seg::Shared => self
+                .shared
+                .as_mut()
+                .expect("Seg::Shared only chosen when a shared region exists"),
+        }
+    }
+
+    /// Phase shift: replace part of each working set. Heap pulls fresh
+    /// pages (zero-fill churn); code and file re-touch other parts of
+    /// their (file-backed) regions.
+    fn phase_shift(&mut self, rng: &mut SmallRng) {
+        let b = self.behavior;
+        let heap_n = (b.heap_hot_pages as f64 * b.phase_shift_frac).ceil() as usize;
+        let fresh = self.heap.take_fresh(heap_n);
+        self.heap.hot.shift(heap_n, fresh.into_iter());
+
+        let code_n = (b.code_hot_pages as f64 * b.phase_shift_frac).ceil() as usize;
+        self.code.shift(code_n, rng);
+
+        let file_n = (b.file_hot_pages as f64 * b.phase_shift_frac).ceil() as usize;
+        let file_pages = self.file.region.pages;
+        self.file
+            .hot
+            .shift(file_n, (0..file_n as u64).map(|_| rng.random_range(0..file_pages)));
+    }
+
+    /// A fresh activation: the process restarts as a new program
+    /// instance. The heap working set moves wholesale onto fresh pages.
+    fn restart(&mut self, rng: &mut SmallRng) {
+        let b = self.behavior;
+        let n = b.heap_hot_pages;
+        let fresh = self.heap.take_fresh(n);
+        self.heap.hot.shift(n, fresh.into_iter());
+        // The new program instance's actively-written data is brand new
+        // too: re-seed the write-hot set from fresh allocation pages so
+        // first touches are writes.
+        let wr_n = self.heap.write_hot.len();
+        let wr_fresh = self.heap.take_fresh(wr_n);
+        self.heap.write_hot.shift(wr_n, wr_fresh.into_iter());
+        self.code.shift(b.code_hot_pages, rng);
+        self.read_history.clear();
+        self.write_history.clear();
+        self.pending_ops.clear();
+        self.alloc_page = self.heap.take_fresh(1)[0];
+        self.alloc_block = 0;
+    }
+
+    /// Generates one reference.
+    fn gen_ref(&mut self, rng: &mut SmallRng) -> (GlobalAddr, AccessKind) {
+        let b = self.behavior;
+        self.local_time += 1;
+        if self.local_time.is_multiple_of(b.phase_len) {
+            self.phase_shift(rng);
+        }
+
+        if let Some((page, block, which, kind)) = self.pending_ops.pop_front() {
+            return (self.seg(which).addr_of(page, block), kind);
+        }
+
+        let kind = b.mix.pick(rng.random());
+        match kind {
+            AccessKind::InstrFetch => {
+                let (page, block) = self.code.step(rng);
+                (self.code.addr_of(page, block), kind)
+            }
+            AccessKind::Read => {
+                let which = self.pick_data_seg(rng);
+                if rng.random::<f64>() < b.rw_read_frac && !self.write_history.is_empty() {
+                    // Read of actively-modified data: sample a page that
+                    // was recently *written*, so it is certainly dirty.
+                    // Only these reads feed the read-before-write
+                    // history, so the blocks they bring in are later
+                    // modified *without* faulting — the N_w-hit
+                    // population.
+                    let i = rng.random_range(0..self.write_history.len());
+                    let (page, which) = self.write_history[i];
+                    let block = rng.random_range(0..BLOCKS_PER_PAGE);
+                    if self.read_history.len() == READ_HISTORY {
+                        self.read_history.pop_front();
+                    }
+                    self.read_history.push_back((page, block, which));
+                    (self.seg(which).addr_of(page, block), kind)
+                } else {
+                    let cold = if which == Seg::Heap { b.cold_read_frac } else { 0.0 };
+                    let (page, block) = self.seg(which).read_step(rng, b.read_burst, cold);
+                    (self.seg(which).addr_of(page, block), kind)
+                }
+            }
+            AccessKind::Write => {
+                let u: f64 = rng.random();
+                if u < b.read_before_write && !self.read_history.is_empty() {
+                    // Modify something we read recently: this block was
+                    // brought into the cache by a read (N_w-hit).
+                    let i = rng.random_range(0..self.read_history.len());
+                    let (page, block, which) = self.read_history[i];
+                    (self.seg(which).addr_of(page, block), kind)
+                } else if u < b.read_before_write + b.alloc_write_frac {
+                    // Allocation stream: write sequentially through fresh
+                    // heap pages (zero-fill, write-first).
+                    let addr = self.heap.addr_of(self.alloc_page, self.alloc_block);
+                    self.alloc_block += 1;
+                    if self.alloc_block == BLOCKS_PER_PAGE {
+                        self.alloc_block = 0;
+                        // The finished page is fully written (dirty):
+                        // only now does it join the working sets, so
+                        // reads can never race its first write.
+                        self.heap.hot.promote(self.alloc_page);
+                        self.heap.write_hot.promote(self.alloc_page);
+                        self.alloc_page = self.heap.take_fresh(1)[0];
+                    }
+                    (addr, kind)
+                } else {
+                    let old: f64 = rng.random();
+                    if old < b.old_page_write_frac {
+                        // A touch-up write to file data (saving an edit):
+                        // file pages arrive by page-in, so the first
+                        // write of a residency is a *non-zero-fill*
+                        // necessary fault — the population Table 3.4's
+                        // models charge for.
+                        let page = rng.random_range(0..self.file.region.pages);
+                        let b1 = rng.random_range(0..BLOCKS_PER_PAGE);
+                        if rng.random::<f64>() < 0.25 {
+                            // Figure 3.1's scenario: read a second block
+                            // first (cached while clean), then write both.
+                            let b2 = (b1 + 1 + rng.random_range(0..8)) % BLOCKS_PER_PAGE;
+                            self.pending_ops.push_back((page, b1, Seg::File, AccessKind::Write));
+                            self.pending_ops.push_back((page, b2, Seg::File, AccessKind::Write));
+                            return (self.file.addr_of(page, b2), AccessKind::Read);
+                        }
+                        return (self.file.addr_of(page, b1), kind);
+                    }
+                    // In-place update on the write-hot set.
+                    let which = self.pick_data_seg(rng);
+                    let (page, block) = self.seg(which).write_step(rng, b.write_burst, 0.0);
+                    if self.write_history.len() == READ_HISTORY {
+                        self.write_history.pop_front();
+                    }
+                    self.write_history.push_back((page, which));
+                    (self.seg(which).addr_of(page, block), kind)
+                }
+            }
+        }
+    }
+
+    fn pick_data_seg(&mut self, rng: &mut SmallRng) -> Seg {
+        let b = &self.behavior;
+        if self.shared.is_some() && b.shared_frac > 0.0 && rng.random::<f64>() < b.shared_frac {
+            return Seg::Shared;
+        }
+        let u: f64 = rng.random();
+        if u < b.heap_frac {
+            Seg::Heap
+        } else if u < b.heap_frac + b.stack_frac {
+            Seg::Stack
+        } else {
+            Seg::File
+        }
+    }
+}
+
+/// A deterministic reference-stream generator over a workload.
+///
+/// ```
+/// use spur_trace::workloads::slc;
+/// use spur_trace::TraceGenerator;
+///
+/// let workload = slc();
+/// let mut gen = TraceGenerator::new(&workload, 42);
+/// let first: Vec<_> = gen.by_ref().take(1000).collect();
+/// assert_eq!(first.len(), 1000);
+///
+/// // Same seed, same stream:
+/// let again: Vec<_> = TraceGenerator::new(&workload, 42).take(1000).collect();
+/// assert_eq!(first, again);
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator {
+    rng: SmallRng,
+    procs: Vec<ProcState>,
+    current: usize,
+    quantum_left: u64,
+    global_time: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `workload` with a deterministic `seed`.
+    pub fn new(workload: &Workload, seed: u64) -> Self {
+        let procs: Vec<ProcState> = (0..workload.processes().len())
+            .map(|i| ProcState::new(workload, i))
+            .collect();
+        assert!(!procs.is_empty(), "workload has no processes");
+        let quantum = QUANTUM * procs[0].weight as u64;
+        TraceGenerator {
+            rng: SmallRng::seed_from_u64(seed ^ 0x5f0e_a7c3_9b1d_2468),
+            procs,
+            current: 0,
+            quantum_left: quantum,
+            global_time: 0,
+        }
+    }
+
+    /// Total references generated so far.
+    pub fn global_time(&self) -> u64 {
+        self.global_time
+    }
+
+    /// Advances the scheduler to an active process; handles activations,
+    /// restarts, and all-idle gaps.
+    fn schedule(&mut self) -> Option<usize> {
+        for attempt in 0..self.procs.len() * 64 {
+            if self.quantum_left == 0 || self.procs[self.current].schedule.instance_at(self.global_time).is_none() {
+                self.current = (self.current + 1) % self.procs.len();
+                self.quantum_left = QUANTUM * self.procs[self.current].weight as u64;
+            }
+            let p = &mut self.procs[self.current];
+            match p.schedule.instance_at(self.global_time) {
+                Some(inst) => {
+                    if p.instance != Some(inst) {
+                        p.instance = Some(inst);
+                        if inst > 0 {
+                            p.restart(&mut self.rng);
+                        }
+                    }
+                    return Some(self.current);
+                }
+                None => {
+                    self.procs[self.current].instance = None;
+                    // Everyone idle this instant? Let time pass.
+                    if attempt % self.procs.len() == self.procs.len() - 1 {
+                        self.global_time += QUANTUM;
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceRef;
+
+    fn next(&mut self) -> Option<TraceRef> {
+        let idx = self.schedule()?;
+        self.quantum_left -= 1;
+        self.global_time += 1;
+        let pid = self.procs[idx].pid;
+        let (addr, kind) = self.procs[idx].gen_ref(&mut self.rng);
+        Some(TraceRef { pid, addr, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{slc, workload1};
+
+    #[test]
+    fn determinism_across_generators() {
+        let w = workload1();
+        let a: Vec<_> = TraceGenerator::new(&w, 7).take(5_000).collect();
+        let b: Vec<_> = TraceGenerator::new(&w, 7).take(5_000).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = TraceGenerator::new(&w, 8).take(5_000).collect();
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn addresses_stay_inside_registered_regions() {
+        let w = slc();
+        let regions = w.regions().to_vec();
+        for r in TraceGenerator::new(&w, 1).take(50_000) {
+            let vpn = r.addr.vpn();
+            let inside = regions.iter().any(|reg| {
+                vpn.index() >= reg.start.index() && vpn.index() < reg.start.index() + reg.pages
+            });
+            assert!(inside, "{} escaped all regions", r.addr);
+        }
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let w = slc();
+        let n = 200_000;
+        let mut writes = 0u64;
+        let mut ifetches = 0u64;
+        for r in TraceGenerator::new(&w, 3).take(n) {
+            match r.kind {
+                AccessKind::Write => writes += 1,
+                AccessKind::InstrFetch => ifetches += 1,
+                AccessKind::Read => {}
+            }
+        }
+        let wf = writes as f64 / n as f64;
+        let inf = ifetches as f64 / n as f64;
+        assert!((0.08..0.25).contains(&wf), "write fraction {wf}");
+        assert!((0.35..0.65).contains(&inf), "ifetch fraction {inf}");
+    }
+
+    #[test]
+    fn multiple_processes_appear() {
+        use crate::process::{ProcessSpec, Schedule};
+        let mut a = ProcessSpec::new("a", 16, 64, 8, 16);
+        a.weight = 2;
+        let b = ProcessSpec::new("b", 16, 64, 8, 16);
+        let mut c = ProcessSpec::new("c", 16, 64, 8, 16);
+        c.schedule = Schedule::Periodic {
+            active: 50_000,
+            idle: 50_000,
+            offset: 0,
+        };
+        let w = Workload::build("multi", vec![a, b, c]).unwrap();
+        let mut pids = std::collections::HashSet::new();
+        for r in TraceGenerator::new(&w, 1).take(100_000) {
+            pids.insert(r.pid);
+        }
+        assert_eq!(pids.len(), 3, "all three processes must run");
+    }
+
+    #[test]
+    fn footprint_grows_over_time_as_phases_shift() {
+        // The set of distinct pages touched keeps growing across phases —
+        // the paging pressure the experiments rely on.
+        use crate::process::ProcessSpec;
+        let mut p = ProcessSpec::new("grower", 32, 2048, 8, 64);
+        p.behavior.phase_len = 100_000;
+        p.behavior.heap_hot_pages = 128;
+        let w = Workload::build("grower", vec![p]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut early = 0usize;
+        for (i, r) in TraceGenerator::new(&w, 2).take(2_000_000).enumerate() {
+            seen.insert(r.addr.vpn());
+            if i == 150_000 {
+                early = seen.len();
+            }
+        }
+        assert!(
+            seen.len() > early * 2,
+            "footprint stalled: {} at 150k vs {} at 2M",
+            early,
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn global_time_advances() {
+        let w = slc();
+        let mut gen = TraceGenerator::new(&w, 1);
+        let _ = gen.by_ref().take(100).count();
+        assert!(gen.global_time() >= 100);
+    }
+}

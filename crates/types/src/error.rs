@@ -1,0 +1,77 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+
+use crate::addr::{GlobalAddr, Vpn};
+
+/// Convenience alias for results with [`Error`].
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors surfaced by the SPUR simulator's public APIs.
+///
+/// Simulated architectural *events* (protection faults, dirty-bit faults,
+/// cache misses) are not errors — they are modeled outcomes with their own
+/// types. `Error` covers genuine misuse or exhaustion: invalid
+/// configurations, running out of physical frames while wiring pages, or
+/// touching global addresses no one mapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration constraint was violated.
+    InvalidConfig(String),
+    /// Physical memory is exhausted and the request cannot be satisfied by
+    /// replacement (e.g. wiring a kernel page with no free frames).
+    NoFreeFrames,
+    /// The global address has no mapping in any page table.
+    UnmappedAddress(GlobalAddr),
+    /// The page is not resident and the caller required residency.
+    NotResident(Vpn),
+    /// A segment register or segment mapping was missing or out of range.
+    BadSegment(String),
+    /// A workload script referenced an undefined process or segment.
+    BadWorkload(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::NoFreeFrames => write!(f, "physical memory exhausted"),
+            Error::UnmappedAddress(ga) => write!(f, "unmapped global address {ga}"),
+            Error::NotResident(vpn) => write!(f, "page {vpn} is not resident"),
+            Error::BadSegment(msg) => write!(f, "bad segment: {msg}"),
+            Error::BadWorkload(msg) => write!(f, "bad workload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_trailing_punctuation() {
+        let cases: Vec<Error> = vec![
+            Error::InvalidConfig("x".into()),
+            Error::NoFreeFrames,
+            Error::UnmappedAddress(GlobalAddr::new(0x1000)),
+            Error::NotResident(Vpn::new(3)),
+            Error::BadSegment("y".into()),
+            Error::BadWorkload("z".into()),
+        ];
+        for e in cases {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+            assert!(!text.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

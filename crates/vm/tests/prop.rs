@@ -1,0 +1,137 @@
+//! Property-based tests for the VM system: accounting invariants under
+//! arbitrary interleavings of faults, daemon sweeps, and clear passes.
+
+use proptest::prelude::*;
+use spur_cache::cache::VirtualCache;
+use spur_cache::counters::PerfCounters;
+use spur_types::{CostParams, MemSize, Protection, Vpn};
+use spur_vm::policy::RefPolicy;
+use spur_vm::region::PageKind;
+use spur_vm::system::{VmConfig, VmCtx, VmSystem};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Fault in page `heap_base + i`.
+    Fault(u64),
+    /// Mark page `heap_base + i` dirty if resident.
+    Dirty(u64),
+    /// Pressure sweep toward `free + extra`.
+    Sweep(u8),
+    /// Clear-only daemon pass.
+    ClearPass,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u64..600).prop_map(Op::Fault),
+        3 => (0u64..600).prop_map(Op::Dirty),
+        1 => (1u8..32).prop_map(Op::Sweep),
+        1 => Just(Op::ClearPass),
+    ]
+}
+
+fn build_vm(policy: RefPolicy) -> VmSystem {
+    let config = VmConfig {
+        mem: MemSize::new(1),
+        kernel_reserved_frames: 32,
+        free_low_water: 8,
+        free_high_water: 24,
+        soft_faults: true,
+    };
+    let mut vm = VmSystem::new(config, CostParams::paper(), policy).unwrap();
+    vm.register_region(Vpn::new(0x5000), 600, PageKind::Heap).unwrap();
+    vm.register_region(Vpn::new(0x6000), 600, PageKind::FileData).unwrap();
+    vm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the interleaving and policy, the VM's frame/clock/queue
+    /// accounting stays exact, and stats stay mutually consistent.
+    #[test]
+    fn vm_invariants_under_random_ops(
+        ops in prop::collection::vec(arb_op(), 1..250),
+        policy_idx in 0usize..3,
+        file_bias in any::<bool>(),
+    ) {
+        let policy = RefPolicy::ALL[policy_idx];
+        let mut vm = build_vm(policy);
+        let mut cache = VirtualCache::prototype();
+        let mut ctrs = PerfCounters::promiscuous();
+        let base = if file_bias { 0x6000 } else { 0x5000 };
+
+        for op in ops {
+            match op {
+                Op::Fault(i) => {
+                    let vpn = Vpn::new(base + i);
+                    if !vm.is_resident(vpn) {
+                        let mut ctx = VmCtx::new(&mut cache, &mut ctrs);
+                        vm.fault_in(vpn, Protection::ReadWrite, &mut ctx).unwrap();
+                    }
+                }
+                Op::Dirty(i) => {
+                    let vpn = Vpn::new(base + i);
+                    if vm.is_resident(vpn) {
+                        vm.mark_dirty(vpn);
+                    }
+                }
+                Op::Sweep(extra) => {
+                    let target = vm.free_frames() + extra as usize;
+                    let mut ctx = VmCtx::new(&mut cache, &mut ctrs);
+                    vm.sweep_target(&mut ctx, target);
+                }
+                Op::ClearPass => {
+                    let mut ctx = VmCtx::new(&mut cache, &mut ctrs);
+                    vm.daemon_clear_pass(&mut ctx);
+                }
+            }
+            if let Err(e) = vm.check_invariants() {
+                return Err(TestCaseError::fail(e));
+            }
+        }
+
+        let stats = vm.stats();
+        prop_assert_eq!(
+            stats.page_faults,
+            stats.page_ins + stats.zero_fills + stats.soft_faults
+        );
+        prop_assert!(vm.swap().not_modified <= vm.swap().potentially_modified);
+        // Completed residencies can never exceed reclaims.
+        prop_assert!(vm.residency().count() <= stats.reclaims);
+    }
+
+    /// NOREF runs of the same op sequence never take reference faults and
+    /// never clear bits.
+    #[test]
+    fn noref_daemon_is_inert_about_bits(
+        ops in prop::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut vm = build_vm(RefPolicy::Noref);
+        let mut cache = VirtualCache::prototype();
+        let mut ctrs = PerfCounters::promiscuous();
+        for op in ops {
+            match op {
+                Op::Fault(i) => {
+                    let vpn = Vpn::new(0x5000 + i);
+                    if !vm.is_resident(vpn) {
+                        let mut ctx = VmCtx::new(&mut cache, &mut ctrs);
+                        vm.fault_in(vpn, Protection::ReadWrite, &mut ctx).unwrap();
+                    }
+                }
+                Op::Sweep(extra) => {
+                    let target = vm.free_frames() + extra as usize;
+                    let mut ctx = VmCtx::new(&mut cache, &mut ctrs);
+                    vm.sweep_target(&mut ctx, target);
+                }
+                Op::ClearPass => {
+                    let mut ctx = VmCtx::new(&mut cache, &mut ctrs);
+                    vm.daemon_clear_pass(&mut ctx);
+                }
+                Op::Dirty(_) => {}
+            }
+        }
+        prop_assert_eq!(vm.stats().ref_clears, 0);
+        prop_assert_eq!(vm.stats().ref_flushes, 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! The Section 3.3 question — "what do dirty bits actually buy?" — asked
+//! of one simulated Sprite development machine (Table 3.5 style).
+//!
+//! ```text
+//! cargo run --release --example devmachine_pageout
+//! ```
+
+use spur_core::experiments::pageout::measure_host;
+use spur_core::experiments::Scale;
+use spur_trace::workloads::DevHost;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let host = DevHost {
+        name: "mace",
+        mem_mb: 8,
+        uptime_hours: 24,
+        seed: 101,
+    };
+    let scale = Scale {
+        refs: 0, // unused by the page-out study
+        seed: 1,
+        reps: 1,
+        dev_refs_per_hour: 300_000,
+    };
+
+    println!(
+        "simulating {} ({} MB) for {} hours of development activity...\n",
+        host.name, host.mem_mb, host.uptime_hours
+    );
+    let row = measure_host(&host, &scale)?;
+
+    println!("page-ins                     {:>8}", row.page_ins);
+    println!("writable pages replaced      {:>8}", row.potentially_modified);
+    println!("  of which clean (saved I/O) {:>8}", row.not_modified);
+    println!("percent not modified         {:>7.1}%", row.pct_not_modified);
+    println!("additional I/O without D bit {:>7.1}%", row.pct_additional_io);
+
+    println!(
+        "\nWith ~{:.0}% of modifiable pages dirty at replacement, dropping\n\
+         dirty bits entirely would grow paging I/O by only ~{:.0}% — the\n\
+         paper's argument that their benefit shrinks as memory grows.",
+        100.0 - row.pct_not_modified,
+        row.pct_additional_io.ceil(),
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! The Section 3 dirty-bit study in miniature: run one workload at one
+//! memory size, measure the event frequencies (Table 3.3 style), then
+//! compare all five dirty-bit alternatives both ways — with the paper's
+//! closed-form overhead models AND by direct simulation of each
+//! mechanism.
+//!
+//! ```text
+//! cargo run --release --example dirty_bit_study
+//! ```
+
+use spur_core::dirty::DirtyPolicy;
+use spur_core::experiments::events::measure_events;
+use spur_core::experiments::overhead::direct_elapsed;
+use spur_core::experiments::Scale;
+use spur_core::model::ExcessFaultModel;
+use spur_types::{CostParams, MemSize};
+use spur_trace::workloads::workload1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale {
+        refs: 4_000_000,
+        seed: 7,
+        reps: 1,
+        dev_refs_per_hour: 0,
+    };
+    let workload = workload1();
+    let mem = MemSize::MB6;
+    println!("measuring {} at {mem} ({} references)...\n", workload.name(), scale.refs);
+
+    // Step 1: one instrumented run (the paper's methodology — the
+    // prototype ran its native SPUR mechanism while the counters
+    // watched).
+    let row = measure_events(&workload, mem, &scale)?;
+    let ev = &row.events;
+    println!("event frequencies: {ev}");
+    println!(
+        "excess/necessary (excl. zero-fills): {:.1}%",
+        100.0 * ev.excess_fraction_excluding_zfod()
+    );
+
+    // Step 2: the footnote-3 analytic model.
+    let model = ExcessFaultModel::from_events(ev);
+    println!("geometric model: {model}\n");
+
+    // Step 3: closed-form overheads (Table 3.4's method).
+    let costs = CostParams::paper();
+    println!("closed-form overheads (Section 3.2 models):");
+    let min = DirtyPolicy::Min.overhead(ev, &costs);
+    for policy in DirtyPolicy::ALL {
+        let o = policy.overhead(ev, &costs);
+        println!(
+            "  {:<6} {:>8.3} Mcycles  ({:.2} relative to MIN)",
+            policy.to_string(),
+            o.millions(),
+            o.relative_to(min)
+        );
+    }
+
+    // Step 4: direct simulation of every mechanism (the ablation the
+    // paper could not run — it had one prototype).
+    println!("\ndirect simulation (total elapsed cycles per policy):");
+    let direct = direct_elapsed(&workload, mem, &scale)?;
+    let min_direct = direct
+        .iter()
+        .find(|(p, _)| *p == DirtyPolicy::Min)
+        .expect("MIN is in ALL")
+        .1;
+    for (policy, cycles) in &direct {
+        println!(
+            "  {:<6} {:>10.1} Mcycles total  (+{:.3}% over MIN)",
+            policy.to_string(),
+            cycles.millions(),
+            100.0 * (cycles.raw() as f64 - min_direct.raw() as f64) / min_direct.raw() as f64,
+        );
+    }
+    println!(
+        "\nBoth views agree on the paper's conclusion: protection-based\n\
+         emulation (FAULT) is within a few percent of any hardware scheme,\n\
+         so dirty bits need no special hardware support."
+    );
+    Ok(())
+}

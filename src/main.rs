@@ -1,0 +1,208 @@
+//! `spur-repro` — command-line front end for the SPUR reference/dirty-bit
+//! reproduction.
+//!
+//! ```text
+//! spur-repro table <2.1|3.1|3.2|3.3|3.4|3.5|4.1> [--scale quick|default|full]
+//! spur-repro run --workload <slc|workload1> [--mem <MB>] [--dirty <policy>]
+//!                [--refbit <policy>] [--refs <N>] [--seed <N>] [--cpus <N>]
+//! spur-repro model [--scale ...]
+//! ```
+
+use std::process::ExitCode;
+
+use spur_core::dirty::DirtyPolicy;
+use spur_core::experiments::{events, overhead, pageout, refbit, Scale};
+use spur_core::system::{SimConfig, SpurSystem};
+use spur_trace::workloads::{slc, workload1, Workload};
+use spur_types::{CostParams, MemSize, SystemConfig};
+use spur_vm::policy::RefPolicy;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         spur-repro table <2.1|3.1|3.2|3.3|3.4|3.5|4.1> [--scale quick|default|full]\n  \
+         spur-repro model [--scale ...]\n  \
+         spur-repro run --workload <slc|workload1|spec-file> [--mem MB]\n              \
+         [--dirty fault|flush|spur|write|min] [--refbit miss|ref|noref]\n              \
+         [--refs N] [--seed N] [--cpus N]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Option<Args> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it.next()?;
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Some(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn scale_of(args: &Args) -> Scale {
+    match args.flag("scale") {
+        Some("quick") => Scale::quick(),
+        Some("full") => Scale::full(),
+        _ => Scale::default_scale(),
+    }
+}
+
+fn workload_of(name: &str) -> Option<Workload> {
+    match name {
+        "slc" | "SLC" => Some(slc()),
+        "workload1" | "w1" | "WORKLOAD1" => Some(workload1()),
+        // Anything else is tried as a workload spec file (see
+        // `spur_trace::spec` for the format).
+        path => {
+            let text = std::fs::read_to_string(path).ok()?;
+            match spur_trace::spec::parse_workload(&text) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!("error parsing {path}: {e}");
+                    None
+                }
+            }
+        }
+    }
+}
+
+fn cmd_table(args: &Args) -> ExitCode {
+    let Some(which) = args.positional.get(1) else {
+        return usage();
+    };
+    let scale = scale_of(args);
+    let result: Result<String, spur_types::Error> = match which.as_str() {
+        "2.1" => Ok(format!(
+            "Table 2.1: SPUR System Configuration\n{}",
+            SystemConfig::prototype()
+        )),
+        "3.1" => {
+            let mut out = String::from("Table 3.1: Dirty Bit Implementation Alternatives\n");
+            for p in DirtyPolicy::ALL {
+                out.push_str(&format!("  {:<6} {}\n", p.to_string(), p.description()));
+            }
+            Ok(out)
+        }
+        "3.2" => Ok(format!("Table 3.2: Time Parameters\n{}", CostParams::paper())),
+        "3.3" => events::table_3_3(&scale).map(|r| events::render_table_3_3(&r)),
+        "3.4" => events::table_3_3(&scale)
+            .map(|r| overhead::render_table_3_4(&overhead::table_3_4(&r, &CostParams::paper()))),
+        "3.5" => pageout::table_3_5(&scale).map(|r| pageout::render_table_3_5(&r)),
+        "4.1" => refbit::table_4_1(&scale).map(|r| refbit::render_table_4_1(&r)),
+        _ => return usage(),
+    };
+    match result {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_model(args: &Args) -> ExitCode {
+    let scale = scale_of(args);
+    match events::table_3_3(&scale) {
+        Ok(rows) => {
+            println!("{}", overhead::render_model(&overhead::model_vs_measured(&rows)));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let Some(workload) = args.flag("workload").and_then(workload_of) else {
+        return usage();
+    };
+    let mem = args
+        .flag("mem")
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(MemSize::new)
+        .unwrap_or(MemSize::MB6);
+    let Ok(dirty) = args.flag("dirty").unwrap_or("spur").parse::<DirtyPolicy>() else {
+        return usage();
+    };
+    let Ok(ref_policy) = args.flag("refbit").unwrap_or("miss").parse::<RefPolicy>() else {
+        return usage();
+    };
+    let refs = args
+        .flag("refs")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(2_000_000);
+    let seed = args.flag("seed").and_then(|v| v.parse::<u64>().ok()).unwrap_or(1989);
+    let cpus = args.flag("cpus").and_then(|v| v.parse::<usize>().ok()).unwrap_or(1);
+
+    let mut sim = match SpurSystem::new(SimConfig {
+        mem,
+        dirty,
+        ref_policy,
+        cpus,
+        ..SimConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = sim.load_workload(&workload) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "running {} refs of {} @ {mem}, dirty={dirty}, refbit={ref_policy}, {cpus} cpu(s), seed {seed}",
+        refs,
+        workload.name()
+    );
+    if let Err(e) = sim.run(&mut workload.generator(seed), refs) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let ev = sim.events();
+    println!("{ev}");
+    println!("page-ins {}  soft-faults {}  miss ratio {:.2}%", ev.page_ins,
+        sim.vm().stats().soft_faults, 100.0 * ev.miss_ratio());
+    println!("elapsed decomposition:");
+    print!("{}", sim.breakdown().render());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(args) = Args::parse(raw) else {
+        return usage();
+    };
+    match args.positional.first().map(String::as_str) {
+        Some("table") => cmd_table(&args),
+        Some("model") => cmd_model(&args),
+        Some("run") => cmd_run(&args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-machine parity: the virtual-cache system and the TLB baseline
+//! share the VM and the trace, so everything *logical* must agree —
+//! only costs and mechanism-specific event classes may differ.
+
+use spur_core::baseline::{TlbConfig, TlbSystem};
+use spur_core::dirty::DirtyPolicy;
+use spur_core::system::{SimConfig, SpurSystem};
+use spur_cache::counters::CounterEvent as E;
+use spur_trace::workloads::slc;
+use spur_types::MemSize;
+use spur_vm::policy::RefPolicy;
+
+fn run_both(mem: MemSize, refs: u64, seed: u64) -> (SpurSystem, TlbSystem) {
+    let workload = slc();
+    let mut va = SpurSystem::new(SimConfig {
+        mem,
+        dirty: DirtyPolicy::Fault,
+        ref_policy: RefPolicy::Miss,
+        ..SimConfig::default()
+    })
+    .unwrap();
+    va.load_workload(&workload).unwrap();
+    va.run(&mut workload.generator(seed), refs).unwrap();
+
+    let mut tlb = TlbSystem::new(TlbConfig {
+        mem,
+        ..TlbConfig::default()
+    })
+    .unwrap();
+    tlb.load_workload(&workload).unwrap();
+    tlb.run(&mut workload.generator(seed), refs).unwrap();
+    (va, tlb)
+}
+
+#[test]
+fn both_machines_take_identical_necessary_dirty_faults() {
+    let (va, tlb) = run_both(MemSize::MB8, 400_000, 9);
+    assert_eq!(
+        va.counters().total(E::DirtyFault),
+        tlb.counters().total(E::DirtyFault),
+        "first writes per page are a property of the trace, not the machine"
+    );
+}
+
+#[test]
+fn only_the_virtual_cache_has_an_excess_fault_class() {
+    let (va, tlb) = run_both(MemSize::MB8, 400_000, 10);
+    assert!(va.counters().total(E::ExcessFault) > 0, "FAULT on a VA cache");
+    assert_eq!(tlb.counters().total(E::ExcessFault), 0);
+    assert_eq!(tlb.counters().total(E::DirtyBitMiss), 0);
+}
+
+#[test]
+fn paging_behavior_is_close_across_machines() {
+    // Replacement decisions differ slightly (the TLB machine's R bits
+    // are exact), but page-in volume should be the same order.
+    let (va, tlb) = run_both(MemSize::MB5, 1_000_000, 11);
+    let (a, b) = (va.vm().stats().page_ins, tlb.vm().stats().page_ins);
+    assert!(a > 0 && b > 0);
+    let ratio = a.max(b) as f64 / a.min(b).max(1) as f64;
+    assert!(ratio < 2.0, "page-ins diverged: VA {a} vs TLB {b}");
+}
+
+#[test]
+fn va_cache_wins_the_base_cost_and_tlb_wins_the_bit_machinery() {
+    use spur_core::breakdown::CycleCategory as C;
+    let (va, tlb) = run_both(MemSize::MB8, 400_000, 12);
+    assert!(
+        va.breakdown()[C::BaseExecution] < tlb.breakdown()[C::BaseExecution],
+        "the VA cache's whole point: no per-access translation"
+    );
+    assert!(
+        tlb.breakdown()[C::RefBit].raw() == 0,
+        "TLB reference bits are free"
+    );
+    assert!(
+        va.breakdown()[C::DirtyBit] >= tlb.breakdown()[C::DirtyBit],
+        "excess faults cost the VA machine extra dirty-bit cycles"
+    );
+}
+
+#[test]
+fn both_machines_are_deterministic() {
+    let (va1, tlb1) = run_both(MemSize::MB5, 300_000, 13);
+    let (va2, tlb2) = run_both(MemSize::MB5, 300_000, 13);
+    assert_eq!(va1.events(), va2.events());
+    assert_eq!(tlb1.cycles(), tlb2.cycles());
+    assert_eq!(tlb1.tlb_misses(), tlb2.tlb_misses());
+}

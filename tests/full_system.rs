@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: the full trace → cache → translation →
+//! VM pipeline under every policy combination.
+
+use spur_core::dirty::DirtyPolicy;
+use spur_core::system::{SimConfig, SpurSystem};
+use spur_cache::counters::CounterEvent;
+use spur_trace::workloads::{slc, workload1};
+use spur_types::MemSize;
+use spur_vm::policy::RefPolicy;
+
+const RUN: u64 = 300_000;
+
+fn run_sim(mem: MemSize, dirty: DirtyPolicy, ref_policy: RefPolicy, seed: u64) -> SpurSystem {
+    let workload = if seed.is_multiple_of(2) { slc() } else { workload1() };
+    let mut sim = SpurSystem::new(SimConfig {
+        mem,
+        dirty,
+        ref_policy,
+        ..SimConfig::default()
+    })
+    .expect("config valid");
+    sim.load_workload(&workload).expect("workload registers");
+    let mut gen = workload.generator(seed);
+    sim.run(&mut gen, RUN).expect("run completes");
+    sim
+}
+
+#[test]
+fn every_policy_combination_upholds_invariants() {
+    for dirty in DirtyPolicy::ALL {
+        for ref_policy in RefPolicy::ALL {
+            let sim = run_sim(MemSize::MB5, dirty, ref_policy, 3);
+            sim.check_invariants()
+                .unwrap_or_else(|e| panic!("{dirty}/{ref_policy}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn counter_totals_are_internally_consistent() {
+    let sim = run_sim(MemSize::MB6, DirtyPolicy::Spur, RefPolicy::Miss, 4);
+    let c = sim.counters();
+    let refs = c.total(CounterEvent::IFetch)
+        + c.total(CounterEvent::Read)
+        + c.total(CounterEvent::Write);
+    assert_eq!(refs, sim.refs());
+    let misses = c.total(CounterEvent::IFetchMiss)
+        + c.total(CounterEvent::ReadMiss)
+        + c.total(CounterEvent::WriteMiss);
+    assert_eq!(misses, sim.misses());
+    // Every data miss translates; PTE probes cover at least the misses
+    // (page faults re-translate).
+    assert!(c.total(CounterEvent::PteProbe) >= misses);
+    assert_eq!(
+        c.total(CounterEvent::PteProbe),
+        c.total(CounterEvent::PteCacheHit) + c.total(CounterEvent::PteCacheMiss)
+    );
+    // Write-backs never exceed evictions plus explicit flushes.
+    assert!(c.total(CounterEvent::Writeback) <= c.total(CounterEvent::Fill) + misses);
+}
+
+#[test]
+fn vm_and_counter_views_agree() {
+    let sim = run_sim(MemSize::MB5, DirtyPolicy::Fault, RefPolicy::Miss, 5);
+    let stats = sim.vm().stats();
+    let c = sim.counters();
+    assert_eq!(c.total(CounterEvent::PageIn), stats.page_ins);
+    assert_eq!(c.total(CounterEvent::ZeroFill), stats.zero_fills);
+    assert_eq!(c.total(CounterEvent::SoftFault), stats.soft_faults);
+    assert_eq!(c.total(CounterEvent::DaemonScan), stats.daemon_scans);
+    assert_eq!(
+        stats.page_faults,
+        stats.page_ins + stats.zero_fills + stats.soft_faults
+    );
+}
+
+#[test]
+fn events_record_matches_counters() {
+    let sim = run_sim(MemSize::MB5, DirtyPolicy::Spur, RefPolicy::Miss, 6);
+    let ev = sim.events();
+    let c = sim.counters();
+    assert_eq!(ev.n_ds, c.total(CounterEvent::DirtyFault));
+    assert_eq!(ev.n_ef, c.total(CounterEvent::DirtyBitMiss));
+    assert_eq!(ev.ref_faults, c.total(CounterEvent::RefFault));
+    assert_eq!(ev.refs, sim.refs());
+    assert_eq!(ev.misses, sim.misses());
+    assert!(ev.n_zfod <= ev.n_ds, "zfod faults are a subset of dirty faults");
+    assert_eq!(ev.elapsed, sim.cycles());
+}
+
+#[test]
+fn memory_gradient_reduces_paging() {
+    // More memory, (weakly) fewer page-ins — the gradient every table
+    // depends on.
+    let p5 = run_sim(MemSize::MB5, DirtyPolicy::Spur, RefPolicy::Miss, 8)
+        .vm()
+        .stats()
+        .page_ins;
+    let p8 = run_sim(MemSize::MB8, DirtyPolicy::Spur, RefPolicy::Miss, 8)
+        .vm()
+        .stats()
+        .page_ins;
+    assert!(p8 <= p5, "page-ins at 8 MB ({p8}) exceed 5 MB ({p5})");
+}
+
+#[test]
+fn min_policy_never_generates_excess_events() {
+    let sim = run_sim(MemSize::MB5, DirtyPolicy::Min, RefPolicy::Miss, 9);
+    let c = sim.counters();
+    assert_eq!(c.total(CounterEvent::ExcessFault), 0);
+    assert_eq!(c.total(CounterEvent::DirtyBitMiss), 0);
+}
+
+#[test]
+fn write_policy_never_generates_excess_faults() {
+    // WRITE checks the PTE before every first block write, so it can
+    // never fault on stale information.
+    let sim = run_sim(MemSize::MB5, DirtyPolicy::Write, RefPolicy::Miss, 10);
+    assert_eq!(sim.counters().total(CounterEvent::ExcessFault), 0);
+    assert_eq!(sim.counters().total(CounterEvent::DirtyBitMiss), 0);
+}
+
+#[test]
+fn logical_dirty_state_is_policy_independent() {
+    // Whatever the mechanism, the same pages end up logically dirty: the
+    // necessary-fault count is identical across policies on the same
+    // trace (at 8 MB, where policy timing cannot perturb replacement).
+    let counts: Vec<u64> = DirtyPolicy::ALL
+        .iter()
+        .map(|&dirty| run_sim(MemSize::MB8, dirty, RefPolicy::Miss, 12).events().n_ds)
+        .collect();
+    for pair in counts.windows(2) {
+        assert_eq!(pair[0], pair[1], "necessary faults differ: {counts:?}");
+    }
+}
+
+#[test]
+fn cache_occupancy_stays_bounded_and_dense() {
+    let sim = run_sim(MemSize::MB8, DirtyPolicy::Spur, RefPolicy::Miss, 14);
+    let occ = sim.cache().occupancy();
+    assert!(occ <= sim.cache().num_lines());
+    // After 300k references the 4096-line cache should be mostly full.
+    assert!(occ > sim.cache().num_lines() / 2, "cache oddly empty: {occ}");
+}
+
+#[test]
+fn cycle_breakdown_sums_to_elapsed() {
+    use spur_core::breakdown::CycleCategory;
+    for policy in [RefPolicy::Miss, RefPolicy::Ref, RefPolicy::Noref] {
+        let sim = run_sim(MemSize::MB5, DirtyPolicy::Spur, policy, 18);
+        assert_eq!(
+            sim.breakdown().total(),
+            sim.cycles(),
+            "{policy}: every cycle must be attributed"
+        );
+        // Base execution charges exactly one cycle per reference.
+        assert_eq!(
+            sim.breakdown()[CycleCategory::BaseExecution].raw(),
+            sim.refs()
+        );
+    }
+    // NOREF never spends on reference-bit machinery; REF does exactly
+    // when its daemon cleared bits or faults fired.
+    let r = run_sim(MemSize::MB5, DirtyPolicy::Spur, RefPolicy::Ref, 18);
+    let n = run_sim(MemSize::MB5, DirtyPolicy::Spur, RefPolicy::Noref, 18);
+    let r_events = r.counters().total(CounterEvent::RefFault)
+        + r.vm().stats().ref_flushes;
+    assert_eq!(
+        r.breakdown()[CycleCategory::RefBit].raw() > 0,
+        r_events > 0,
+        "RefBit cycles iff reference-bit events"
+    );
+    assert_eq!(n.breakdown()[CycleCategory::RefBit].raw(), 0);
+}
+
+#[test]
+fn miss_ratio_is_realistic() {
+    // The 128 KB cache on these workloads should hit far more often than
+    // it misses, but not be perfect.
+    let sim = run_sim(MemSize::MB8, DirtyPolicy::Spur, RefPolicy::Miss, 16);
+    let ratio = sim.events().miss_ratio();
+    assert!(
+        (0.005..0.25).contains(&ratio),
+        "miss ratio {ratio} outside plausible range"
+    );
+}

@@ -1,0 +1,97 @@
+//! Multiprocessor integration tests: the full system with several CPUs,
+//! one bus, shared memory, and the coherence protocol under real
+//! workload traffic.
+
+use spur_core::dirty::DirtyPolicy;
+use spur_core::system::{SimConfig, SpurSystem};
+use spur_cache::counters::CounterEvent;
+use spur_trace::workloads::mp_workers;
+use spur_types::MemSize;
+use spur_vm::policy::RefPolicy;
+
+fn mp_sim(cpus: usize, dirty: DirtyPolicy, ref_policy: RefPolicy, refs: u64) -> SpurSystem {
+    let workload = mp_workers(cpus.max(2), 128);
+    let mut sim = SpurSystem::new(SimConfig {
+        mem: MemSize::MB8,
+        dirty,
+        ref_policy,
+        cpus,
+        ..SimConfig::default()
+    })
+    .unwrap();
+    sim.load_workload(&workload).unwrap();
+    sim.run(&mut workload.generator(17), refs).unwrap();
+    sim
+}
+
+#[test]
+fn invariants_hold_across_cpu_counts() {
+    for cpus in [1usize, 2, 4, 8] {
+        let sim = mp_sim(cpus, DirtyPolicy::Spur, RefPolicy::Miss, 250_000);
+        sim.check_invariants()
+            .unwrap_or_else(|e| panic!("{cpus} cpus: {e}"));
+        assert_eq!(sim.cpus(), cpus);
+    }
+}
+
+#[test]
+fn sharing_generates_coherence_traffic_only_with_multiple_cpus() {
+    let uni = mp_sim(1, DirtyPolicy::Spur, RefPolicy::Miss, 200_000);
+    assert_eq!(uni.counters().total(CounterEvent::Invalidation), 0);
+    assert_eq!(uni.counters().total(CounterEvent::OwnerSupply), 0);
+
+    let quad = mp_sim(4, DirtyPolicy::Spur, RefPolicy::Miss, 200_000);
+    assert!(
+        quad.counters().total(CounterEvent::Invalidation) > 0,
+        "shared writes must invalidate peer copies"
+    );
+}
+
+#[test]
+fn every_dirty_policy_works_multiprocessor() {
+    for dirty in DirtyPolicy::ALL {
+        let sim = mp_sim(4, dirty, RefPolicy::Miss, 150_000);
+        sim.check_invariants()
+            .unwrap_or_else(|e| panic!("{dirty}: {e}"));
+        assert!(sim.events().n_ds > 0, "{dirty}: pages must get dirtied");
+    }
+}
+
+#[test]
+fn mp_runs_are_deterministic() {
+    let a = mp_sim(4, DirtyPolicy::Fault, RefPolicy::Miss, 150_000).events();
+    let b = mp_sim(4, DirtyPolicy::Fault, RefPolicy::Miss, 150_000).events();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn per_cpu_caches_fill_independently() {
+    let sim = mp_sim(4, DirtyPolicy::Spur, RefPolicy::Miss, 300_000);
+    for cpu in 0..4 {
+        assert!(
+            sim.cache_of(cpu).occupancy() > 0,
+            "cpu{cpu} cache never filled — pinning broken?"
+        );
+    }
+}
+
+#[test]
+fn ref_policy_flushes_hit_every_cache() {
+    // Under REF with shared pages cached on several CPUs, daemon clears
+    // flush them all; flush write-back counts exceed what one cache
+    // could produce alone once pressure exists.
+    let workload = mp_workers(4, 128);
+    let mut sim = SpurSystem::new(SimConfig {
+        mem: MemSize::MB5,
+        dirty: DirtyPolicy::Spur,
+        ref_policy: RefPolicy::Ref,
+        cpus: 4,
+        ..SimConfig::default()
+    })
+    .unwrap();
+    sim.load_workload(&workload).unwrap();
+    sim.run(&mut workload.generator(21), 2_000_000).unwrap();
+    sim.check_invariants().unwrap();
+    // The run must have exercised the daemon at 5 MB.
+    assert!(sim.vm().stats().daemon_scans > 0);
+}

@@ -1,0 +1,151 @@
+//! Shape tests: quick-scale runs must reproduce the qualitative results
+//! the paper reports. These are the repository's reproduction gates —
+//! the full regenerations live in `spur-bench`, but these assertions keep
+//! the shapes from silently regressing.
+
+use spur_core::dirty::DirtyPolicy;
+use spur_core::experiments::events::measure_events;
+use spur_core::experiments::overhead::{model_vs_measured, table_3_4};
+use spur_core::experiments::refbit::measure_refbit;
+use spur_core::experiments::Scale;
+use spur_trace::workloads::{slc, workload1};
+use spur_types::{CostParams, MemSize};
+use spur_vm::policy::RefPolicy;
+
+fn quick() -> Scale {
+    Scale {
+        refs: 2_000_000,
+        seed: 1989,
+        reps: 1,
+        dev_refs_per_hour: 120_000,
+    }
+}
+
+#[test]
+fn dirty_bit_overhead_ordering_matches_table_3_4() {
+    // MIN <= SPUR < FAULT <= FLUSH for both workloads at 5 MB, with
+    // SPUR's famous 1.03 and FLUSH's exact 1.50.
+    let scale = quick();
+    for workload in [slc(), workload1()] {
+        let row = measure_events(&workload, MemSize::MB5, &scale).unwrap();
+        let overheads = table_3_4(std::slice::from_ref(&row), &CostParams::paper());
+        let t = &overheads[0];
+        let min = t.relative(DirtyPolicy::Min);
+        let spur = t.relative(DirtyPolicy::Spur);
+        let fault = t.relative(DirtyPolicy::Fault);
+        let flush = t.relative(DirtyPolicy::Flush);
+        let write = t.relative(DirtyPolicy::Write);
+        assert!((min - 1.0).abs() < 1e-9);
+        assert!((spur - 1.03).abs() < 0.02, "{}: SPUR {spur}", row.workload);
+        assert!(spur < fault, "{}: SPUR {spur} !< FAULT {fault}", row.workload);
+        assert!(fault < 1.45, "{}: FAULT {fault} too costly", row.workload);
+        assert!((flush - 1.50).abs() < 0.01, "{}: FLUSH {flush}", row.workload);
+        assert!(write > fault, "{}: WRITE {write} must beat no one", row.workload);
+    }
+}
+
+#[test]
+fn excess_faults_are_a_modest_fraction_of_necessary_faults() {
+    // Abstract: "these account for only 19% of the total faults, on
+    // average"; Section 3.2: 15-34% excluding zero-fills.
+    let scale = quick();
+    let mut ratios = Vec::new();
+    for workload in [slc(), workload1()] {
+        for mem in [MemSize::MB5, MemSize::MB8] {
+            let row = measure_events(&workload, mem, &scale).unwrap();
+            let r = row.events.excess_fraction_excluding_zfod();
+            assert!(
+                (0.02..0.60).contains(&r),
+                "{} @ {mem}: excess ratio {r} outside plausible band",
+                workload.name()
+            );
+            ratios.push(r);
+        }
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!((0.10..0.45).contains(&avg), "average excess ratio {avg}");
+}
+
+#[test]
+fn read_before_write_is_roughly_one_fifth() {
+    let scale = quick();
+    for workload in [slc(), workload1()] {
+        let row = measure_events(&workload, MemSize::MB5, &scale).unwrap();
+        let frac = row.events.read_before_write_fraction();
+        assert!(
+            (0.10..0.30).contains(&frac),
+            "{}: read-before-write {frac}",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn geometric_model_tracks_measurement() {
+    let scale = quick();
+    let rows: Vec<_> = [slc(), workload1()]
+        .iter()
+        .map(|w| measure_events(w, MemSize::MB5, &scale).unwrap())
+        .collect();
+    for m in model_vs_measured(&rows) {
+        assert!(m.p_w > 0.6, "{}: p_w {}", m.workload, m.p_w);
+        // The model upper-bounds broadly; both should be sub-50%.
+        assert!(m.predicted_ratio < 0.5);
+        assert!(m.measured_ratio < 0.6);
+    }
+}
+
+#[test]
+fn noref_pages_more_at_small_memory_and_is_near_parity_at_large() {
+    let scale = quick();
+    let w = workload1();
+    let miss5 = measure_refbit(&w, MemSize::MB5, RefPolicy::Miss, &scale).unwrap();
+    let noref5 = measure_refbit(&w, MemSize::MB5, RefPolicy::Noref, &scale).unwrap();
+    assert!(
+        noref5.page_ins > miss5.page_ins * 1.05,
+        "NOREF must page more at 5 MB: {} vs {}",
+        noref5.page_ins,
+        miss5.page_ins
+    );
+    assert!(
+        noref5.page_ins < miss5.page_ins * 3.0,
+        "NOREF's penalty must stay survivable (Sprite's free-list reclaim)"
+    );
+
+    let miss8 = measure_refbit(&w, MemSize::MB8, RefPolicy::Miss, &scale).unwrap();
+    let noref8 = measure_refbit(&w, MemSize::MB8, RefPolicy::Noref, &scale).unwrap();
+    let blowup5 = noref5.page_ins / miss5.page_ins;
+    let blowup8 = noref8.page_ins / miss8.page_ins.max(1.0);
+    assert!(
+        blowup8 < blowup5,
+        "NOREF's penalty must shrink with memory: {blowup8} !< {blowup5}"
+    );
+}
+
+#[test]
+fn ref_policy_always_loses_on_elapsed_time() {
+    let scale = quick();
+    for workload in [slc(), workload1()] {
+        for mem in [MemSize::MB5, MemSize::MB8] {
+            let miss = measure_refbit(&workload, mem, RefPolicy::Miss, &scale).unwrap();
+            let r = measure_refbit(&workload, mem, RefPolicy::Ref, &scale).unwrap();
+            assert!(
+                r.elapsed_secs >= miss.elapsed_secs * 0.999,
+                "{} @ {mem}: REF ({}) beat MISS ({})",
+                workload.name(),
+                r.elapsed_secs,
+                miss.elapsed_secs
+            );
+        }
+    }
+}
+
+#[test]
+fn noref_never_takes_reference_faults_and_miss_does() {
+    let scale = quick();
+    let w = slc();
+    let miss = measure_refbit(&w, MemSize::MB5, RefPolicy::Miss, &scale).unwrap();
+    let noref = measure_refbit(&w, MemSize::MB5, RefPolicy::Noref, &scale).unwrap();
+    assert_eq!(noref.ref_faults, 0.0);
+    assert!(miss.ref_faults > 0.0, "5 MB pressure must clear some R bits");
+}

@@ -1,0 +1,102 @@
+//! Property-based tests over randomly generated small workloads: the
+//! full system must uphold its invariants for *any* workload the trace
+//! crate can express, not just the two calibrated ones.
+
+use proptest::prelude::*;
+use spur_core::dirty::DirtyPolicy;
+use spur_core::system::{SimConfig, SpurSystem};
+use spur_trace::process::{ProcessSpec, Schedule};
+use spur_trace::workloads::Workload;
+use spur_types::MemSize;
+use spur_vm::policy::RefPolicy;
+
+fn arb_process(i: usize) -> impl Strategy<Value = ProcessSpec> {
+    (
+        8u64..64,     // code pages
+        32u64..512,   // heap pages
+        8u64..16,     // stack pages
+        8u64..128,    // file pages
+        1u32..4,      // weight
+        prop::bool::ANY,
+    )
+        .prop_map(move |(code, heap, stack, file, weight, periodic)| {
+            let mut p = ProcessSpec::new(&format!("p{i}"), code, heap, stack, file);
+            p.weight = weight;
+            if periodic {
+                p.schedule = Schedule::Periodic {
+                    active: 60_000,
+                    idle: 40_000,
+                    offset: (i as u64) * 20_000,
+                };
+            }
+            p.behavior.phase_len = 50_000;
+            p
+        })
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop::collection::vec(any::<u8>(), 1..4).prop_flat_map(|procs| {
+        let n = procs.len();
+        let mut strategies = Vec::new();
+        for i in 0..n {
+            strategies.push(arb_process(i));
+        }
+        strategies.prop_map(|specs| {
+            let mut specs = specs;
+            // Guarantee at least one always-on process so the scheduler
+            // can always make progress.
+            specs[0].schedule = Schedule::AlwaysOn;
+            Workload::build("prop", specs).expect("generated spec is valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any generated workload runs to completion under any policy pair
+    /// with all cross-component invariants intact.
+    #[test]
+    fn random_workloads_uphold_invariants(
+        workload in arb_workload(),
+        seed in 0u64..1000,
+        dirty_idx in 0usize..5,
+        ref_idx in 0usize..3,
+    ) {
+        let dirty = DirtyPolicy::ALL[dirty_idx];
+        let ref_policy = RefPolicy::ALL[ref_idx];
+        let mut sim = SpurSystem::new(SimConfig {
+            mem: MemSize::new(2),
+            kernel_reserved_frames: 64,
+            dirty,
+            ref_policy,
+            ..SimConfig::default()
+        }).expect("config valid");
+        sim.load_workload(&workload).expect("registers");
+        sim.run(&mut workload.generator(seed), 60_000).expect("runs");
+        prop_assert_eq!(sim.refs(), 60_000);
+        if let Err(e) = sim.check_invariants() {
+            return Err(TestCaseError::fail(format!("{dirty}/{ref_policy}: {e}")));
+        }
+        let ev = sim.events();
+        prop_assert!(ev.misses <= ev.refs);
+        prop_assert!(ev.n_zfod <= ev.n_ds);
+        prop_assert!(ev.n_wmiss <= ev.misses);
+    }
+
+    /// The event record is a pure function of (workload, seed, config).
+    #[test]
+    fn runs_are_reproducible(seed in 0u64..50) {
+        let workload = spur_trace::workloads::slc();
+        let run = || {
+            let mut sim = SpurSystem::new(SimConfig {
+                mem: MemSize::MB5,
+                ..SimConfig::default()
+            }).unwrap();
+            sim.load_workload(&workload).unwrap();
+            sim.run(&mut workload.generator(seed), 50_000).unwrap();
+            sim.events()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

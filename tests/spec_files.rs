@@ -1,0 +1,38 @@
+//! The checked-in workload spec files must parse, round-trip, and run.
+
+use spur_core::system::{SimConfig, SpurSystem};
+use spur_trace::spec::{format_workload, parse_workload};
+use spur_types::MemSize;
+
+fn check_spec(path: &str, expect_shared: bool) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let workload = parse_workload(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert_eq!(workload.shared_region().is_some(), expect_shared, "{path}");
+
+    // Round trip.
+    let again = parse_workload(&format_workload(&workload)).unwrap();
+    assert_eq!(workload.processes(), again.processes(), "{path}");
+
+    // And it runs.
+    let cpus = if expect_shared { 4 } else { 1 };
+    let mut sim = SpurSystem::new(SimConfig {
+        mem: MemSize::MB8,
+        cpus,
+        ..SimConfig::default()
+    })
+    .unwrap();
+    sim.load_workload(&workload).unwrap();
+    sim.run(&mut workload.generator(1), 100_000).unwrap();
+    sim.check_invariants().unwrap();
+    assert_eq!(sim.refs(), 100_000, "{path}");
+}
+
+#[test]
+fn dbmix_spec_parses_and_runs() {
+    check_spec("examples/workloads/dbmix.spec", false);
+}
+
+#[test]
+fn mp_shared_spec_parses_and_runs_on_four_cpus() {
+    check_spec("examples/workloads/mp_shared.spec", true);
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the two mechanisms Section 1 leans on:
+//! synonym prevention through segment mapping, and in-cache translation's
+//! "PTEs compete with data" behavior.
+
+use spur_cache::cache::VirtualCache;
+use spur_cache::counters::{CounterEvent, PerfCounters};
+use spur_cache::translate::InCacheTranslator;
+use spur_mem::pagetable::{PageTable, PT_GLOBAL_SEGMENT};
+use spur_mem::phys::PhysMemory;
+use spur_mem::pte::Pte;
+use spur_mem::segmap::SegmentMap;
+use spur_types::{CostParams, MemSize, Pfn, ProcAddr, Protection, SegmentId, Vpn};
+
+/// Two processes sharing memory through the same global segment produce
+/// identical global addresses — so the virtual cache can never hold two
+/// copies (synonyms) of the same datum.
+#[test]
+fn shared_segments_prevent_synonyms_in_the_cache() {
+    let mut map_a = SegmentMap::new();
+    let mut map_b = SegmentMap::new();
+    // Process A maps the shared segment at its segment 1, process B at
+    // its segment 3: different process addresses, same global addresses.
+    map_a.load(SegmentId::new(1), 17).unwrap();
+    map_b.load(SegmentId::new(3), 17).unwrap();
+
+    let mut cache = VirtualCache::prototype();
+    let pa = ProcAddr::new(0x4000_2000);
+    let pb = ProcAddr::new(0xC000_2000);
+    let ga = map_a.translate(pa).unwrap();
+    let gb = map_b.translate(pb).unwrap();
+    assert_eq!(ga, gb, "same datum, same global address");
+
+    cache.fill_for_read(ga, Protection::ReadWrite, false);
+    // Process B's access *hits the same line* — no synonym is possible.
+    assert!(cache.probe(gb).hit);
+    assert_eq!(cache.occupancy(), 1);
+}
+
+/// Unshared segments translate to disjoint global addresses even for
+/// identical process addresses.
+#[test]
+fn private_segments_do_not_collide() {
+    let mut map_a = SegmentMap::new();
+    let mut map_b = SegmentMap::new();
+    map_a.load(SegmentId::new(0), 5).unwrap();
+    map_b.load(SegmentId::new(0), 6).unwrap();
+    let p = ProcAddr::new(0x0000_4444);
+    assert_ne!(map_a.translate(p).unwrap(), map_b.translate(p).unwrap());
+}
+
+/// A PTE block filled by in-cache translation competes with data: it can
+/// evict a data block, and a later data fill can evict it back, forcing
+/// a second-level fetch on the next translation.
+#[test]
+fn pte_blocks_compete_with_data_for_cache_lines() {
+    let mut cache = VirtualCache::prototype();
+    let mut pt = PageTable::new();
+    let mut phys = PhysMemory::new(MemSize::MB8);
+    let mut ctrs = PerfCounters::promiscuous();
+    let tr = InCacheTranslator::new(CostParams::paper());
+
+    let vpn = Vpn::new(0x1234);
+    pt.ensure_second_level(vpn, &mut phys).unwrap();
+    pt.insert(vpn, Pte::resident(Pfn::new(9), Protection::ReadWrite));
+
+    // First translation: second-level fetch + PTE block fill.
+    let out1 = tr.translate(vpn.base_addr(), &mut cache, &pt, &mut ctrs);
+    assert!(!out1.pte_cache_hit && out1.used_second_level);
+
+    // Second: served from the cache.
+    let out2 = tr.translate(vpn.base_addr(), &mut cache, &pt, &mut ctrs);
+    assert!(out2.pte_cache_hit);
+
+    // A data block that maps to the same line evicts the PTE block.
+    let pte_va = pt.pte_vaddr(vpn);
+    let conflicting = spur_types::GlobalAddr::new(pte_va.block_aligned().raw() ^ (1 << 17));
+    assert_eq!(
+        cache.index_of(conflicting.block()),
+        cache.index_of(pte_va.block())
+    );
+    let evicted = cache.fill_for_read(conflicting, Protection::ReadWrite, false);
+    assert_eq!(evicted.unwrap().block, pte_va.block(), "PTE block evicted");
+
+    // Third translation: back to the second level.
+    let out3 = tr.translate(vpn.base_addr(), &mut cache, &pt, &mut ctrs);
+    assert!(!out3.pte_cache_hit && out3.used_second_level);
+    assert_eq!(ctrs.total(CounterEvent::SecondLevelFetch), 2);
+}
+
+/// The page-table segment is reserved: user segment maps cannot name it,
+/// so no workload can alias PTE storage.
+#[test]
+fn page_table_segment_is_inaccessible_to_processes() {
+    let mut map = SegmentMap::new();
+    let err = map.load(SegmentId::new(2), PT_GLOBAL_SEGMENT).unwrap_err();
+    assert!(err.to_string().contains("page-table segment"));
+}
+
+/// Architectural translation (the test oracle) agrees with what in-cache
+/// translation returns, hit or miss.
+#[test]
+fn in_cache_translation_matches_architectural_translation() {
+    let mut cache = VirtualCache::prototype();
+    let mut pt = PageTable::new();
+    let mut phys = PhysMemory::new(MemSize::MB8);
+    let mut ctrs = PerfCounters::promiscuous();
+    let tr = InCacheTranslator::new(CostParams::paper());
+
+    for i in 0..64u64 {
+        let vpn = Vpn::new(0x8000 + i * 3);
+        pt.ensure_second_level(vpn, &mut phys).unwrap();
+        pt.insert(vpn, Pte::resident(Pfn::new(100 + i as u32), Protection::ReadWrite));
+        let addr = spur_types::GlobalAddr::new(vpn.base_addr().raw() + (i % 4096));
+
+        let out = tr.translate(addr, &mut cache, &pt, &mut ctrs);
+        let arch = pt.translate(addr).unwrap();
+        assert_eq!(out.pte.pfn(), arch.pfn(), "page {i}");
+    }
+}
