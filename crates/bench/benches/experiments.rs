@@ -1,10 +1,13 @@
-//! Experiment benches: one scaled-down criterion benchmark per paper
-//! artifact, so `cargo bench` exercises every table/figure pipeline and
-//! tracks its runtime. (Full regenerations are the `table_*` binaries.)
+//! Experiment benches: one scaled-down benchmark per paper artifact, so
+//! `cargo bench` exercises every table/figure pipeline and tracks its
+//! runtime. (Full regenerations are the `table_*` binaries.)
+//!
+//! Uses the repository's std-only timing harness
+//! ([`spur_bench::microbench`]) instead of criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use spur_bench::microbench::Bench;
 use spur_core::dirty::DirtyPolicy;
 use spur_core::experiments::ablation::flush_cost_comparison;
 use spur_core::experiments::events::measure_events;
@@ -26,97 +29,61 @@ fn bench_scale() -> Scale {
     }
 }
 
-fn bench_table_3_3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table_3_3");
-    group.sample_size(10);
+fn main() {
+    let mut b = Bench::from_env();
     let scale = bench_scale();
+
     let w = slc();
-    group.bench_function("slc_5mb_events", |b| {
-        b.iter(|| black_box(measure_events(&w, MemSize::MB5, &scale).unwrap()))
+    b.bench_n("table_3_3/slc_5mb_events", 10, 1, || {
+        black_box(measure_events(&w, MemSize::MB5, &scale).unwrap());
     });
-    group.finish();
-}
 
-fn bench_table_3_4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table_3_4");
-    group.sample_size(10);
-    let scale = bench_scale();
     let row = measure_events(&workload1(), MemSize::MB5, &scale).unwrap();
-    group.bench_function("overhead_models", |b| {
-        b.iter(|| black_box(table_3_4(std::slice::from_ref(&row), &CostParams::paper())))
+    b.bench("table_3_4/overhead_models", 1, || {
+        black_box(table_3_4(std::slice::from_ref(&row), &CostParams::paper()));
     });
-    group.finish();
-}
 
-fn bench_table_3_5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table_3_5");
-    group.sample_size(10);
-    let scale = bench_scale();
     let host = DevHost {
         name: "bench",
         mem_mb: 8,
         uptime_hours: 10,
         seed: 42,
     };
-    group.bench_function("devmachine_10h", |b| {
-        b.iter(|| black_box(measure_host(&host, &scale).unwrap()))
+    b.bench_n("table_3_5/devmachine_10h", 10, 1, || {
+        black_box(measure_host(&host, &scale).unwrap());
     });
-    group.finish();
-}
 
-fn bench_table_4_1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table_4_1");
-    group.sample_size(10);
-    let scale = bench_scale();
-    let w = workload1();
+    let w1 = workload1();
     for policy in RefPolicy::ALL {
-        group.bench_function(format!("w1_5mb_{policy}"), |b| {
-            b.iter(|| black_box(measure_refbit(&w, MemSize::MB5, policy, &scale).unwrap()))
+        b.bench_n(&format!("table_4_1/w1_5mb_{policy}"), 10, 1, || {
+            black_box(measure_refbit(&w1, MemSize::MB5, policy, &scale).unwrap());
         });
     }
-    group.finish();
-}
 
-fn bench_model_and_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis");
-    let scale = bench_scale();
     let rows = vec![measure_events(&slc(), MemSize::MB5, &scale).unwrap()];
-    group.bench_function("footnote3_model", |b| {
-        b.iter(|| {
-            let m = ExcessFaultModel::from_events(&rows[0].events);
-            black_box(m.expected_excess_ratio());
-            black_box(model_vs_measured(&rows))
-        })
+    b.bench("analysis/footnote3_model", 1, || {
+        let m = ExcessFaultModel::from_events(&rows[0].events);
+        black_box(m.expected_excess_ratio());
+        black_box(model_vs_measured(&rows));
     });
-    group.bench_function("flush_comparison", |b| {
-        b.iter(|| black_box(flush_cost_comparison(0.1, &CostParams::paper())))
+    b.bench("analysis/flush_comparison", 1, || {
+        black_box(flush_cost_comparison(0.1, &CostParams::paper()));
     });
-    group.bench_function("dirty_policy_direct_min_vs_spur", |b| {
+    b.bench_n("analysis/dirty_policy_direct_min_vs_spur", 10, 1, || {
         // The policy write-path cost itself, end to end at tiny scale.
-        b.iter(|| {
-            for dirty in [DirtyPolicy::Min, DirtyPolicy::Spur] {
-                let mut sim = spur_core::system::SpurSystem::new(spur_core::system::SimConfig {
-                    mem: MemSize::MB8,
-                    dirty,
-                    ..spur_core::system::SimConfig::default()
-                })
-                .unwrap();
-                let w = slc();
-                sim.load_workload(&w).unwrap();
-                sim.run(&mut w.generator(1), 50_000).unwrap();
-                black_box(sim.cycles());
-            }
-        })
+        for dirty in [DirtyPolicy::Min, DirtyPolicy::Spur] {
+            let mut sim = spur_core::system::SpurSystem::new(spur_core::system::SimConfig {
+                mem: MemSize::MB8,
+                dirty,
+                ..spur_core::system::SimConfig::default()
+            })
+            .unwrap();
+            let w = slc();
+            sim.load_workload(&w).unwrap();
+            sim.run(&mut w.generator(1), 50_000).unwrap();
+            black_box(sim.cycles());
+        }
     });
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_table_3_3,
-    bench_table_3_4,
-    bench_table_3_5,
-    bench_table_4_1,
-    bench_model_and_ablations
-);
-criterion_main!(benches);
+    b.finish();
+}

@@ -1,10 +1,14 @@
 //! Microbenchmarks of the simulator's building blocks: cache operations,
 //! in-cache translation, counters, trace generation, and the end-to-end
 //! per-reference cost.
+//!
+//! These use the repository's std-only timing harness
+//! ([`spur_bench::microbench`]) instead of criterion so the workspace
+//! builds with no external dependencies. Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
+use spur_bench::microbench::Bench;
 use spur_cache::cache::VirtualCache;
 use spur_cache::counters::{CounterEvent, PerfCounters};
 use spur_cache::translate::InCacheTranslator;
@@ -15,57 +19,47 @@ use spur_mem::pte::Pte;
 use spur_trace::workloads::slc;
 use spur_types::{CostParams, GlobalAddr, MemSize, Pfn, Protection, Vpn};
 
-fn bench_cache_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(1));
-
+fn bench_cache_ops(b: &mut Bench) {
     let mut cache = VirtualCache::prototype();
     for i in 0..4096u64 {
         cache.fill_for_read(GlobalAddr::new(i * 32), Protection::ReadWrite, false);
     }
     let mut i = 0u64;
-    group.bench_function("probe_hit", |b| {
-        b.iter(|| {
-            i = (i + 1) % 4096;
-            black_box(cache.probe(GlobalAddr::new(i * 32)))
-        })
+    b.bench("cache/probe_hit", 1, || {
+        i = (i + 1) % 4096;
+        black_box(cache.probe(GlobalAddr::new(i * 32)));
     });
-    group.bench_function("probe_miss", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            black_box(cache.probe(GlobalAddr::new(((i * 32) + (1 << 20)) & 0x3f_ffff_ffe0)))
-        })
+    let mut i = 0u64;
+    b.bench("cache/probe_miss", 1, || {
+        i = i.wrapping_add(1);
+        black_box(cache.probe(GlobalAddr::new(((i * 32) + (1 << 20)) & 0x3f_ffff_ffe0)));
     });
-    group.bench_function("fill_evict", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(32);
-            let addr = GlobalAddr::new((i * 32) & GlobalAddr::MASK & !31);
-            if !cache.probe(addr).hit {
-                black_box(cache.fill_for_read(addr, Protection::ReadWrite, false));
+    let mut i = 0u64;
+    b.bench("cache/fill_evict", 1, || {
+        i = i.wrapping_add(32);
+        let addr = GlobalAddr::new((i * 32) & GlobalAddr::MASK & !31);
+        if !cache.probe(addr).hit {
+            black_box(cache.fill_for_read(addr, Protection::ReadWrite, false));
+        }
+    });
+    b.bench_with_setup(
+        "cache/flush_page_tag_checked",
+        1,
+        || {
+            let mut cache = VirtualCache::prototype();
+            let vpn = Vpn::new(100);
+            for j in 0..64 {
+                cache.fill_for_write(vpn.block(j).base_addr(), Protection::ReadWrite, true);
             }
-        })
-    });
-    group.bench_function("flush_page_tag_checked", |b| {
-        b.iter_batched(
-            || {
-                let mut cache = VirtualCache::prototype();
-                let vpn = Vpn::new(100);
-                for j in 0..64 {
-                    cache.fill_for_write(vpn.block(j).base_addr(), Protection::ReadWrite, true);
-                }
-                (cache, vpn)
-            },
-            |(mut cache, vpn)| black_box(cache.flush_page_tag_checked(vpn)),
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+            (cache, vpn)
+        },
+        |(mut cache, vpn)| {
+            black_box(cache.flush_page_tag_checked(vpn));
+        },
+    );
 }
 
-fn bench_translation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("translation");
-    group.throughput(Throughput::Elements(1));
-
+fn bench_translation(b: &mut Bench) {
     let mut cache = VirtualCache::prototype();
     let mut pt = PageTable::new();
     let mut phys = PhysMemory::new(MemSize::MB8);
@@ -74,7 +68,10 @@ fn bench_translation(c: &mut Criterion) {
     for i in 0..512u64 {
         let vpn = Vpn::new(0x4_0000 + i);
         pt.ensure_second_level(vpn, &mut phys).unwrap();
-        pt.insert(vpn, Pte::resident(Pfn::new(i as u32), Protection::ReadWrite));
+        pt.insert(
+            vpn,
+            Pte::resident(Pfn::new(i as u32), Protection::ReadWrite),
+        );
     }
     // Warm the PTE blocks.
     for i in 0..512u64 {
@@ -86,66 +83,49 @@ fn bench_translation(c: &mut Criterion) {
         );
     }
     let mut i = 0u64;
-    group.bench_function("pte_cached_hit", |b| {
-        b.iter(|| {
-            i = (i + 1) % 512;
-            black_box(translator.translate(
-                Vpn::new(0x4_0000 + i).base_addr(),
-                &mut cache,
-                &pt,
-                &mut counters,
-            ))
-        })
+    b.bench("translation/pte_cached_hit", 1, || {
+        i = (i + 1) % 512;
+        black_box(translator.translate(
+            Vpn::new(0x4_0000 + i).base_addr(),
+            &mut cache,
+            &pt,
+            &mut counters,
+        ));
     });
-    group.finish();
 }
 
-fn bench_counters(c: &mut Criterion) {
-    let mut group = c.benchmark_group("counters");
-    group.throughput(Throughput::Elements(1));
+fn bench_counters(b: &mut Bench) {
     let mut pc = PerfCounters::promiscuous();
-    group.bench_function("record", |b| {
-        b.iter(|| {
-            pc.record(black_box(CounterEvent::Read));
-        })
+    b.bench("counters/record", 1, || {
+        pc.record(black_box(CounterEvent::Read));
     });
-    group.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace");
-    group.throughput(Throughput::Elements(10_000));
+fn bench_trace_generation(b: &mut Bench) {
     let workload = slc();
-    group.bench_function("generate_10k_refs", |b| {
-        let mut gen = workload.generator(1);
-        b.iter(|| {
-            for _ in 0..10_000 {
-                black_box(gen.next());
-            }
-        })
+    let mut gen = workload.generator(1);
+    b.bench("trace/generate_10k_refs", 10_000, || {
+        for _ in 0..10_000 {
+            black_box(gen.next());
+        }
     });
-    group.finish();
 }
 
-fn bench_record_replay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("record");
-    group.throughput(Throughput::Elements(10_000));
+fn bench_record_replay(b: &mut Bench) {
     let workload = slc();
     let refs: Vec<_> = workload.generator(1).take(10_000).collect();
-    group.bench_function("encode_10k", |b| {
-        b.iter(|| black_box(spur_trace::record::RecordedTrace::record(refs.iter().copied())))
+    b.bench("record/encode_10k", 10_000, || {
+        black_box(spur_trace::record::RecordedTrace::record(
+            refs.iter().copied(),
+        ));
     });
     let trace = spur_trace::record::RecordedTrace::record(refs.iter().copied());
-    group.bench_function("replay_10k", |b| {
-        b.iter(|| black_box(trace.iter().count()))
+    b.bench("record/replay_10k", 10_000, || {
+        black_box(trace.iter().count());
     });
-    group.finish();
 }
 
-fn bench_full_system(c: &mut Criterion) {
-    let mut group = c.benchmark_group("system");
-    group.throughput(Throughput::Elements(10_000));
-    group.sample_size(20);
+fn bench_full_system(b: &mut Bench) {
     let workload = slc();
     let mut sim = SpurSystem::new(SimConfig {
         mem: MemSize::MB6,
@@ -156,21 +136,18 @@ fn bench_full_system(c: &mut Criterion) {
     let mut gen = workload.generator(1);
     // Warm up past the cold-start transient.
     sim.run(&mut gen, 500_000).unwrap();
-    group.bench_function("reference_10k", |b| {
-        b.iter(|| {
-            sim.run(&mut gen, 10_000).unwrap();
-        })
+    b.bench("system/reference_10k", 10_000, || {
+        sim.run(&mut gen, 10_000).unwrap();
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cache_ops,
-    bench_translation,
-    bench_counters,
-    bench_trace_generation,
-    bench_record_replay,
-    bench_full_system
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_env();
+    bench_cache_ops(&mut b);
+    bench_translation(&mut b);
+    bench_counters(&mut b);
+    bench_trace_generation(&mut b);
+    bench_record_replay(&mut b);
+    bench_full_system(&mut b);
+    b.finish();
+}

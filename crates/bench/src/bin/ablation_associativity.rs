@@ -5,49 +5,95 @@
 //! associativity safe. This measures what a 2/4/8-way 128 KB virtual
 //! cache would have bought in miss ratio — and demonstrates the synonym
 //! hazard that bars the Sun-3 from the same move.
+//!
+//! Every (workload, ways) cell is a harness job (`--jobs N`
+//! parallelism); artifacts land in `results/json/`.
 
-use spur_bench::{print_header, scale_from_args};
+use spur_bench::jobs::finish_run;
+use spur_bench::{jobs_from_args, print_header, scale_from_args};
 use spur_cache::assoc::{synonym_hazard_demo, SetAssocCache};
 use spur_cache::cache::VirtualCache;
+use spur_core::experiments::Scale;
 use spur_core::report::Table;
-use spur_trace::workloads::{slc, workload1};
+use spur_harness::{run_jobs, Job, JobOutput, Json, RunReport};
+use spur_trace::workloads::{slc, workload1, Workload};
 use spur_types::{Protection, CACHE_LINES};
 
-fn main() {
-    let mut scale = scale_from_args();
-    scale.refs = scale.refs.min(6_000_000);
-    print_header("ablation: cache associativity (miss ratio, no VM)", &scale);
+type NamedWorkload = (&'static str, fn() -> Workload);
+const WORKLOADS: [NamedWorkload; 2] = [("SLC", slc), ("WORKLOAD1", workload1)];
+const WAYS: [usize; 4] = [1, 2, 4, 8];
 
-    let mut t = Table::new("128 KB virtual cache, miss ratio by associativity");
-    t.headers(&["Workload", "direct", "2-way", "4-way", "8-way"]);
-    for workload in [slc(), workload1()] {
-        let mut cells = vec![workload.name().to_string()];
-        // Direct-mapped reference point.
-        {
+fn key(workload: &str, ways: usize) -> String {
+    format!("assoc/{workload}/{ways}way")
+}
+
+fn miss_ratio_job(workload: &str, make: fn() -> Workload, ways: usize, scale: Scale) -> Job<f64> {
+    Job::new(key(workload, ways), move || {
+        let workload = make();
+        let mut misses = 0u64;
+        if ways == 1 {
+            // Direct-mapped reference point.
             let mut cache = VirtualCache::prototype();
-            let mut misses = 0u64;
             for r in workload.generator(scale.seed).take(scale.refs as usize) {
                 if !cache.probe(r.addr).hit {
                     misses += 1;
                     cache.fill_for_read(r.addr, Protection::ReadWrite, false);
                 }
             }
-            cells.push(format!("{:.2}%", 100.0 * misses as f64 / scale.refs as f64));
-        }
-        for ways in [2usize, 4, 8] {
+        } else {
             let mut cache = SetAssocCache::new(CACHE_LINES as usize, ways);
-            let mut misses = 0u64;
             for r in workload.generator(scale.seed).take(scale.refs as usize) {
                 if !cache.probe(r.addr) {
                     misses += 1;
                     cache.fill(r.addr, Protection::ReadWrite, false, false);
                 }
             }
-            cells.push(format!("{:.2}%", 100.0 * misses as f64 / scale.refs as f64));
+        }
+        let ratio = misses as f64 / scale.refs as f64;
+        let artifact = Json::object([
+            ("workload", Json::from(workload.name())),
+            ("ways", Json::from(ways)),
+            ("misses", Json::from(misses)),
+            ("refs", Json::from(scale.refs)),
+            ("miss_ratio", Json::from(ratio)),
+        ]);
+        Ok(JobOutput::new(ratio, artifact))
+    })
+}
+
+fn assemble(report: &RunReport<f64>) -> Result<Table, String> {
+    let mut t = Table::new("128 KB virtual cache, miss ratio by associativity");
+    t.headers(&["Workload", "direct", "2-way", "4-way", "8-way"]);
+    for (name, _) in WORKLOADS {
+        let mut cells = vec![name.to_string()];
+        for ways in WAYS {
+            let ratio = report.require(&key(name, ways))?;
+            cells.push(format!("{:.2}%", 100.0 * ratio));
         }
         t.row(cells);
     }
-    println!("{}", t.render());
+    Ok(t)
+}
+
+fn main() {
+    let mut scale = scale_from_args();
+    scale.refs = scale.refs.min(6_000_000);
+    let workers = jobs_from_args();
+    print_header("ablation: cache associativity (miss ratio, no VM)", &scale);
+
+    let jobs = WORKLOADS
+        .iter()
+        .flat_map(|&(name, make)| WAYS.map(|ways| miss_ratio_job(name, make, ways, scale)))
+        .collect();
+    let report = run_jobs(jobs, workers);
+    finish_run("ablation_associativity", &scale, &report);
+    match assemble(&report) {
+        Ok(t) => println!("{}", t.render()),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
 
     let (direct, assoc) = synonym_hazard_demo();
     println!("Synonym hazard demo (why Sun-3 cannot follow): one datum, two legal");

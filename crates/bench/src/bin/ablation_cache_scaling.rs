@@ -1,23 +1,52 @@
 //! Ablation: Section 4.1's extrapolation that the MISS-bit approximation
 //! degrades as the cache grows (an infinite cache never misses, so the
 //! reference bit is never re-set and active pages look idle).
+//!
+//! Every cache size is a harness job (`--jobs N` parallelism);
+//! artifacts land in `results/json/`.
 
-use spur_bench::{print_header, scale_from_args};
-use spur_core::experiments::ablation::{miss_approximation_vs_cache_size, render_cache_scaling};
+use spur_bench::jobs::finish_run;
+use spur_bench::{jobs_from_args, print_header, scale_from_args};
+use spur_core::experiments::ablation::{
+    measure_cache_scaling_point, render_cache_scaling, CacheScalingRow,
+};
+use spur_harness::{run_jobs, Job, JobOutput, RunReport};
 use spur_trace::workloads::slc;
 use spur_types::MemSize;
+
+const CACHE_KBS: [usize; 4] = [32, 128, 512, 2048];
+
+fn key(kb: usize) -> String {
+    format!("cache_scaling/{kb:04}KB")
+}
+
+fn assemble(report: &RunReport<CacheScalingRow>) -> Result<Vec<CacheScalingRow>, String> {
+    CACHE_KBS
+        .iter()
+        .map(|&kb| report.require(&key(kb)).cloned())
+        .collect()
+}
 
 fn main() {
     let mut scale = scale_from_args();
     scale.refs = scale.refs.min(8_000_000);
+    let workers = jobs_from_args();
     print_header("ablation: MISS approximation vs cache size", &scale);
-    let workload = slc();
-    match miss_approximation_vs_cache_size(
-        &workload,
-        MemSize::MB5,
-        &scale,
-        &[32, 128, 512, 2048],
-    ) {
+    let jobs = CACHE_KBS
+        .iter()
+        .map(|&kb| {
+            Job::new(key(kb), move || {
+                let workload = slc();
+                let row = measure_cache_scaling_point(&workload, MemSize::MB5, &scale, kb)
+                    .map_err(|e| e.to_string())?;
+                let artifact = row.to_json();
+                Ok(JobOutput::new(row, artifact))
+            })
+        })
+        .collect();
+    let report = run_jobs(jobs, workers);
+    finish_run("ablation_cache_scaling", &scale, &report);
+    match assemble(&report) {
         Ok(rows) => {
             println!("{}", render_cache_scaling(&rows));
             println!("Expected trend: the MISS/REF page-in ratio grows with cache size,");

@@ -1,13 +1,24 @@
 //! Ablation: SPUR's actual tag-blind page flush vs the assumed
 //! tag-checked flush (Section 3.2's 2000-vs-500-cycle estimate), measured
 //! on real cache states.
+//!
+//! Each occupancy fraction is a harness job; artifacts land in
+//! `results/json/`.
 
-use spur_core::experiments::ablation::flush_cost_comparison;
+use spur_bench::jobs::finish_run;
+use spur_bench::{jobs_from_args, scale_from_args};
+use spur_core::experiments::ablation::{flush_cost_comparison, FlushComparison};
 use spur_core::report::Table;
+use spur_harness::{run_jobs, Job, JobOutput, RunReport};
 use spur_types::CostParams;
 
-fn main() {
-    let costs = CostParams::paper();
+const FRACS: [f64; 5] = [0.05, 0.10, 0.25, 0.50, 1.00];
+
+fn key(frac: f64) -> String {
+    format!("flush/{:03}pct", (frac * 100.0).round() as u64)
+}
+
+fn assemble(report: &RunReport<FlushComparison>) -> Result<Table, String> {
     let mut t = Table::new("Page flush: tag-checked vs SPUR's tag-blind operation");
     t.headers(&[
         "page occupancy",
@@ -17,8 +28,8 @@ fn main() {
         "blind cycles",
         "collateral blocks",
     ]);
-    for frac in [0.05, 0.10, 0.25, 0.50, 1.00] {
-        let cmp = flush_cost_comparison(frac, &costs);
+    for frac in FRACS {
+        let cmp = report.require(&key(frac))?;
         t.row(vec![
             format!("{:.0}%", frac * 100.0),
             cmp.checked_flushed.to_string(),
@@ -28,8 +39,34 @@ fn main() {
             cmp.collateral.to_string(),
         ]);
     }
-    println!("{}", t.render());
-    println!("Section 3.2 assumed ~10% occupancy: the checked flush lands near the");
-    println!("paper's ~500 cycles while the blind flush is several times costlier and");
-    println!("destroys aliasing blocks from unrelated pages.");
+    Ok(t)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let workers = jobs_from_args();
+    let jobs = FRACS
+        .iter()
+        .map(|&frac| {
+            Job::new(key(frac), move || {
+                let cmp = flush_cost_comparison(frac, &CostParams::paper());
+                let artifact = cmp.to_json();
+                Ok(JobOutput::new(cmp, artifact))
+            })
+        })
+        .collect();
+    let report = run_jobs(jobs, workers);
+    finish_run("ablation_flush", &scale, &report);
+    match assemble(&report) {
+        Ok(t) => {
+            println!("{}", t.render());
+            println!("Section 3.2 assumed ~10% occupancy: the checked flush lands near the");
+            println!("paper's ~500 cycles while the blind flush is several times costlier and");
+            println!("destroys aliasing blocks from unrelated pages.");
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

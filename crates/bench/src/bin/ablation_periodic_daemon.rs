@@ -6,22 +6,57 @@
 //! unreferenced pages" \[McKu85\], which is exactly the overhead the paper
 //! says NOREF saves. With the periodic hand enabled, the maintenance
 //! cost becomes visible at 8 MB and NOREF gets its shot at winning.
+//!
+//! Every (period, policy) cell is a harness job (`--jobs N`
+//! parallelism); artifacts land in `results/json/`.
 
-use spur_bench::{print_header, scale_from_args};
-use spur_core::experiments::crossover::{crossover_sweep, render_crossover};
+use spur_bench::jobs::finish_run;
+use spur_bench::{jobs_from_args, print_header, scale_from_args};
+use spur_core::experiments::crossover::{measure_crossover, render_crossover, CrossoverRow};
+use spur_harness::{run_jobs, Job, JobOutput, RunReport};
 use spur_trace::workloads::workload1;
 use spur_types::MemSize;
+use spur_vm::policy::RefPolicy;
+
+const PERIODS: [Option<u64>; 3] = [None, Some(500_000), Some(100_000)];
+
+fn key(period: Option<u64>, policy: RefPolicy) -> String {
+    let p = period.map_or("off".to_string(), |p| format!("{p:07}"));
+    format!("crossover/{p}/{policy}")
+}
+
+fn assemble(report: &RunReport<CrossoverRow>) -> Result<Vec<CrossoverRow>, String> {
+    let mut rows = Vec::new();
+    for period in PERIODS {
+        for policy in RefPolicy::ALL {
+            rows.push(report.require(&key(period, policy))?.clone());
+        }
+    }
+    Ok(rows)
+}
 
 fn main() {
     let mut scale = scale_from_args();
     scale.refs = scale.refs.min(12_000_000);
+    let workers = jobs_from_args();
     print_header("ablation: periodic daemon (WORKLOAD1 @ 8 MB)", &scale);
-    let rows = match crossover_sweep(
-        &workload1(),
-        MemSize::MB8,
-        &[None, Some(500_000), Some(100_000)],
-        &scale,
-    ) {
+    let jobs = PERIODS
+        .iter()
+        .flat_map(|&period| {
+            RefPolicy::ALL.map(|policy| {
+                Job::new(key(period, policy), move || {
+                    let workload = workload1();
+                    let row = measure_crossover(&workload, MemSize::MB8, period, policy, &scale)
+                        .map_err(|e| e.to_string())?;
+                    let artifact = row.to_json();
+                    Ok(JobOutput::new(row, artifact))
+                })
+            })
+        })
+        .collect();
+    let report = run_jobs(jobs, workers);
+    finish_run("ablation_periodic_daemon", &scale, &report);
+    let rows = match assemble(&report) {
         Ok(rows) => rows,
         Err(e) => {
             eprintln!("experiment failed: {e}");

@@ -1,20 +1,33 @@
 //! Ablation: cost-parameter sensitivity — the paper's t_dc = 1 argument
 //! and the "just tune the fault handler" remark, evaluated on measured
 //! event frequencies.
+//!
+//! The one event measurement runs as a harness job so its counts land
+//! in `results/json/` like every other cell; the sensitivity sweeps are
+//! cheap arithmetic on the result.
 
-use spur_bench::{print_header, scale_from_args};
+use spur_bench::jobs::{events_job, finish_run};
+use spur_bench::{jobs_from_args, print_header, scale_from_args};
 use spur_core::experiments::ablation::{handler_tuning, render_handler_tuning, tdc_sensitivity};
-use spur_core::experiments::events::measure_events;
 use spur_core::report::Table;
+use spur_harness::run_jobs;
 use spur_trace::workloads::slc;
 use spur_types::MemSize;
 
 fn main() {
     let scale = scale_from_args();
+    let workers = jobs_from_args();
     print_header("ablation: cost-parameter sensitivity", &scale);
-    let workload = slc();
-    let row = match measure_events(&workload, MemSize::MB5, &scale) {
-        Ok(r) => r,
+    let jobs = vec![events_job(
+        "sensitivity/SLC/5MB".to_string(),
+        slc,
+        MemSize::MB5,
+        scale,
+    )];
+    let report = run_jobs(jobs, workers);
+    finish_run("ablation_sensitivity", &scale, &report);
+    let row = match report.require("sensitivity/SLC/5MB") {
+        Ok(row) => row,
         Err(e) => {
             eprintln!("experiment failed: {e}");
             std::process::exit(1);
@@ -22,7 +35,12 @@ fn main() {
     };
 
     let mut t = Table::new("t_dc sensitivity: does WRITE ever stop losing?");
-    t.headers(&["t_dc", "O(WRITE) Mcycles", "worst other Mcycles", "WRITE still worst?"]);
+    t.headers(&[
+        "t_dc",
+        "O(WRITE) Mcycles",
+        "worst other Mcycles",
+        "WRITE still worst?",
+    ]);
     for r in tdc_sensitivity(&row.events) {
         t.row(vec![
             r.t_dc.to_string(),

@@ -2,50 +2,110 @@
 //! window, and NOREF's survivability depends on it directly — the
 //! window is the only thing standing between its FIFO-ish reclaims and
 //! full page-in costs. MISS barely cares.
+//!
+//! Every (watermark, policy) cell is a harness job (`--jobs N`
+//! parallelism); artifacts land in `results/json/`.
 
-use spur_bench::{print_header, scale_from_args};
+use spur_bench::jobs::finish_run;
+use spur_bench::{jobs_from_args, print_header, scale_from_args};
 use spur_core::dirty::DirtyPolicy;
 use spur_core::report::Table;
 use spur_core::system::{SimConfig, SpurSystem};
+use spur_harness::{run_jobs, Job, JobOutput, Json, RunReport};
 use spur_trace::workloads::workload1;
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;
 
-fn main() {
-    let mut scale = scale_from_args();
-    scale.refs = scale.refs.min(6_000_000);
-    print_header("ablation: daemon watermarks (WORKLOAD1 @ 5 MB)", &scale);
-    let workload = workload1();
+struct Row {
+    page_ins: u64,
+    soft_faults: u64,
+    elapsed_secs: f64,
+}
+
+const HIGHS: [u32; 5] = [32, 64, 107, 160, 320];
+const POLICIES: [RefPolicy; 2] = [RefPolicy::Miss, RefPolicy::Noref];
+
+fn key(high: u32, policy: RefPolicy) -> String {
+    format!("watermarks/{high:03}/{policy}")
+}
+
+fn assemble(report: &RunReport<Row>) -> Result<Table, String> {
     let mut t = Table::new("High watermark (= soft-fault window) vs paging");
-    t.headers(&["high water", "policy", "page-ins", "soft faults", "elapsed(s)"]);
-    for high in [32u32, 64, 107, 160, 320] {
-        for policy in [RefPolicy::Miss, RefPolicy::Noref] {
-            let mut sim = SpurSystem::new(SimConfig {
-                mem: MemSize::MB5,
-                dirty: DirtyPolicy::Spur,
-                ref_policy: policy,
-                free_low_water: (high / 4).max(8),
-                free_high_water: high,
-                ..SimConfig::default()
-            })
-            .expect("config valid");
-            sim.load_workload(&workload).expect("registers");
-            if let Err(e) = sim.run(&mut workload.generator(scale.seed), scale.refs) {
-                eprintln!("run failed: {e}");
-                std::process::exit(1);
-            }
-            let stats = sim.vm().stats();
+    t.headers(&[
+        "high water",
+        "policy",
+        "page-ins",
+        "soft faults",
+        "elapsed(s)",
+    ]);
+    for high in HIGHS {
+        for policy in POLICIES {
+            let row = report.require(&key(high, policy))?;
             t.row(vec![
                 high.to_string(),
                 policy.to_string(),
-                stats.page_ins.to_string(),
-                stats.soft_faults.to_string(),
-                format!("{:.1}", sim.events().elapsed_seconds()),
+                row.page_ins.to_string(),
+                row.soft_faults.to_string(),
+                format!("{:.1}", row.elapsed_secs),
             ]);
         }
     }
-    println!("{}", t.render());
-    println!("The window trades resident capacity for forgiveness: tiny windows");
-    println!("punish NOREF's mis-reclaims with page-ins; huge ones shrink usable");
-    println!("memory and push page-ins up for everyone.");
+    Ok(t)
+}
+
+fn main() {
+    let mut scale = scale_from_args();
+    scale.refs = scale.refs.min(6_000_000);
+    let workers = jobs_from_args();
+    print_header("ablation: daemon watermarks (WORKLOAD1 @ 5 MB)", &scale);
+    let jobs = HIGHS
+        .iter()
+        .flat_map(|&high| {
+            POLICIES.map(|policy| {
+                Job::new(key(high, policy), move || {
+                    let workload = workload1();
+                    let mut sim = SpurSystem::new(SimConfig {
+                        mem: MemSize::MB5,
+                        dirty: DirtyPolicy::Spur,
+                        ref_policy: policy,
+                        free_low_water: (high / 4).max(8),
+                        free_high_water: high,
+                        ..SimConfig::default()
+                    })
+                    .map_err(|e| e.to_string())?;
+                    sim.load_workload(&workload).map_err(|e| e.to_string())?;
+                    sim.run(&mut workload.generator(scale.seed), scale.refs)
+                        .map_err(|e| e.to_string())?;
+                    let stats = sim.vm().stats();
+                    let row = Row {
+                        page_ins: stats.page_ins,
+                        soft_faults: stats.soft_faults,
+                        elapsed_secs: sim.events().elapsed_seconds(),
+                    };
+                    let artifact = Json::object([
+                        ("free_high_water", Json::from(high)),
+                        ("policy", Json::from(policy.to_string())),
+                        ("page_ins", Json::from(row.page_ins)),
+                        ("soft_faults_taken", Json::from(row.soft_faults)),
+                        ("elapsed_secs", Json::from(row.elapsed_secs)),
+                    ]);
+                    Ok(JobOutput::new(row, artifact))
+                })
+            })
+        })
+        .collect();
+    let report = run_jobs(jobs, workers);
+    finish_run("ablation_watermarks", &scale, &report);
+    match assemble(&report) {
+        Ok(t) => {
+            println!("{}", t.render());
+            println!("The window trades resident capacity for forgiveness: tiny windows");
+            println!("punish NOREF's mis-reclaims with page-ins; huge ones shrink usable");
+            println!("memory and push page-ins up for everyone.");
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -7,8 +7,8 @@ use spur_bench::{print_header, scale_from_args};
 use spur_core::baseline::{TlbConfig, TlbSystem};
 use spur_core::breakdown::CycleCategory;
 use spur_core::dirty::DirtyPolicy;
-use spur_core::system::{SimConfig, SpurSystem};
 use spur_core::report::Table;
+use spur_core::system::{SimConfig, SpurSystem};
 use spur_trace::workloads::{slc, workload1};
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;
@@ -20,8 +20,16 @@ fn main() {
 
     let mut t = Table::new("Same workload, two machines (cycles in millions)");
     t.headers(&[
-        "Workload", "MB", "Machine", "base", "miss+xlat", "dirty-bit", "ref-bit", "total-CPU",
-        "dirty faults", "excess",
+        "Workload",
+        "MB",
+        "Machine",
+        "base",
+        "miss+xlat",
+        "dirty-bit",
+        "ref-bit",
+        "total-CPU",
+        "dirty faults",
+        "excess",
     ]);
     for workload in [slc(), workload1()] {
         for mem in [MemSize::MB5, MemSize::MB8] {
@@ -34,7 +42,8 @@ fn main() {
             })
             .expect("config");
             va.load_workload(&workload).expect("registers");
-            va.run(&mut workload.generator(scale.seed), scale.refs).expect("runs");
+            va.run(&mut workload.generator(scale.seed), scale.refs)
+                .expect("runs");
 
             // Conventional machine.
             let mut tlb = TlbSystem::new(TlbConfig {
@@ -43,14 +52,11 @@ fn main() {
             })
             .expect("config");
             tlb.load_workload(&workload).expect("registers");
-            tlb.run(&mut workload.generator(scale.seed), scale.refs).expect("runs");
+            tlb.run(&mut workload.generator(scale.seed), scale.refs)
+                .expect("runs");
 
-            let row = |name: &str,
-                       b: &spur_core::breakdown::CycleBreakdown,
-                       ds: u64,
-                       ef: u64| {
-                let cpu = b.total().raw()
-                    - b[CycleCategory::Paging].raw(); // paging I/O identical by construction
+            let row = |name: &str, b: &spur_core::breakdown::CycleBreakdown, ds: u64, ef: u64| {
+                let cpu = b.total().raw() - b[CycleCategory::Paging].raw(); // paging I/O identical by construction
                 vec![
                     workload.name().to_string(),
                     mem.megabytes().to_string(),

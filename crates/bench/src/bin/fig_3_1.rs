@@ -2,9 +2,9 @@
 //! changing a PTE's protection does not affect blocks already in the
 //! cache, and how that produces an excess fault.
 
+use spur_cache::counters::CounterEvent;
 use spur_core::dirty::DirtyPolicy;
 use spur_core::system::{SimConfig, SpurSystem};
-use spur_cache::counters::CounterEvent;
 use spur_trace::process::ProcessSpec;
 use spur_trace::stream::{Pid, TraceRef};
 use spur_trace::workloads::Workload;
@@ -19,11 +19,8 @@ fn main() {
     println!("protection, so writing it faults again: an EXCESS fault.\n");
 
     // A tiny single-process workload so the addresses are predictable.
-    let workload = Workload::build(
-        "fig31",
-        vec![ProcessSpec::new("demo", 8, 64, 8, 8)],
-    )
-    .expect("tiny workload builds");
+    let workload = Workload::build("fig31", vec![ProcessSpec::new("demo", 8, 64, 8, 8)])
+        .expect("tiny workload builds");
     let heap = workload.proc_regions(0).heap;
     let page_a = heap.start;
     let block0 = page_a.block(0).base_addr();
@@ -37,7 +34,11 @@ fn main() {
     .expect("config is valid");
     sim.load_workload(&workload).expect("workload registers");
 
-    let r = |addr, kind| TraceRef { pid: Pid(0), addr, kind };
+    let r = |addr, kind| TraceRef {
+        pid: Pid(0),
+        addr,
+        kind,
+    };
 
     // Bring both blocks in with reads while Page A is clean (read-only
     // under the FAULT emulation).

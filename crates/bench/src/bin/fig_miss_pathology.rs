@@ -21,8 +21,7 @@ fn main() {
     println!("=======================================================\n");
 
     for policy in [RefPolicy::Miss, RefPolicy::Ref] {
-        let workload =
-            Workload::build("demo", vec![ProcessSpec::new("hot", 8, 64, 8, 8)]).unwrap();
+        let workload = Workload::build("demo", vec![ProcessSpec::new("hot", 8, 64, 8, 8)]).unwrap();
         let heap = workload.proc_regions(0).heap;
         let page = heap.start;
 

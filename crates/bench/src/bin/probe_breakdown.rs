@@ -24,12 +24,23 @@ fn main() {
             let ev = sim.events();
             println!(
                 "{} @ {}: N_ds={} zfod={} N_ef={} whit={} wmiss={} page_ins={} misses={} refs={}",
-                w.name(), mem, ev.n_ds, ev.n_zfod, ev.n_ef, ev.n_whit, ev.n_wmiss,
-                ev.page_ins, ev.misses, ev.refs
+                w.name(),
+                mem,
+                ev.n_ds,
+                ev.n_zfod,
+                ev.n_ef,
+                ev.n_whit,
+                ev.n_wmiss,
+                ev.page_ins,
+                ev.misses,
+                ev.refs
             );
-            println!("   stale blocks cached at fault time: {} (zfod {}, refault {})",
-                sim.stale_at_fault(), sim.stale_at_fault_zfod(),
-                sim.stale_at_fault() - sim.stale_at_fault_zfod());
+            println!(
+                "   stale blocks cached at fault time: {} (zfod {}, refault {})",
+                sim.stale_at_fault(),
+                sim.stale_at_fault_zfod(),
+                sim.stale_at_fault() - sim.stale_at_fault_zfod()
+            );
             let mut faults: Vec<_> = sim.fault_breakdown().iter().collect();
             faults.sort_by_key(|((k, z), _)| (format!("{k}"), *z));
             for ((kind, zf), n) in faults {

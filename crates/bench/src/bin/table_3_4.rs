@@ -13,7 +13,9 @@ fn main() {
         Ok(events) => {
             let rows = table_3_4(&events, &CostParams::paper());
             println!("{}", render_table_3_4(&rows));
-            println!("Paper shape check: MIN (1.00) < SPUR (~1.03) < FAULT < FLUSH (1.50) << WRITE.");
+            println!(
+                "Paper shape check: MIN (1.00) < SPUR (~1.03) < FAULT < FLUSH (1.50) << WRITE."
+            );
         }
         Err(e) => {
             eprintln!("experiment failed: {e}");

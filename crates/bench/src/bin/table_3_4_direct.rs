@@ -14,10 +14,21 @@ use spur_types::{CostParams, MemSize};
 fn main() {
     let mut scale = scale_from_args();
     scale.refs = scale.refs.min(8_000_000);
-    print_header("Table 3.4 cross-validation (model vs direct simulation)", &scale);
+    print_header(
+        "Table 3.4 cross-validation (model vs direct simulation)",
+        &scale,
+    );
     let costs = CostParams::paper();
-    let mut t = Table::new("Dirty-bit overhead: closed-form model vs direct simulation (Mcycles over MIN)");
-    t.headers(&["Workload", "MB", "Policy", "model overhead", "direct delta", "agree?"]);
+    let mut t =
+        Table::new("Dirty-bit overhead: closed-form model vs direct simulation (Mcycles over MIN)");
+    t.headers(&[
+        "Workload",
+        "MB",
+        "Policy",
+        "model overhead",
+        "direct delta",
+        "agree?",
+    ]);
     for workload in [slc(), workload1()] {
         for mem in [MemSize::MB5, MemSize::MB8] {
             let ev = match measure_events(&workload, mem, &scale) {

@@ -1,12 +1,12 @@
 //! Shared helpers for the table/figure regenerator binaries and the
-//! criterion benches.
+//! bench targets.
 //!
-//! Every regenerator accepts an optional scale argument:
+//! Every regenerator accepts an optional scale argument and a worker
+//! count for the experiment harness:
 //!
 //! ```text
 //! cargo run --release -p spur-bench --bin table_3_3 -- --scale quick
-//! cargo run --release -p spur-bench --bin table_3_3 -- --scale default
-//! cargo run --release -p spur-bench --bin table_3_3 -- --scale full
+//! cargo run --release -p spur-bench --bin reproduce_all -- --scale quick --jobs 8
 //! ```
 
 use spur_core::experiments::Scale;
@@ -20,22 +20,102 @@ pub fn scale_from_args() -> Scale {
 }
 
 /// The testable core of [`scale_from_args`].
+///
+/// `--scale` only consumes the next argument when it is a scale value:
+/// `--scale --csv` leaves `--csv` for the binary's own flag handling
+/// instead of swallowing it as a malformed scale.
 pub fn parse_scale<I: IntoIterator<Item = String>>(args: I) -> Scale {
     let mut args = args.into_iter().peekable();
     let mut scale = Scale::default_scale();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => match args.next().as_deref() {
-                Some("quick") => scale = Scale::quick(),
-                Some("default") => scale = Scale::default_scale(),
-                Some("full") => scale = Scale::full(),
-                other => eprintln!("unknown scale {other:?}; using default"),
+            "--scale" => match args.peek().map(String::as_str) {
+                Some("quick") => {
+                    scale = Scale::quick();
+                    args.next();
+                }
+                Some("default") => {
+                    scale = Scale::default_scale();
+                    args.next();
+                }
+                Some("full") => {
+                    scale = Scale::full();
+                    args.next();
+                }
+                Some(next) if next.starts_with("--") => {
+                    // The next token is another flag, not a scale value:
+                    // leave it alone so it keeps its own meaning.
+                    eprintln!("--scale is missing a value; using default");
+                }
+                Some(other) => {
+                    eprintln!("unknown scale {other:?}; using default");
+                    args.next();
+                }
+                None => eprintln!("--scale is missing a value; using default"),
             },
+            "--jobs" => {
+                // The worker count is parse_jobs's business; skip its
+                // value so it isn't reported as an unknown argument.
+                if args.peek().is_some_and(|v| !v.starts_with("--")) {
+                    args.next();
+                }
+            }
             other if other.starts_with("--") => {} // bare flags belong to the binary
             other => eprintln!("ignoring unknown argument {other:?}"),
         }
     }
     scale
+}
+
+/// Parses the harness worker count: `--jobs N` from process args, then
+/// the `SPUR_JOBS` environment variable, then available parallelism.
+pub fn jobs_from_args() -> usize {
+    parse_jobs(
+        std::env::args().skip(1),
+        std::env::var("SPUR_JOBS").ok().as_deref(),
+    )
+}
+
+/// The testable core of [`jobs_from_args`].
+///
+/// Precedence: an explicit `--jobs N` wins, then `env` (the `SPUR_JOBS`
+/// value), then [`std::thread::available_parallelism`]. Zero or
+/// unparsable counts fall through to the next source.
+pub fn parse_jobs<I: IntoIterator<Item = String>>(args: I, env: Option<&str>) -> usize {
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            match args.peek().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => return n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer; falling back");
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(n) = env.and_then(|v| v.parse::<usize>().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Names a scale for artifact run directories: the preset's name, or
+/// `"custom"` once a binary has clamped it away from any preset.
+pub fn scale_name(scale: &Scale) -> &'static str {
+    if *scale == Scale::quick() {
+        "quick"
+    } else if *scale == Scale::default_scale() {
+        "default"
+    } else if *scale == Scale::full() {
+        "full"
+    } else {
+        "custom"
+    }
 }
 
 /// Whether a bare `--csv` style flag is present in the process args.
@@ -53,22 +133,324 @@ pub fn print_header(what: &str, scale: &Scale) {
     );
 }
 
+pub mod jobs {
+    //! Experiment cells as harness jobs.
+    //!
+    //! Each builder wraps one `spur-core` measure function as a
+    //! [`Job`] with a stable key; the assembly helpers collect a
+    //! completed run back into the row vectors the renderers expect.
+    //! Binaries and the determinism parity test share these builders,
+    //! so what the test certifies is exactly what the binaries run.
+
+    use spur_core::experiments::events::{measure_events, EventRow};
+    use spur_core::experiments::pageout::{measure_host, PageoutRow};
+    use spur_core::experiments::refbit::{measure_refbit, RefbitRow};
+    use spur_core::experiments::sweep::MemorySweepRow;
+    use spur_core::experiments::Scale;
+    use spur_harness::{default_root, write_run, Job, JobOutput, Json, RunReport};
+    use spur_trace::workloads::{DevHost, Workload};
+    use spur_types::MemSize;
+    use spur_vm::policy::RefPolicy;
+
+    /// Workload constructor — jobs rebuild their workload inside the
+    /// worker so the closures stay `'static` and each cell is a pure
+    /// function of its inputs.
+    pub type WorkloadCtor = fn() -> Workload;
+
+    /// One Table 3.3 cell: event counts for (workload, memory).
+    pub fn events_job(
+        key: String,
+        make: WorkloadCtor,
+        mem: MemSize,
+        scale: Scale,
+    ) -> Job<EventRow> {
+        Job::new(key, move || {
+            let workload = make();
+            let row = measure_events(&workload, mem, &scale).map_err(|e| e.to_string())?;
+            let artifact = row.to_json();
+            Ok(JobOutput::new(row, artifact))
+        })
+    }
+
+    /// One Table 4.1 / sweep cell: (workload, memory, policy),
+    /// averaged over `scale.reps` seeds.
+    pub fn refbit_job(
+        key: String,
+        make: WorkloadCtor,
+        mem: MemSize,
+        policy: RefPolicy,
+        scale: Scale,
+    ) -> Job<RefbitRow> {
+        Job::new(key, move || {
+            let workload = make();
+            let row = measure_refbit(&workload, mem, policy, &scale).map_err(|e| e.to_string())?;
+            let artifact = row.to_json();
+            Ok(JobOutput::new(row, artifact))
+        })
+    }
+
+    /// One Table 3.5 cell: a development host's observed uptime.
+    pub fn pageout_job(key: String, host: DevHost, scale: Scale) -> Job<PageoutRow> {
+        Job::new(key, move || {
+            let row = measure_host(&host, &scale).map_err(|e| e.to_string())?;
+            let artifact = row.to_json();
+            Ok(JobOutput::new(row, artifact))
+        })
+    }
+
+    /// The key for one memory-sweep cell.
+    pub fn memory_sweep_key(mb: u32, policy: RefPolicy) -> String {
+        format!("memory_sweep/{mb:02}MB/{policy}")
+    }
+
+    /// Every cell of the memory sweep: `sizes` × [`RefPolicy::ALL`].
+    pub fn memory_sweep_jobs(
+        make: WorkloadCtor,
+        sizes: &[u32],
+        scale: Scale,
+    ) -> Vec<Job<RefbitRow>> {
+        let mut jobs = Vec::new();
+        for &mb in sizes {
+            for policy in RefPolicy::ALL {
+                jobs.push(refbit_job(
+                    memory_sweep_key(mb, policy),
+                    make,
+                    MemSize::new(mb),
+                    policy,
+                    scale,
+                ));
+            }
+        }
+        jobs
+    }
+
+    /// Collects a completed memory-sweep run back into the serial
+    /// row order ([`RefPolicy::ALL`] within each size).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first missing or failed cell's description.
+    pub fn assemble_memory_sweep(
+        report: &RunReport<RefbitRow>,
+        sizes: &[u32],
+    ) -> Result<Vec<MemorySweepRow>, String> {
+        sizes
+            .iter()
+            .map(|&mb| {
+                let policies = RefPolicy::ALL
+                    .iter()
+                    .map(|&policy| report.require(&memory_sweep_key(mb, policy)).cloned())
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(MemorySweepRow {
+                    mem: MemSize::new(mb),
+                    policies,
+                })
+            })
+            .collect()
+    }
+
+    /// Standard epilogue for a harness binary: persists the run's
+    /// artifacts under `results/json/<bin>-<scale>/` (or
+    /// `$SPUR_RESULTS_DIR`) and prints the run summary — both on
+    /// stderr, so stdout stays byte-identical to a serial run.
+    pub fn finish_run<T>(bin: &str, scale: &Scale, report: &RunReport<T>) {
+        let run_name = format!("{bin}-{}", crate::scale_name(scale));
+        let meta = [
+            ("refs", Json::from(scale.refs)),
+            ("reps", Json::from(scale.reps)),
+            ("seed", Json::from(scale.seed)),
+            ("dev_refs_per_hour", Json::from(scale.dev_refs_per_hour)),
+        ];
+        match write_run(&default_root(), &run_name, report, &meta) {
+            Ok(art) => eprintln!("{}\nartifacts: {}", report.summary(), art.dir.display()),
+            Err(e) => eprintln!("{}\nartifact write FAILED: {e}", report.summary()),
+        }
+    }
+}
+
+pub mod microbench {
+    //! A std-only timing harness for the `cargo bench` targets.
+    //!
+    //! The registry is unreachable in this environment, so criterion is
+    //! not an option; this module provides the minimal useful subset:
+    //! warmup, wall-budgeted measurement, and a ns/iter +
+    //! elements/second report.
+
+    use std::time::{Duration, Instant};
+
+    /// One measured benchmark result.
+    #[derive(Debug, Clone)]
+    pub struct Measurement {
+        /// Benchmark name (`group/name`).
+        pub name: String,
+        /// Nanoseconds per iteration (mean over the measured window).
+        pub ns_per_iter: f64,
+        /// Iterations measured.
+        pub iters: u64,
+        /// Elements processed per iteration (for throughput).
+        pub elements_per_iter: u64,
+    }
+
+    /// Collects and reports measurements.
+    #[derive(Debug, Default)]
+    pub struct Bench {
+        budget: Duration,
+        results: Vec<Measurement>,
+    }
+
+    impl Bench {
+        /// Creates a harness with a per-benchmark wall budget from
+        /// `SPUR_BENCH_MS` (default 200 ms).
+        pub fn from_env() -> Self {
+            let ms = std::env::var("SPUR_BENCH_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(200);
+            Bench {
+                budget: Duration::from_millis(ms),
+                results: Vec::new(),
+            }
+        }
+
+        /// Runs `f` repeatedly for the wall budget and records the mean
+        /// iteration time. `elements` is the per-iteration element count
+        /// used for throughput reporting.
+        pub fn bench(&mut self, name: &str, elements: u64, mut f: impl FnMut()) {
+            // Warmup: a few iterations so lazy state settles.
+            for _ in 0..3 {
+                f();
+            }
+            let start = Instant::now();
+            let mut iters = 0u64;
+            while start.elapsed() < self.budget {
+                f();
+                iters += 1;
+            }
+            let total = start.elapsed();
+            self.push(name, total, iters.max(1), elements);
+        }
+
+        /// Runs `f` a fixed number of iterations (for expensive bodies
+        /// where wall-budget calibration would be wasteful).
+        pub fn bench_n(&mut self, name: &str, iters: u64, elements: u64, mut f: impl FnMut()) {
+            f(); // warmup
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let total = start.elapsed();
+            self.push(name, total, iters.max(1), elements);
+        }
+
+        /// Like [`Bench::bench`], but rebuilds input state outside the
+        /// timed region on every iteration.
+        pub fn bench_with_setup<T>(
+            &mut self,
+            name: &str,
+            elements: u64,
+            mut setup: impl FnMut() -> T,
+            mut f: impl FnMut(T),
+        ) {
+            f(setup()); // warmup
+            let mut timed = Duration::ZERO;
+            let mut iters = 0u64;
+            let begin = Instant::now();
+            while begin.elapsed() < self.budget {
+                let input = setup();
+                let start = Instant::now();
+                f(input);
+                timed += start.elapsed();
+                iters += 1;
+            }
+            self.push(name, timed, iters.max(1), elements);
+        }
+
+        fn push(&mut self, name: &str, total: Duration, iters: u64, elements: u64) {
+            let m = Measurement {
+                name: name.to_string(),
+                ns_per_iter: total.as_nanos() as f64 / iters as f64,
+                iters,
+                elements_per_iter: elements,
+            };
+            println!("{}", render_line(&m));
+            self.results.push(m);
+        }
+
+        /// Prints the closing summary.
+        pub fn finish(self) {
+            println!(
+                "\n{} benchmarks, budget {:?} each",
+                self.results.len(),
+                self.budget
+            );
+        }
+    }
+
+    /// Formats one measurement line.
+    pub fn render_line(m: &Measurement) -> String {
+        let rate = if m.ns_per_iter > 0.0 {
+            m.elements_per_iter as f64 / (m.ns_per_iter / 1e9)
+        } else {
+            0.0
+        };
+        format!(
+            "{:<44} {:>14.1} ns/iter {:>12.0} elem/s ({} iters)",
+            m.name, m.ns_per_iter, rate, m.iters
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn parses_known_scales() {
-        let q = parse_scale(["--scale".to_string(), "quick".to_string()]);
+        let q = parse_scale(args(&["--scale", "quick"]));
         assert_eq!(q.refs, Scale::quick().refs);
-        let f = parse_scale(["--scale".to_string(), "full".to_string()]);
+        let f = parse_scale(args(&["--scale", "full"]));
         assert_eq!(f.refs, Scale::full().refs);
     }
 
     #[test]
     fn defaults_on_empty_or_unknown() {
-        assert_eq!(parse_scale(Vec::<String>::new()).refs, Scale::default_scale().refs);
-        let d = parse_scale(["--scale".to_string(), "bogus".to_string()]);
+        assert_eq!(
+            parse_scale(Vec::<String>::new()).refs,
+            Scale::default_scale().refs
+        );
+        let d = parse_scale(args(&["--scale", "bogus"]));
         assert_eq!(d.refs, Scale::default_scale().refs);
+    }
+
+    #[test]
+    fn scale_does_not_swallow_following_flag() {
+        // `--scale --csv`: the scale is missing, not "--csv"; the flag
+        // must survive for the binary's own handling (the bare-flag arm
+        // sees it on the next loop turn instead of it being consumed as
+        // a malformed scale value).
+        let d = parse_scale(args(&["--scale", "--csv"]));
+        assert_eq!(d.refs, Scale::default_scale().refs);
+        // A later valid --scale still applies.
+        let q = parse_scale(args(&["--scale", "--csv", "--scale", "quick"]));
+        assert_eq!(q.refs, Scale::quick().refs);
+        // Trailing --scale is harmless.
+        let t = parse_scale(args(&["--scale"]));
+        assert_eq!(t.refs, Scale::default_scale().refs);
+    }
+
+    #[test]
+    fn jobs_precedence_is_flag_env_parallelism() {
+        assert_eq!(parse_jobs(args(&["--jobs", "8"]), Some("4")), 8);
+        assert_eq!(parse_jobs(args(&[]), Some("4")), 4);
+        let auto = parse_jobs(args(&[]), None);
+        assert!(auto >= 1);
+        // Bad values fall through.
+        assert_eq!(parse_jobs(args(&["--jobs", "zero"]), Some("4")), 4);
+        assert_eq!(parse_jobs(args(&["--jobs", "0"]), Some("4")), 4);
+        assert_eq!(parse_jobs(args(&[]), Some("-3")), auto);
     }
 }

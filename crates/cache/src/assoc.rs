@@ -53,8 +53,14 @@ impl SetAssocCache {
     /// Panics unless `total_lines` is a power of two divisible by `ways`
     /// (itself a nonzero power of two).
     pub fn new(total_lines: usize, ways: usize) -> Self {
-        assert!(total_lines.is_power_of_two(), "line count must be a power of two");
-        assert!(ways.is_power_of_two() && ways > 0, "ways must be a nonzero power of two");
+        assert!(
+            total_lines.is_power_of_two(),
+            "line count must be a power of two"
+        );
+        assert!(
+            ways.is_power_of_two() && ways > 0,
+            "ways must be a nonzero power of two"
+        );
         assert!(total_lines.is_multiple_of(ways) && total_lines >= ways);
         SetAssocCache {
             lines: vec![CacheLine::empty(); total_lines],
@@ -118,7 +124,9 @@ impl SetAssocCache {
         let set = self.set_of(block);
         self.clock += 1;
         debug_assert!(
-            !self.lines[self.slot_range(set)].iter().any(|l| l.matches(block)),
+            !self.lines[self.slot_range(set)]
+                .iter()
+                .any(|l| l.matches(block)),
             "filling an already-cached block"
         );
         // Choose an invalid slot, else the LRU one.
@@ -240,7 +248,8 @@ mod tests {
         let base = 128 * 32;
         for i in 0..4u64 {
             assert!(
-                c.fill(GlobalAddr::new(base + i * 128 * 32), RW, false, false).is_none(),
+                c.fill(GlobalAddr::new(base + i * 128 * 32), RW, false, false)
+                    .is_none(),
                 "no eviction while invalid ways remain"
             );
         }
@@ -275,7 +284,10 @@ mod tests {
     fn sun3_synonym_hazard() {
         let (direct, assoc) = synonym_hazard_demo();
         assert_eq!(direct, 1, "direct map: aliases displace each other");
-        assert_eq!(assoc, 2, "2-way: two live copies of one datum (incoherent!)");
+        assert_eq!(
+            assoc, 2,
+            "2-way: two live copies of one datum (incoherent!)"
+        );
     }
 
     #[test]

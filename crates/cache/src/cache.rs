@@ -381,7 +381,10 @@ mod tests {
         c.fill_for_write(a, RW, false);
         let ev = c.fill_for_read(b, RW, false).expect("must evict");
         assert_eq!(ev.block, a.block());
-        assert!(ev.block_dirty, "written block must be flagged for write-back");
+        assert!(
+            ev.block_dirty,
+            "written block must be flagged for write-back"
+        );
         assert!(!c.probe(a).hit);
         assert!(c.probe(b).hit);
         assert_eq!(c.stats().writebacks, 1);

@@ -360,9 +360,7 @@ impl Bus {
                 let b = line.block.index();
                 if line.state.is_owner() {
                     if let Some(prev) = owners.insert(b, cpu) {
-                        return Err(format!(
-                            "block {b:#x} owned by both cpu{prev} and cpu{cpu}"
-                        ));
+                        return Err(format!("block {b:#x} owned by both cpu{prev} and cpu{cpu}"));
                     }
                 }
                 if line.state == CoherencyState::OwnedExclusive {

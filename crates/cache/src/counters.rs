@@ -58,11 +58,37 @@ impl CounterMode {
     pub fn events(self) -> Vec<CounterEvent> {
         use CounterEvent::*;
         let all = [
-            IFetch, Read, Write, IFetchMiss, ReadMiss, WriteMiss, Fill, Eviction, Writeback,
-            PteProbe, PteCacheHit, PteCacheMiss, SecondLevelFetch, PteFill, DirtyFault,
-            ExcessFault, DirtyBitMiss, RefFault, ProtFault, ZeroFill, PageIn, PageOut,
-            DaemonScan, PageFlush, SoftFault, BusReadShared, BusReadForOwnership,
-            BusWriteInvalidate, BusWriteBack, OwnerSupply, Invalidation,
+            IFetch,
+            Read,
+            Write,
+            IFetchMiss,
+            ReadMiss,
+            WriteMiss,
+            Fill,
+            Eviction,
+            Writeback,
+            PteProbe,
+            PteCacheHit,
+            PteCacheMiss,
+            SecondLevelFetch,
+            PteFill,
+            DirtyFault,
+            ExcessFault,
+            DirtyBitMiss,
+            RefFault,
+            ProtFault,
+            ZeroFill,
+            PageIn,
+            PageOut,
+            DaemonScan,
+            PageFlush,
+            SoftFault,
+            BusReadShared,
+            BusReadForOwnership,
+            BusWriteInvalidate,
+            BusWriteBack,
+            OwnerSupply,
+            Invalidation,
         ];
         let mut events: Vec<CounterEvent> = all
             .into_iter()
@@ -327,7 +353,10 @@ impl PerfCounters {
     pub fn dump(&self) -> String {
         let mut out = String::new();
         for mode in CounterMode::ALL {
-            out.push_str(&format!("mode {mode}{}:\n", if mode == self.mode { " (selected)" } else { "" }));
+            out.push_str(&format!(
+                "mode {mode}{}:\n",
+                if mode == self.mode { " (selected)" } else { "" }
+            ));
             for (slot, event) in mode.events().into_iter().enumerate() {
                 out.push_str(&format!(
                     "  [{slot:>2}] {:<22} {:>12}\n",
@@ -348,7 +377,12 @@ impl Default for PerfCounters {
 
 impl fmt::Display for PerfCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "counters[mode={}, slots={:?}]", self.mode, &self.slots[..8])
+        write!(
+            f,
+            "counters[mode={}, slots={:?}]",
+            self.mode,
+            &self.slots[..8]
+        )
     }
 }
 
@@ -360,11 +394,37 @@ mod tests {
     fn every_event_has_a_unique_mode_slot() {
         use CounterEvent::*;
         let all = [
-            IFetch, Read, Write, IFetchMiss, ReadMiss, WriteMiss, Fill, Eviction, Writeback,
-            PteProbe, PteCacheHit, PteCacheMiss, SecondLevelFetch, PteFill, DirtyFault,
-            ExcessFault, DirtyBitMiss, RefFault, ProtFault, ZeroFill, PageIn, PageOut,
-            DaemonScan, PageFlush, SoftFault, BusReadShared, BusReadForOwnership, BusWriteInvalidate,
-            BusWriteBack, OwnerSupply, Invalidation,
+            IFetch,
+            Read,
+            Write,
+            IFetchMiss,
+            ReadMiss,
+            WriteMiss,
+            Fill,
+            Eviction,
+            Writeback,
+            PteProbe,
+            PteCacheHit,
+            PteCacheMiss,
+            SecondLevelFetch,
+            PteFill,
+            DirtyFault,
+            ExcessFault,
+            DirtyBitMiss,
+            RefFault,
+            ProtFault,
+            ZeroFill,
+            PageIn,
+            PageOut,
+            DaemonScan,
+            PageFlush,
+            SoftFault,
+            BusReadShared,
+            BusReadForOwnership,
+            BusWriteInvalidate,
+            BusWriteBack,
+            OwnerSupply,
+            Invalidation,
         ];
         let mut seen = std::collections::HashSet::new();
         for e in all {

@@ -128,7 +128,10 @@ mod tests {
     fn empty_line_is_invalid() {
         let line = CacheLine::empty();
         assert!(!line.valid);
-        assert!(!line.matches(BlockNum::new(0)), "invalid lines match nothing");
+        assert!(
+            !line.matches(BlockNum::new(0)),
+            "invalid lines match nothing"
+        );
         assert_eq!(line.state, CoherencyState::Invalid);
     }
 

@@ -158,7 +158,13 @@ mod tests {
     use spur_mem::phys::PhysMemory;
     use spur_types::{MemSize, Pfn, Vpn};
 
-    fn setup() -> (VirtualCache, PageTable, PhysMemory, PerfCounters, InCacheTranslator) {
+    fn setup() -> (
+        VirtualCache,
+        PageTable,
+        PhysMemory,
+        PerfCounters,
+        InCacheTranslator,
+    ) {
         (
             VirtualCache::prototype(),
             PageTable::new(),
@@ -252,10 +258,15 @@ mod tests {
         let conflicting = GlobalAddr::new(pte_va.block_aligned().raw() ^ (1 << 17));
         let _ = conflict_block;
         cache.fill_for_write(conflicting, Protection::ReadWrite, true);
-        assert_eq!(cache.index_of(conflicting.block()), cache.index_of(pte_va.block()));
+        assert_eq!(
+            cache.index_of(conflicting.block()),
+            cache.index_of(pte_va.block())
+        );
 
         let out = tr.translate(vpn.base_addr(), &mut cache, &pt, &mut ctrs);
-        let ev = out.evicted_by_pte_fill.expect("PTE fill displaces the data block");
+        let ev = out
+            .evicted_by_pte_fill
+            .expect("PTE fill displaces the data block");
         assert_eq!(ev.block, conflicting.block());
         assert!(ev.block_dirty);
         assert_eq!(ctrs.total(CounterEvent::Writeback), 1);

@@ -1,65 +1,84 @@
-//! Property-based tests: direct-mapping laws and coherence safety.
+//! Randomized tests: direct-mapping laws and coherence safety, driven
+//! by the repository's deterministic [`SmallRng`] instead of an
+//! external property-testing framework.
 
-use proptest::prelude::*;
 use spur_cache::cache::VirtualCache;
 use spur_cache::coherence::Bus;
+use spur_types::rng::SmallRng;
 use spur_types::{BlockNum, GlobalAddr, Protection, Vpn, CACHE_LINES};
 
-proptest! {
-    /// Two blocks conflict exactly when their indices agree modulo the
-    /// line count.
-    #[test]
-    fn direct_map_index_law(a in 0u64..(1 << 33), b in 0u64..(1 << 33)) {
-        let c = VirtualCache::prototype();
+/// Two blocks conflict exactly when their indices agree modulo the
+/// line count.
+#[test]
+fn direct_map_index_law() {
+    let mut rng = SmallRng::seed_from_u64(0xcac4_0001);
+    let c = VirtualCache::prototype();
+    for _ in 0..512 {
+        let a = rng.random_range(0u64..(1 << 33));
+        let b = rng.random_range(0u64..(1 << 33));
         let ia = c.index_of(BlockNum::new(a));
         let ib = c.index_of(BlockNum::new(b));
-        prop_assert_eq!(ia == ib, a % CACHE_LINES == b % CACHE_LINES);
+        assert_eq!(ia == ib, a % CACHE_LINES == b % CACHE_LINES);
     }
+}
 
-    /// After filling any block, probing it hits, and probing any other
-    /// block mapping to the same line misses.
-    #[test]
-    fn fill_probe_law(raw in 0u64..(1 << 38), delta in 1u64..32) {
+/// After filling any block, probing it hits, and probing any other
+/// block mapping to the same line misses.
+#[test]
+fn fill_probe_law() {
+    let mut rng = SmallRng::seed_from_u64(0xcac4_0002);
+    for _ in 0..256 {
+        let raw = rng.random_range(0u64..(1 << 38));
+        let delta = rng.random_range(1u64..32);
         let mut c = VirtualCache::prototype();
         let a = GlobalAddr::new(raw).block_aligned();
         c.fill_for_read(a, Protection::ReadWrite, false);
-        prop_assert!(c.probe(a).hit);
+        assert!(c.probe(a).hit);
         // An address one cache-size away maps to the same line but a
         // different tag.
         let conflict = a.wrapping_add(delta * 128 * 1024);
         if conflict.block() != a.block() {
-            prop_assert!(!c.probe(conflict).hit);
-            prop_assert_eq!(c.index_of(conflict.block()), c.index_of(a.block()));
+            assert!(!c.probe(conflict).hit);
+            assert_eq!(c.index_of(conflict.block()), c.index_of(a.block()));
         }
     }
+}
 
-    /// Occupancy never exceeds capacity, and equals the number of distinct
-    /// lines filled.
-    #[test]
-    fn occupancy_bounds(addrs in prop::collection::vec(0u64..(1 << 30), 1..300)) {
+/// Occupancy never exceeds capacity, and equals the number of distinct
+/// lines filled.
+#[test]
+fn occupancy_bounds() {
+    let mut rng = SmallRng::seed_from_u64(0xcac4_0003);
+    for _ in 0..32 {
+        let n = rng.random_range(1usize..300);
         let mut c = VirtualCache::prototype();
         let mut lines = std::collections::HashSet::new();
-        for raw in addrs {
+        for _ in 0..n {
+            let raw = rng.random_range(0u64..(1 << 30));
             let a = GlobalAddr::new(raw).block_aligned();
             if !c.probe(a).hit {
                 c.fill_for_read(a, Protection::ReadWrite, false);
             }
             lines.insert(c.index_of(a.block()));
-            prop_assert!(c.occupancy() <= c.num_lines());
+            assert!(c.occupancy() <= c.num_lines());
         }
-        prop_assert_eq!(c.occupancy(), lines.len());
+        assert_eq!(c.occupancy(), lines.len());
     }
+}
 
-    /// Tag-checked page flush removes exactly the page's blocks; no block
-    /// of any other page is disturbed.
-    #[test]
-    fn tag_checked_flush_is_precise(
-        page in 0u64..(1 << 20),
-        fills in prop::collection::vec((0u64..(1 << 22), 0u64..128), 1..100),
-    ) {
+/// Tag-checked page flush removes exactly the page's blocks; no block
+/// of any other page is disturbed.
+#[test]
+fn tag_checked_flush_is_precise() {
+    let mut rng = SmallRng::seed_from_u64(0xcac4_0004);
+    for _ in 0..32 {
+        let page = rng.random_range(0u64..(1 << 20));
+        let n_fills = rng.random_range(1usize..100);
         let mut c = VirtualCache::prototype();
         let target = Vpn::new(page);
-        for (p, b) in fills {
+        for _ in 0..n_fills {
+            let p = rng.random_range(0u64..(1 << 22));
+            let b = rng.random_range(0u64..128);
             let addr = Vpn::new(p).block(b).base_addr();
             if !c.probe(addr).hit {
                 c.fill_for_read(addr, Protection::ReadWrite, false);
@@ -71,20 +90,25 @@ proptest! {
             .map(|(_, l)| l.block)
             .collect();
         c.flush_page_tag_checked(target);
-        prop_assert_eq!(c.resident_blocks_of_page(target), 0);
+        assert_eq!(c.resident_blocks_of_page(target), 0);
         for b in others {
-            prop_assert!(c.find(b).is_some(), "non-target block {b} was flushed");
+            assert!(c.find(b).is_some(), "non-target block {b} was flushed");
         }
     }
+}
 
-    /// The Berkeley protocol safety invariant holds under arbitrary
-    /// interleavings of reads and writes from multiple processors.
-    #[test]
-    fn coherence_safety_under_random_ops(
-        ops in prop::collection::vec((0usize..3, 0u64..64, any::<bool>()), 1..200),
-    ) {
+/// The Berkeley protocol safety invariant holds under arbitrary
+/// interleavings of reads and writes from multiple processors.
+#[test]
+fn coherence_safety_under_random_ops() {
+    let mut rng = SmallRng::seed_from_u64(0xcac4_0005);
+    for _ in 0..32 {
+        let n_ops = rng.random_range(1usize..200);
         let mut bus = Bus::new(3);
-        for (cpu, block, is_write) in ops {
+        for _ in 0..n_ops {
+            let cpu = rng.random_range(0usize..3);
+            let block = rng.random_range(0u64..64);
+            let is_write: bool = rng.random();
             let addr = GlobalAddr::new(block * 32);
             if is_write {
                 bus.processor_write(cpu, addr, Protection::ReadWrite, false);
@@ -92,89 +116,89 @@ proptest! {
                 bus.processor_read(cpu, addr, Protection::ReadWrite, false);
             }
             if let Err(msg) = bus.check_invariants() {
-                return Err(TestCaseError::fail(msg));
+                panic!("{msg}");
             }
         }
     }
 }
 
 mod assoc_props {
-    use proptest::prelude::*;
     use spur_cache::assoc::SetAssocCache;
     use spur_cache::cache::VirtualCache;
+    use spur_types::rng::SmallRng;
     use spur_types::{GlobalAddr, Protection};
 
-    proptest! {
-        /// A 1-way set-associative cache and the direct-mapped cache make
-        /// identical hit/miss decisions on any block-aligned stream.
-        #[test]
-        fn one_way_equals_direct_map(
-            addrs in prop::collection::vec(0u64..(1 << 26), 1..300),
-        ) {
+    /// A 1-way set-associative cache and the direct-mapped cache make
+    /// identical hit/miss decisions on any block-aligned stream.
+    #[test]
+    fn one_way_equals_direct_map() {
+        let mut rng = SmallRng::seed_from_u64(0xcac4_0006);
+        for _ in 0..16 {
+            let n = rng.random_range(1usize..300);
             let mut direct = VirtualCache::prototype();
             let mut assoc = SetAssocCache::new(4096, 1);
-            for raw in addrs {
+            for _ in 0..n {
+                let raw = rng.random_range(0u64..(1 << 26));
                 let a = GlobalAddr::new(raw << 5);
                 let hit_d = direct.probe(a).hit;
                 let hit_a = assoc.probe(a);
-                prop_assert_eq!(hit_d, hit_a, "divergence at {}", a);
+                assert_eq!(hit_d, hit_a, "divergence at {a}");
                 if !hit_d {
                     direct.fill_for_read(a, Protection::ReadWrite, false);
                     assoc.fill(a, Protection::ReadWrite, false, false);
                 }
             }
         }
+    }
 
-        /// Associativity never *hurts* on an inclusion-friendly stream:
-        /// total misses with n ways <= misses with 1 way for LRU within
-        /// fixed total capacity... is NOT generally true (Belady), but
-        /// occupancy invariants are: never exceeds capacity, and a fill
-        /// after a miss makes the block resident.
-        #[test]
-        fn assoc_fill_probe_law(
-            addrs in prop::collection::vec(0u64..(1 << 20), 1..200),
-            ways_pow in 0u32..4,
-        ) {
-            let ways = 1usize << ways_pow;
+    /// Occupancy invariants hold for any associativity: never exceeds
+    /// capacity, and a fill after a miss makes the block resident.
+    #[test]
+    fn assoc_fill_probe_law() {
+        let mut rng = SmallRng::seed_from_u64(0xcac4_0007);
+        for _ in 0..16 {
+            let n = rng.random_range(1usize..200);
+            let ways = 1usize << rng.random_range(0u32..4);
             let mut cache = SetAssocCache::new(1024, ways);
-            for raw in addrs {
+            for _ in 0..n {
+                let raw = rng.random_range(0u64..(1 << 20));
                 let a = GlobalAddr::new(raw << 5);
                 if !cache.probe(a) {
                     cache.fill(a, Protection::ReadWrite, false, false);
                 }
-                prop_assert!(cache.probe(a), "block vanished after fill");
-                prop_assert!(cache.occupancy() <= cache.num_lines());
+                assert!(cache.probe(a), "block vanished after fill");
+                assert!(cache.occupancy() <= cache.num_lines());
             }
         }
     }
 }
 
 mod tlb_props {
-    use proptest::prelude::*;
     use spur_cache::tlb::Tlb;
+    use spur_types::rng::SmallRng;
     use spur_types::{Pfn, Protection, Vpn};
 
-    proptest! {
-        /// The TLB never exceeds capacity, never loses a just-inserted
-        /// entry, and hit/miss counters add up to probes.
-        #[test]
-        fn tlb_capacity_and_counter_laws(
-            vpns in prop::collection::vec(0u64..64, 1..300),
-            cap_pow in 0u32..6,
-        ) {
-            let cap = 1usize << cap_pow;
+    /// The TLB never exceeds capacity, never loses a just-inserted
+    /// entry, and hit/miss counters add up to probes.
+    #[test]
+    fn tlb_capacity_and_counter_laws() {
+        let mut rng = SmallRng::seed_from_u64(0xcac4_0008);
+        for _ in 0..32 {
+            let n = rng.random_range(1usize..300);
+            let cap = 1usize << rng.random_range(0u32..6);
             let mut tlb = Tlb::new(cap);
             let mut probes = 0u64;
-            for v in vpns {
+            for _ in 0..n {
+                let v = rng.random_range(0u64..64);
                 let vpn = Vpn::new(v);
                 probes += 1;
                 if tlb.probe(vpn).is_none() {
                     tlb.insert(vpn, Pfn::new(v as u32), Protection::ReadWrite);
                     probes += 1;
-                    prop_assert!(tlb.probe(vpn).is_some(), "lost fresh entry");
+                    assert!(tlb.probe(vpn).is_some(), "lost fresh entry");
                 }
-                prop_assert!(tlb.len() <= cap);
-                prop_assert_eq!(tlb.hits() + tlb.misses(), probes);
+                assert!(tlb.len() <= cap);
+                assert_eq!(tlb.hits() + tlb.misses(), probes);
             }
         }
     }

@@ -28,8 +28,7 @@ use spur_trace::layout::SegKind;
 use spur_trace::stream::TraceRef;
 use spur_trace::workloads::Workload;
 use spur_types::{
-    AccessKind, CostParams, Cycles, Error, MemSize, Pfn, Result, Vpn, BLOCKS_PER_PAGE,
-    CACHE_LINES,
+    AccessKind, CostParams, Cycles, Error, MemSize, Pfn, Result, Vpn, BLOCKS_PER_PAGE, CACHE_LINES,
 };
 use spur_vm::policy::RefPolicy;
 use spur_vm::region::PageKind;

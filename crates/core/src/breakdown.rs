@@ -105,7 +105,9 @@ impl CycleBreakdown {
 
     /// Iterates `(category, cycles)` in display order.
     pub fn iter(&self) -> impl Iterator<Item = (CycleCategory, Cycles)> + '_ {
-        CycleCategory::ALL.into_iter().map(|c| (c, self.buckets[c.idx()]))
+        CycleCategory::ALL
+            .into_iter()
+            .map(|c| (c, self.buckets[c.idx()]))
     }
 
     /// Renders a one-breakdown table body.

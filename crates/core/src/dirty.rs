@@ -199,7 +199,12 @@ mod tests {
         let mut costs = CostParams::paper();
         costs.t_dc = 1;
         let write = DirtyPolicy::Write.overhead(&ev, &costs);
-        for p in [DirtyPolicy::Min, DirtyPolicy::Fault, DirtyPolicy::Flush, DirtyPolicy::Spur] {
+        for p in [
+            DirtyPolicy::Min,
+            DirtyPolicy::Fault,
+            DirtyPolicy::Flush,
+            DirtyPolicy::Spur,
+        ] {
             assert!(p.overhead(&ev, &costs) < write, "{p} should beat WRITE");
         }
     }

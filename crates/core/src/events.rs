@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use spur_harness::Json;
 use spur_types::Cycles;
 
 /// Event frequencies measured over one run, in the paper's notation.
@@ -115,6 +116,24 @@ impl EventCounts {
     /// Elapsed seconds at the prototype's 150 ns cycle.
     pub fn elapsed_seconds(&self) -> f64 {
         self.elapsed.seconds(150)
+    }
+
+    /// The artifact encoding: every raw counter, exactly. Derived
+    /// quantities (fractions, seconds) are left to readers so the
+    /// record stays lossless.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("n_ds", Json::from(self.n_ds)),
+            ("n_zfod", Json::from(self.n_zfod)),
+            ("n_ef", Json::from(self.n_ef)),
+            ("n_whit", Json::from(self.n_whit)),
+            ("n_wmiss", Json::from(self.n_wmiss)),
+            ("refs", Json::from(self.refs)),
+            ("misses", Json::from(self.misses)),
+            ("page_ins", Json::from(self.page_ins)),
+            ("ref_faults", Json::from(self.ref_faults)),
+            ("elapsed_cycles", Json::from(self.elapsed.raw())),
+        ])
     }
 }
 

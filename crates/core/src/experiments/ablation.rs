@@ -107,13 +107,23 @@ pub fn render_handler_tuning(rows: &[TuningRow]) -> String {
         "Handler tuning: FAULT emulation with a tuned handler vs SPUR hardware \
          with the untuned one",
     );
-    t.headers(&["t_ds (cycles)", "O(FAULT) Mcycles", "O(SPUR @1000) Mcycles", "FAULT wins?"]);
+    t.headers(&[
+        "t_ds (cycles)",
+        "O(FAULT) Mcycles",
+        "O(SPUR @1000) Mcycles",
+        "FAULT wins?",
+    ]);
     for r in rows {
         t.row(vec![
             r.t_ds.to_string(),
             format!("{:.3}", r.fault_overhead.millions()),
             format!("{:.3}", r.spur_at_1000.millions()),
-            if r.fault_overhead < r.spur_at_1000 { "yes" } else { "no" }.to_string(),
+            if r.fault_overhead < r.spur_at_1000 {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     t.render()
@@ -132,6 +142,20 @@ pub struct FlushComparison {
     pub blind_cycles: u64,
     /// Collateral blocks from *other* pages the blind flush destroyed.
     pub collateral: u64,
+}
+
+impl FlushComparison {
+    /// The artifact encoding of one flush-comparison cell.
+    pub fn to_json(&self) -> spur_harness::Json {
+        use spur_harness::Json;
+        Json::object([
+            ("checked_flushed", Json::from(self.checked_flushed)),
+            ("checked_cycles", Json::from(self.checked_cycles)),
+            ("blind_flushed", Json::from(self.blind_flushed)),
+            ("blind_cycles", Json::from(self.blind_cycles)),
+            ("collateral", Json::from(self.collateral)),
+        ])
+    }
 }
 
 /// Compares SPUR's tag-blind page flush with the assumed tag-checked one
@@ -201,6 +225,59 @@ pub struct CacheScalingRow {
     pub miss_ref_faults: u64,
 }
 
+impl CacheScalingRow {
+    /// The artifact encoding of one cache-scaling cell.
+    pub fn to_json(&self) -> spur_harness::Json {
+        use spur_harness::Json;
+        Json::object([
+            ("cache_kb", Json::from(self.cache_kb)),
+            ("miss_page_ins", Json::from(self.miss_page_ins)),
+            ("ref_page_ins", Json::from(self.ref_page_ins)),
+            ("miss_ref_faults", Json::from(self.miss_ref_faults)),
+        ])
+    }
+}
+
+/// Runs one cache size of the Section 4.1 extrapolation (both the
+/// `MISS` and `REF` policies) — the cell the experiment harness
+/// schedules.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_cache_scaling_point(
+    workload: &Workload,
+    mem: MemSize,
+    scale: &Scale,
+    cache_kb: usize,
+) -> Result<CacheScalingRow> {
+    let lines = cache_kb * 1024 / 32;
+    let run = |policy: RefPolicy| -> Result<(u64, u64)> {
+        let mut sim = SpurSystem::with_cache_lines(
+            SimConfig {
+                mem,
+                dirty: DirtyPolicy::Spur,
+                ref_policy: policy,
+                ..SimConfig::default()
+            },
+            lines,
+        )?;
+        sim.load_workload(workload)?;
+        let mut gen = workload.generator(scale.seed);
+        sim.run(&mut gen, scale.refs)?;
+        let ev = sim.events();
+        Ok((ev.page_ins, ev.ref_faults))
+    };
+    let (miss_page_ins, miss_ref_faults) = run(RefPolicy::Miss)?;
+    let (ref_page_ins, _) = run(RefPolicy::Ref)?;
+    Ok(CacheScalingRow {
+        cache_kb,
+        miss_page_ins,
+        ref_page_ins,
+        miss_ref_faults,
+    })
+}
+
 /// Section 4.1's extrapolation: as the cache grows, active pages stop
 /// missing, their reference bits stay clear, and the `MISS`
 /// approximation mistakes them for idle — `REF`'s advantage should grow
@@ -215,43 +292,23 @@ pub fn miss_approximation_vs_cache_size(
     scale: &Scale,
     cache_kbs: &[usize],
 ) -> Result<Vec<CacheScalingRow>> {
-    let mut rows = Vec::new();
-    for &kb in cache_kbs {
-        let lines = kb * 1024 / 32;
-        let run = |policy: RefPolicy| -> Result<(u64, u64)> {
-            let mut sim = SpurSystem::with_cache_lines(
-                SimConfig {
-                    mem,
-                    dirty: DirtyPolicy::Spur,
-                    ref_policy: policy,
-                    ..SimConfig::default()
-                },
-                lines,
-            )?;
-            sim.load_workload(workload)?;
-            let mut gen = workload.generator(scale.seed);
-            sim.run(&mut gen, scale.refs)?;
-            let ev = sim.events();
-            Ok((ev.page_ins, ev.ref_faults))
-        };
-        let (miss_page_ins, miss_ref_faults) = run(RefPolicy::Miss)?;
-        let (ref_page_ins, _) = run(RefPolicy::Ref)?;
-        rows.push(CacheScalingRow {
-            cache_kb: kb,
-            miss_page_ins,
-            ref_page_ins,
-            miss_ref_faults,
-        });
-    }
-    Ok(rows)
+    cache_kbs
+        .iter()
+        .map(|&kb| measure_cache_scaling_point(workload, mem, scale, kb))
+        .collect()
 }
 
 /// Renders the cache-size scaling study.
 pub fn render_cache_scaling(rows: &[CacheScalingRow]) -> String {
-    let mut t = Table::new(
-        "MISS-bit approximation quality vs cache size (Section 4.1 extrapolation)",
-    );
-    t.headers(&["cache", "MISS page-ins", "REF page-ins", "MISS/REF", "MISS ref faults"]);
+    let mut t =
+        Table::new("MISS-bit approximation quality vs cache size (Section 4.1 extrapolation)");
+    t.headers(&[
+        "cache",
+        "MISS page-ins",
+        "REF page-ins",
+        "MISS/REF",
+        "MISS ref faults",
+    ]);
     for r in rows {
         let ratio = if r.ref_page_ins > 0 {
             r.miss_page_ins as f64 / r.ref_page_ins as f64

@@ -32,6 +32,20 @@ pub struct CrossoverRow {
     pub elapsed_secs: f64,
 }
 
+impl CrossoverRow {
+    /// The artifact encoding of one crossover cell.
+    pub fn to_json(&self) -> spur_harness::Json {
+        use spur_harness::Json;
+        Json::object([
+            ("period", self.period.map_or(Json::Null, Json::from)),
+            ("policy", Json::from(self.policy.to_string())),
+            ("page_ins", Json::from(self.page_ins)),
+            ("ref_faults", Json::from(self.ref_faults)),
+            ("elapsed_secs", Json::from(self.elapsed_secs)),
+        ])
+    }
+}
+
 /// Runs one (period, policy) point.
 ///
 /// # Errors
@@ -87,7 +101,14 @@ pub fn crossover_sweep(
 /// Renders the sweep with elapsed times relative to each period's MISS.
 pub fn render_crossover(rows: &[CrossoverRow]) -> String {
     let mut t = Table::new("Daemon period vs reference-bit policy (elapsed rel. to MISS)");
-    t.headers(&["period", "policy", "page-ins", "ref faults", "elapsed(s)", "vs MISS"]);
+    t.headers(&[
+        "period",
+        "policy",
+        "page-ins",
+        "ref faults",
+        "elapsed(s)",
+        "vs MISS",
+    ]);
     for r in rows {
         let base = rows
             .iter()
@@ -95,7 +116,8 @@ pub fn render_crossover(rows: &[CrossoverRow]) -> String {
             .expect("every period has a MISS row")
             .elapsed_secs;
         t.row(vec![
-            r.period.map_or("off".to_string(), |p| format!("{}k", p / 1000)),
+            r.period
+                .map_or("off".to_string(), |p| format!("{}k", p / 1000)),
             r.policy.to_string(),
             r.page_ins.to_string(),
             r.ref_faults.to_string(),
@@ -120,17 +142,28 @@ mod tests {
             dev_refs_per_hour: 0,
         };
         let w = workload1();
-        let rows =
-            crossover_sweep(&w, MemSize::MB8, &[None, Some(200_000)], &scale).unwrap();
+        let rows = crossover_sweep(&w, MemSize::MB8, &[None, Some(200_000)], &scale).unwrap();
 
         // Pressure-only: the policies are near parity at 8 MB.
-        let off_miss = rows.iter().find(|r| r.period.is_none() && r.policy == RefPolicy::Miss).unwrap();
-        let off_noref = rows.iter().find(|r| r.period.is_none() && r.policy == RefPolicy::Noref).unwrap();
+        let off_miss = rows
+            .iter()
+            .find(|r| r.period.is_none() && r.policy == RefPolicy::Miss)
+            .unwrap();
+        let off_noref = rows
+            .iter()
+            .find(|r| r.period.is_none() && r.policy == RefPolicy::Noref)
+            .unwrap();
         assert!(off_noref.elapsed_secs <= off_miss.elapsed_secs * 1.15);
 
         // Periodic: NOREF must beat MISS (the paper's crossover).
-        let on_miss = rows.iter().find(|r| r.period.is_some() && r.policy == RefPolicy::Miss).unwrap();
-        let on_noref = rows.iter().find(|r| r.period.is_some() && r.policy == RefPolicy::Noref).unwrap();
+        let on_miss = rows
+            .iter()
+            .find(|r| r.period.is_some() && r.policy == RefPolicy::Miss)
+            .unwrap();
+        let on_noref = rows
+            .iter()
+            .find(|r| r.period.is_some() && r.policy == RefPolicy::Noref)
+            .unwrap();
         assert!(
             on_noref.elapsed_secs < on_miss.elapsed_secs,
             "NOREF ({}) must beat MISS ({}) under a periodic daemon",

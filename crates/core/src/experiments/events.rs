@@ -27,6 +27,18 @@ pub struct EventRow {
     pub events: EventCounts,
 }
 
+impl EventRow {
+    /// The artifact encoding of one Table 3.3 cell.
+    pub fn to_json(&self) -> spur_harness::Json {
+        use spur_harness::Json;
+        Json::object([
+            ("workload", Json::from(self.workload.as_str())),
+            ("mem_mb", Json::from(self.mem.megabytes())),
+            ("events", self.events.to_json()),
+        ])
+    }
+}
+
 /// Runs the canonical event-measurement configuration for one
 /// (workload, memory) point.
 ///

@@ -21,8 +21,8 @@ pub mod refbit;
 pub mod sweep;
 
 pub use ablation::{
-    flush_cost_comparison, handler_tuning, miss_approximation_vs_cache_size, sun3_overhead,
-    tdc_sensitivity,
+    flush_cost_comparison, handler_tuning, measure_cache_scaling_point,
+    miss_approximation_vs_cache_size, sun3_overhead, tdc_sensitivity,
 };
 pub use crossover::{crossover_sweep, measure_crossover, CrossoverRow};
 pub use events::{measure_events, table_3_3, EventRow};
@@ -30,7 +30,7 @@ pub use mp::{measure_mp, mp_sweep, MpRow};
 pub use overhead::{model_vs_measured, table_3_4, OverheadRow};
 pub use pageout::{table_3_5, PageoutRow};
 pub use refbit::{table_4_1, RefbitRow};
-pub use sweep::{memory_sweep, tlb_size_sweep, MemorySweepRow, TlbSweepRow};
+pub use sweep::{measure_tlb_point, memory_sweep, tlb_size_sweep, MemorySweepRow, TlbSweepRow};
 
 /// How big an experiment run is.
 ///

@@ -83,9 +83,8 @@ pub fn mp_sweep(scale: &Scale, cpu_counts: &[usize]) -> Result<Vec<MpRow>> {
 
 /// Renders the sweep.
 pub fn render_mp(rows: &[MpRow]) -> String {
-    let mut t = Table::new(
-        "Multiprocessor reference-bit maintenance (workers share a 1 MB region)",
-    );
+    let mut t =
+        Table::new("Multiprocessor reference-bit maintenance (workers share a 1 MB region)");
     t.headers(&[
         "CPUs",
         "Policy",

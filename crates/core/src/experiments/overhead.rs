@@ -28,13 +28,17 @@ pub struct OverheadRow {
 impl OverheadRow {
     /// The overhead of one policy.
     pub fn overhead(&self, policy: DirtyPolicy) -> Cycles {
-        let i = DirtyPolicy::ALL.iter().position(|p| *p == policy).expect("policy in ALL");
+        let i = DirtyPolicy::ALL
+            .iter()
+            .position(|p| *p == policy)
+            .expect("policy in ALL");
         self.overheads[i]
     }
 
     /// Overhead relative to `MIN`, the paper's parenthesized numbers.
     pub fn relative(&self, policy: DirtyPolicy) -> f64 {
-        self.overhead(policy).relative_to(self.overhead(DirtyPolicy::Min))
+        self.overhead(policy)
+            .relative_to(self.overhead(DirtyPolicy::Min))
     }
 }
 
@@ -62,7 +66,9 @@ pub fn render_table_3_4(rows: &[OverheadRow]) -> String {
         "Table 3.4: Overhead of Dirty Bit Alternatives (Excluding Zero-Fills), \
          millions of cycles (relative to MIN)",
     );
-    t.headers(&["Workload", "Size(MB)", "MIN", "FAULT", "FLUSH", "SPUR", "WRITE"]);
+    t.headers(&[
+        "Workload", "Size(MB)", "MIN", "FAULT", "FLUSH", "SPUR", "WRITE",
+    ]);
     for r in rows {
         let cell = |p: DirtyPolicy| {
             format!(
@@ -119,7 +125,13 @@ pub fn model_vs_measured(rows: &[EventRow]) -> Vec<ModelRow> {
 /// Renders the model-vs-measured comparison.
 pub fn render_model(rows: &[ModelRow]) -> String {
     let mut t = Table::new("Footnote 3: Geometric Excess-Fault Model vs Measurement");
-    t.headers(&["Workload", "Size(MB)", "p_w", "predicted N_ef/N_ds", "measured N_ef/N_ds"]);
+    t.headers(&[
+        "Workload",
+        "Size(MB)",
+        "p_w",
+        "predicted N_ef/N_ds",
+        "measured N_ef/N_ds",
+    ]);
     for r in rows {
         t.row(vec![
             r.workload.clone(),

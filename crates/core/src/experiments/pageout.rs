@@ -36,6 +36,26 @@ pub struct PageoutRow {
     pub pct_additional_io: f64,
 }
 
+impl PageoutRow {
+    /// The artifact encoding of one Table 3.5 row.
+    pub fn to_json(&self) -> spur_harness::Json {
+        use spur_harness::Json;
+        Json::object([
+            ("host", Json::from(self.host.as_str())),
+            ("mem_mb", Json::from(self.mem.megabytes())),
+            ("uptime_hours", Json::from(self.uptime_hours)),
+            ("page_ins", Json::from(self.page_ins)),
+            (
+                "potentially_modified",
+                Json::from(self.potentially_modified),
+            ),
+            ("not_modified", Json::from(self.not_modified)),
+            ("pct_not_modified", Json::from(self.pct_not_modified)),
+            ("pct_additional_io", Json::from(self.pct_additional_io)),
+        ])
+    }
+}
+
 /// Simulates one development machine for its observed uptime.
 ///
 /// # Errors

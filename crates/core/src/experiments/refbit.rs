@@ -36,6 +36,25 @@ pub struct RefbitRow {
     pub elapsed_sample: Sample,
 }
 
+impl RefbitRow {
+    /// The artifact encoding of one Table 4.1 cell: the means plus the
+    /// repetition spread.
+    pub fn to_json(&self) -> spur_harness::Json {
+        use spur_harness::Json;
+        Json::object([
+            ("workload", Json::from(self.workload.as_str())),
+            ("mem_mb", Json::from(self.mem.megabytes())),
+            ("policy", Json::from(self.policy.to_string())),
+            ("page_ins", Json::from(self.page_ins)),
+            ("elapsed_secs", Json::from(self.elapsed_secs)),
+            ("ref_faults", Json::from(self.ref_faults)),
+            ("reps", Json::from(self.page_ins_sample.n())),
+            ("page_ins_stddev", Json::from(self.page_ins_sample.stddev())),
+            ("elapsed_stddev", Json::from(self.elapsed_sample.stddev())),
+        ])
+    }
+}
+
 /// Runs one (workload, memory, policy) point, averaged over
 /// `scale.reps` seeds.
 ///
@@ -113,9 +132,7 @@ pub fn render_table_4_1(rows: &[RefbitRow]) -> String {
         // Find this row's MISS baseline.
         let baseline = rows
             .iter()
-            .find(|b| {
-                b.workload == r.workload && b.mem == r.mem && b.policy == RefPolicy::Miss
-            })
+            .find(|b| b.workload == r.workload && b.mem == r.mem && b.policy == RefPolicy::Miss)
             .expect("every group has a MISS row");
         let rel_pi = if baseline.page_ins > 0.0 {
             100.0 * r.page_ins / baseline.page_ins
@@ -128,7 +145,11 @@ pub fn render_table_4_1(rows: &[RefbitRow]) -> String {
             100.0
         };
         let pi_cell = if r.page_ins_sample.n() > 1 {
-            format!("{:.0} ±{:.0}", r.page_ins, r.page_ins_sample.ci95_half_width())
+            format!(
+                "{:.0} ±{:.0}",
+                r.page_ins,
+                r.page_ins_sample.ci95_half_width()
+            )
         } else {
             format!("{:.0}", r.page_ins)
         };

@@ -48,7 +48,15 @@ pub fn memory_sweep(
 /// Renders the memory sweep.
 pub fn render_memory_sweep(rows: &[MemorySweepRow]) -> String {
     let mut t = Table::new("Page-ins and elapsed seconds vs memory size");
-    t.headers(&["MB", "MISS pg-in", "REF pg-in", "NOREF pg-in", "MISS s", "REF s", "NOREF s"]);
+    t.headers(&[
+        "MB",
+        "MISS pg-in",
+        "REF pg-in",
+        "NOREF pg-in",
+        "MISS s",
+        "REF s",
+        "NOREF s",
+    ]);
     for r in rows {
         let mut cells = vec![r.mem.megabytes().to_string()];
         for p in &r.policies {
@@ -77,6 +85,51 @@ pub struct TlbSweepRow {
     pub elapsed_secs: f64,
 }
 
+impl TlbSweepRow {
+    /// The artifact encoding of one TLB-sweep cell.
+    pub fn to_json(&self) -> spur_harness::Json {
+        use spur_harness::Json;
+        Json::object([
+            ("entries", Json::from(self.entries)),
+            ("flush_on_switch", Json::from(self.flush_on_switch)),
+            ("tlb_misses", Json::from(self.tlb_misses)),
+            ("hit_ratio", Json::from(self.hit_ratio)),
+            ("elapsed_secs", Json::from(self.elapsed_secs)),
+        ])
+    }
+}
+
+/// Runs one (TLB entries, flush-on-switch) point of the baseline
+/// sweep — the cell the experiment harness schedules.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_tlb_point(
+    workload: &Workload,
+    mem: MemSize,
+    entries: usize,
+    flush_on_switch: bool,
+    scale: &Scale,
+) -> Result<TlbSweepRow> {
+    let mut sys = TlbSystem::new(TlbConfig {
+        mem,
+        entries,
+        flush_on_switch,
+        ..TlbConfig::default()
+    })?;
+    sys.load_workload(workload)?;
+    let mut gen = workload.generator(scale.seed);
+    sys.run(&mut gen, scale.refs)?;
+    Ok(TlbSweepRow {
+        entries,
+        flush_on_switch,
+        tlb_misses: sys.tlb_misses(),
+        hit_ratio: sys.tlb_hit_ratio(),
+        elapsed_secs: sys.cycles().seconds(150),
+    })
+}
+
 /// Sweeps the baseline machine's TLB size (tagged and untagged).
 ///
 /// # Errors
@@ -91,22 +144,13 @@ pub fn tlb_size_sweep(
     let mut rows = Vec::new();
     for &entries in sizes {
         for flush_on_switch in [false, true] {
-            let mut sys = TlbSystem::new(TlbConfig {
+            rows.push(measure_tlb_point(
+                workload,
                 mem,
                 entries,
                 flush_on_switch,
-                ..TlbConfig::default()
-            })?;
-            sys.load_workload(workload)?;
-            let mut gen = workload.generator(scale.seed);
-            sys.run(&mut gen, scale.refs)?;
-            rows.push(TlbSweepRow {
-                entries,
-                flush_on_switch,
-                tlb_misses: sys.tlb_misses(),
-                hit_ratio: sys.tlb_hit_ratio(),
-                elapsed_secs: sys.cycles().seconds(150),
-            });
+                scale,
+            )?);
         }
     }
     Ok(rows)
@@ -115,7 +159,13 @@ pub fn tlb_size_sweep(
 /// Renders the TLB sweep.
 pub fn render_tlb_sweep(rows: &[TlbSweepRow]) -> String {
     let mut t = Table::new("Conventional baseline: TLB reach sensitivity");
-    t.headers(&["entries", "switch flush", "TLB misses", "hit ratio", "elapsed(s)"]);
+    t.headers(&[
+        "entries",
+        "switch flush",
+        "TLB misses",
+        "hit ratio",
+        "elapsed(s)",
+    ]);
     for r in rows {
         t.row(vec![
             r.entries.to_string(),
@@ -149,7 +199,10 @@ mod tests {
         assert_eq!(rows.len(), 2);
         let small = rows[0].policies[0].page_ins;
         let large = rows[1].policies[0].page_ins;
-        assert!(large <= small, "MISS page-ins: {small} @4MB vs {large} @8MB");
+        assert!(
+            large <= small,
+            "MISS page-ins: {small} @4MB vs {large} @8MB"
+        );
         let text = render_memory_sweep(&rows);
         assert!(text.contains("NOREF pg-in"));
     }
@@ -159,8 +212,14 @@ mod tests {
         let w = slc();
         let rows = tlb_size_sweep(&w, MemSize::MB8, &[16, 256], &tiny()).unwrap();
         assert_eq!(rows.len(), 4);
-        let small_tagged = rows.iter().find(|r| r.entries == 16 && !r.flush_on_switch).unwrap();
-        let big_tagged = rows.iter().find(|r| r.entries == 256 && !r.flush_on_switch).unwrap();
+        let small_tagged = rows
+            .iter()
+            .find(|r| r.entries == 16 && !r.flush_on_switch)
+            .unwrap();
+        let big_tagged = rows
+            .iter()
+            .find(|r| r.entries == 256 && !r.flush_on_switch)
+            .unwrap();
         assert!(
             big_tagged.tlb_misses < small_tagged.tlb_misses,
             "more entries must miss less: {} vs {}",

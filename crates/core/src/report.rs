@@ -2,6 +2,8 @@
 
 use core::fmt::Write as _;
 
+use spur_harness::Json;
+
 /// A simple aligned-column text table.
 ///
 /// ```
@@ -76,7 +78,12 @@ impl Table {
         let mut out = String::new();
         if !self.headers.is_empty() {
             out.push_str(
-                &self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","),
+                &self
+                    .headers
+                    .iter()
+                    .map(|h| esc(h))
+                    .collect::<Vec<_>>()
+                    .join(","),
             );
             out.push('\n');
         }
@@ -87,11 +94,34 @@ impl Table {
         out
     }
 
+    /// Renders the table as a JSON object for the artifact layer:
+    /// `{"title": ..., "headers": [...], "rows": [[...], ...]}`. Cells
+    /// stay strings — the table is a rendering of already-typed data,
+    /// and string cells keep the encoding deterministic.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("title", Json::from(self.title.as_str())),
+            (
+                "headers",
+                Json::array(self.headers.iter().map(|h| Json::from(h.as_str()))),
+            ),
+            (
+                "rows",
+                Json::array(
+                    self.rows
+                        .iter()
+                        .map(|row| Json::array(row.iter().map(|c| Json::from(c.as_str())))),
+                ),
+            ),
+        ])
+    }
+
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
-        let ncols = self.headers.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -203,6 +233,18 @@ mod tests {
         assert_eq!(lines[0], "a,b");
         assert_eq!(lines[1], "\"1,5\",plain");
         assert_eq!(lines[2], "\"say \"\"hi\"\"\",x");
+    }
+
+    #[test]
+    fn json_output_carries_title_headers_and_rows() {
+        let mut t = Table::new("Table J");
+        t.headers(&["a", "b"]);
+        t.row(vec!["1".into(), "x \"quoted\"".into()]);
+        let json = t.to_json().encode();
+        assert_eq!(
+            json,
+            r#"{"title":"Table J","headers":["a","b"],"rows":[["1","x \"quoted\""]]}"#
+        );
     }
 
     #[test]

@@ -98,8 +98,14 @@ impl Sample {
         if self.n < 2 {
             return 0.0;
         }
-        const T: [f64; 9] = [12.71, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262];
-        let t = if self.n - 2 < T.len() { T[self.n - 2] } else { 1.96 };
+        const T: [f64; 9] = [
+            12.71, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        ];
+        let t = if self.n - 2 < T.len() {
+            T[self.n - 2]
+        } else {
+            1.96
+        };
         t * self.stddev() / (self.n as f64).sqrt()
     }
 
@@ -121,7 +127,13 @@ impl Default for Sample {
 
 impl fmt::Display for Sample {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.2} ± {:.2} (n={})", self.mean(), self.ci95_half_width(), self.n)
+        write!(
+            f,
+            "{:.2} ± {:.2} (n={})",
+            self.mean(),
+            self.ci95_half_width(),
+            self.n
+        )
     }
 }
 

@@ -465,7 +465,8 @@ impl SpurSystem {
                         // line goes too, so refill it for the write.
                         let stats = self.caches[cpu].flush_page_tag_checked(vpn);
                         self.counters.record(CounterEvent::PageFlush);
-                        self.counters.record_n(CounterEvent::Writeback, stats.written_back);
+                        self.counters
+                            .record_n(CounterEvent::Writeback, stats.written_back);
                         self.charge(CycleCategory::DirtyBit, costs.t_flush);
                         self.fill_for_write(cpu, addr, Protection::ReadWrite, true);
                         return Ok(());
@@ -509,7 +510,10 @@ impl SpurSystem {
                 .vm
                 .kind_of(vpn)
                 .ok_or_else(|| Error::BadWorkload(format!("{addr} is in no region")))?;
-            let init = self.config.dirty.initial_protection(kindp.natural_protection());
+            let init = self
+                .config
+                .dirty
+                .initial_protection(kindp.natural_protection());
             // The daemon flushes replaced pages out of *every* cache.
             let mut ctx = VmCtx::new(&mut self.caches, &mut self.counters);
             self.vm.fault_in(vpn, init, &mut ctx)?;
@@ -583,7 +587,8 @@ impl SpurSystem {
                     if self.config.dirty == DirtyPolicy::Flush {
                         let stats = self.caches[cpu].flush_page_tag_checked(vpn);
                         self.counters.record(CounterEvent::PageFlush);
-                        self.counters.record_n(CounterEvent::Writeback, stats.written_back);
+                        self.counters
+                            .record_n(CounterEvent::Writeback, stats.written_back);
                         self.charge(CycleCategory::DirtyBit, costs.t_flush);
                     }
                 }
@@ -649,7 +654,8 @@ impl SpurSystem {
         }
         *self.fault_breakdown.entry((kind, zf)).or_insert(0) += 1;
         self.vm.mark_dirty(vpn);
-        self.vm.update_pte(vpn, |p| p.set_protection(Protection::ReadWrite));
+        self.vm
+            .update_pte(vpn, |p| p.set_protection(Protection::ReadWrite));
         Ok(true)
     }
 
@@ -660,7 +666,10 @@ impl SpurSystem {
             self.counters.record(CounterEvent::Eviction);
             if ev.block_dirty {
                 self.counters.record(CounterEvent::Writeback);
-                self.charge(CycleCategory::MissService, self.config.costs.flush_writeback);
+                self.charge(
+                    CycleCategory::MissService,
+                    self.config.costs.flush_writeback,
+                );
             }
         }
     }
@@ -672,7 +681,10 @@ impl SpurSystem {
             self.counters.record(CounterEvent::Eviction);
             if ev.block_dirty {
                 self.counters.record(CounterEvent::Writeback);
-                self.charge(CycleCategory::MissService, self.config.costs.flush_writeback);
+                self.charge(
+                    CycleCategory::MissService,
+                    self.config.costs.flush_writeback,
+                );
             }
         }
     }
@@ -885,7 +897,11 @@ mod tests {
             s.run(&mut w.generator(7), 300_000).unwrap();
             elapsed.push((policy, s.cycles()));
         }
-        let min = elapsed.iter().find(|(p, _)| *p == DirtyPolicy::Min).unwrap().1;
+        let min = elapsed
+            .iter()
+            .find(|(p, _)| *p == DirtyPolicy::Min)
+            .unwrap()
+            .1;
         for (p, c) in &elapsed {
             assert!(*c >= min, "{p} must not beat MIN");
         }

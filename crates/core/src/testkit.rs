@@ -57,10 +57,7 @@ impl Scenario {
     ///
     /// Propagates configuration errors.
     pub fn with_policies(dirty: DirtyPolicy, ref_policy: RefPolicy) -> Result<Self> {
-        let workload = Workload::build(
-            "scenario",
-            vec![ProcessSpec::new("script", 8, 64, 8, 8)],
-        )?;
+        let workload = Workload::build("scenario", vec![ProcessSpec::new("script", 8, 64, 8, 8)])?;
         let heap = workload.proc_regions(0).heap;
         let code = workload.proc_regions(0).code;
         let mut sim = SpurSystem::new(SimConfig {

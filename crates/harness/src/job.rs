@@ -1,0 +1,128 @@
+//! Jobs: one experiment cell each, with a stable key.
+
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// One schedulable experiment cell.
+///
+/// The key is the cell's stable identity: it names the artifact file,
+/// orders the results (parallel runs collect into key order), and is
+/// how callers look the result back up after the run. Keys must be
+/// unique within a run.
+pub struct Job<T> {
+    /// Stable cell identity, e.g. `"table_4_1/SLC/5MB/MISS"`.
+    pub key: String,
+    pub(crate) run: Box<dyn FnOnce() -> Result<JobOutput<T>, String> + Send>,
+}
+
+impl<T> Job<T> {
+    /// Wraps a closure as a job. The closure returns the typed value
+    /// the caller will assemble tables from, plus its JSON artifact;
+    /// `Err(reason)` records a failure without panicking.
+    pub fn new(
+        key: impl Into<String>,
+        run: impl FnOnce() -> Result<JobOutput<T>, String> + Send + 'static,
+    ) -> Self {
+        Job {
+            key: key.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+impl<T: 'static> Job<T> {
+    /// Wraps the job's typed value through `f`, keeping the key and
+    /// artifact. This is how heterogeneous cells (events, page-outs,
+    /// reference-bit rows) join one run under a shared enum.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U + Send + 'static) -> Job<U> {
+        let run = self.run;
+        Job {
+            key: self.key,
+            run: Box::new(move || run().map(|out| JobOutput::new(f(out.value), out.artifact))),
+        }
+    }
+}
+
+impl<T> core::fmt::Debug for Job<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Job")
+            .field("key", &self.key)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a successful job produces: the typed value for in-process
+/// assembly and the JSON artifact that is persisted for machines.
+///
+/// The artifact must be a pure function of the cell's inputs — wall
+/// times and other nondeterminism belong in the run manifest, not
+/// here, so that per-job artifacts are byte-identical however many
+/// workers ran the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput<T> {
+    /// The typed result, consumed by table assembly.
+    pub value: T,
+    /// The machine-readable result, persisted to the artifact file.
+    pub artifact: Json,
+}
+
+impl<T> JobOutput<T> {
+    /// Pairs a value with its artifact.
+    pub fn new(value: T, artifact: Json) -> Self {
+        JobOutput { value, artifact }
+    }
+}
+
+/// How a job failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The job returned `Err`.
+    Error,
+    /// The job panicked; the panic was caught and the sweep continued.
+    Panic,
+}
+
+impl FailureKind {
+    /// The manifest encoding of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Error => "error",
+            FailureKind::Panic => "panic",
+        }
+    }
+}
+
+/// A recorded job failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Error vs caught panic.
+    pub kind: FailureKind,
+    /// The error string or panic payload.
+    pub reason: String,
+}
+
+/// One finished job: outcome plus scheduling metadata.
+#[derive(Debug)]
+pub struct CompletedJob<T> {
+    /// The job's stable key.
+    pub key: String,
+    /// Submission index (the serial execution order).
+    pub index: usize,
+    /// The result or recorded failure.
+    pub outcome: Result<JobOutput<T>, JobFailure>,
+    /// Wall-clock execution time of this cell.
+    pub wall: Duration,
+}
+
+impl<T> CompletedJob<T> {
+    /// The typed value, if the job succeeded.
+    pub fn value(&self) -> Option<&T> {
+        self.outcome.as_ref().ok().map(|o| &o.value)
+    }
+
+    /// The failure record, if the job failed.
+    pub fn failure(&self) -> Option<&JobFailure> {
+        self.outcome.as_ref().err()
+    }
+}

@@ -1,0 +1,296 @@
+//! A minimal JSON value type and encoder.
+//!
+//! The build environment cannot reach a crate registry, so the artifact
+//! layer cannot use serde; this hand-rolled encoder covers the subset
+//! the harness needs. Design points:
+//!
+//! * **Objects preserve insertion order** (they are a `Vec` of pairs,
+//!   not a map), so encoding is deterministic — a requirement for the
+//!   byte-identical parallel-vs-serial artifact guarantee.
+//! * **Non-finite floats encode as `null`.** JSON has no NaN/Infinity
+//!   literal; emitting `null` keeps the output parseable everywhere and
+//!   makes the lossy conversion explicit at the reader rather than
+//!   failing the whole artifact write.
+//! * Integers are carried as `i64`/`u64` and printed exactly — they
+//!   never round-trip through `f64`.
+
+use core::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer, printed exactly.
+    Int(i64),
+    /// An unsigned integer, printed exactly.
+    UInt(u64),
+    /// A float; non-finite values encode as `null`.
+    Float(f64),
+    /// A string, escaped per RFC 8259.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; pairs keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Encodes compactly (no whitespace).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Encodes with two-space indentation and a trailing newline —
+    /// the format the artifact files use.
+    pub fn encode_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(
+                    out,
+                    indent,
+                    depth,
+                    '[',
+                    ']',
+                    items.iter(),
+                    |out, item, d| {
+                        item.write(out, indent, d);
+                    },
+                );
+            }
+            Json::Obj(fields) => {
+                write_seq(
+                    out,
+                    indent,
+                    depth,
+                    '{',
+                    '}',
+                    fields.iter(),
+                    |out, (k, v), d| {
+                        write_escaped(out, k);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        v.write(out, indent, d);
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<i32> for Json {
+    fn from(v: i32) -> Json {
+        Json::Int(v as i64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_encode_exactly() {
+        assert_eq!(Json::Null.encode(), "null");
+        assert_eq!(Json::from(true).encode(), "true");
+        assert_eq!(Json::from(false).encode(), "false");
+        assert_eq!(Json::from(-42i64).encode(), "-42");
+        assert_eq!(Json::from(u64::MAX).encode(), "18446744073709551615");
+        assert_eq!(Json::from(i64::MIN).encode(), "-9223372036854775808");
+        assert_eq!(Json::from(1.5f64).encode(), "1.5");
+        assert_eq!(Json::from(0.1f64).encode(), "0.1");
+    }
+
+    #[test]
+    fn string_escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(Json::from("plain").encode(), "\"plain\"");
+        assert_eq!(Json::from("say \"hi\"").encode(), "\"say \\\"hi\\\"\"");
+        assert_eq!(Json::from("a\\b").encode(), "\"a\\\\b\"");
+        assert_eq!(
+            Json::from("line\nbreak\ttab\r").encode(),
+            "\"line\\nbreak\\ttab\\r\""
+        );
+        assert_eq!(Json::from("\u{8}\u{c}").encode(), "\"\\b\\f\"");
+        // Other control characters use the \u00XX form.
+        assert_eq!(Json::from("\u{1}\u{1f}").encode(), "\"\\u0001\\u001f\"");
+        // Non-ASCII passes through unescaped (JSON is UTF-8).
+        assert_eq!(Json::from("π ≈ 3").encode(), "\"π ≈ 3\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        // Documented policy: JSON has no NaN/Infinity literal, so the
+        // encoder degrades them to null rather than emitting invalid
+        // output or panicking mid-artifact.
+        assert_eq!(Json::from(f64::NAN).encode(), "null");
+        assert_eq!(Json::from(f64::INFINITY).encode(), "null");
+        assert_eq!(Json::from(f64::NEG_INFINITY).encode(), "null");
+        let arr = Json::array([Json::from(1.0), Json::from(f64::NAN)]);
+        assert_eq!(arr.encode(), "[1,null]");
+    }
+
+    #[test]
+    fn nested_objects_and_arrays_encode_in_order() {
+        let v = Json::object([
+            ("b", Json::from(1u64)),
+            (
+                "a",
+                Json::array([Json::from("x"), Json::object([("k", Json::Null)])]),
+            ),
+        ]);
+        // Insertion order is preserved: "b" stays first.
+        assert_eq!(v.encode(), r#"{"b":1,"a":["x",{"k":null}]}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::array([]).encode(), "[]");
+        assert_eq!(Json::object(Vec::<(String, Json)>::new()).encode(), "{}");
+        assert_eq!(Json::array([]).encode_pretty(), "[]\n");
+    }
+
+    #[test]
+    fn pretty_encoding_indents_two_spaces() {
+        let v = Json::object([("k", Json::array([Json::from(1u64), Json::from(2u64)]))]);
+        assert_eq!(v.encode_pretty(), "{\n  \"k\": [\n    1,\n    2\n  ]\n}\n");
+    }
+
+    #[test]
+    fn escaped_keys_encode_like_strings() {
+        let v = Json::object([("quote\"key", Json::from(1u64))]);
+        assert_eq!(v.encode(), "{\"quote\\\"key\":1}");
+    }
+}

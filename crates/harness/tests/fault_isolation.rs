@@ -1,0 +1,50 @@
+//! End-to-end fault isolation: a panicking cell must become a recorded
+//! failure artifact on disk while every sibling completes and persists
+//! normally.
+
+use std::fs;
+
+use spur_harness::{run_jobs, write_run, FailureKind, Job, JobOutput, Json};
+
+#[test]
+fn panicking_job_yields_failure_artifact_and_siblings_survive() {
+    let mut jobs: Vec<Job<u64>> = (0..6u64)
+        .map(|i| {
+            Job::new(format!("cell/{i}"), move || {
+                Ok(JobOutput::new(i, Json::object([("value", Json::from(i))])))
+            })
+        })
+        .collect();
+    jobs.push(Job::new("cell/poison", || {
+        panic!("simulated simulator bug: invariant violated at ref 42")
+    }));
+
+    // Quiet the default hook for the expected panic; restore after.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_jobs(jobs, 4);
+    std::panic::set_hook(hook);
+
+    // The sweep continued: every sibling completed.
+    assert_eq!(report.len(), 7);
+    assert_eq!(report.ok_count(), 6);
+    let failure = report.get("cell/poison").unwrap().failure().unwrap();
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.reason.contains("invariant violated at ref 42"));
+
+    // The failure persists as a readable artifact.
+    let root = std::env::temp_dir().join(format!("spur-fault-isolation-{}", std::process::id()));
+    let art = write_run(&root, "fault-demo", &report, &[]).unwrap();
+    let poison = fs::read_to_string(art.dir.join("cell-poison.json")).unwrap();
+    assert!(poison.contains("\"status\": \"failed\""));
+    assert!(poison.contains("\"kind\": \"panic\""));
+    assert!(poison.contains("invariant violated at ref 42"));
+
+    let manifest = fs::read_to_string(&art.manifest_path).unwrap();
+    assert!(manifest.contains("\"failures\": [\n    \"cell/poison\"\n  ]"));
+    for i in 0..6 {
+        let sibling = fs::read_to_string(art.dir.join(format!("cell-{i}.json"))).unwrap();
+        assert!(sibling.contains("\"status\": \"ok\""));
+    }
+    fs::remove_dir_all(&root).unwrap();
+}

@@ -137,11 +137,7 @@ impl PageTable {
     ///
     /// Returns [`Error::NoFreeFrames`] if a frame must be wired and memory
     /// is exhausted.
-    pub fn ensure_second_level(
-        &mut self,
-        vpn: Vpn,
-        phys: &mut PhysMemory,
-    ) -> Result<(Pfn, bool)> {
+    pub fn ensure_second_level(&mut self, vpn: Vpn, phys: &mut PhysMemory) -> Result<(Pfn, bool)> {
         let pt_page = self.pte_page_vpn(vpn);
         if let Some(&pfn) = self.second_level.get(&pt_page) {
             return Ok((pfn, false));
@@ -289,8 +285,14 @@ mod tests {
     #[test]
     fn iter_yields_explicit_entries() {
         let mut pt = PageTable::new();
-        pt.insert(Vpn::new(1), Pte::resident(Pfn::new(1), Protection::ReadOnly));
-        pt.insert(Vpn::new(2), Pte::resident(Pfn::new(2), Protection::ReadOnly));
+        pt.insert(
+            Vpn::new(1),
+            Pte::resident(Pfn::new(1), Protection::ReadOnly),
+        );
+        pt.insert(
+            Vpn::new(2),
+            Pte::resident(Pfn::new(2), Protection::ReadOnly),
+        );
         let mut vpns: Vec<_> = pt.iter().map(|(v, _)| v.index()).collect();
         vpns.sort_unstable();
         assert_eq!(vpns, vec![1, 2]);

@@ -231,7 +231,11 @@ mod tests {
         pte.set_referenced(false);
         assert!(pte.valid(), "clearing R must not clear V");
         pte.set_protection(Protection::ReadWrite);
-        assert_eq!(pte.pfn(), Pfn::new(0xfffff), "PR update must not clobber PFN");
+        assert_eq!(
+            pte.pfn(),
+            Pfn::new(0xfffff),
+            "PR update must not clobber PFN"
+        );
     }
 
     #[test]

@@ -87,9 +87,8 @@ impl SegmentMap {
     /// Returns [`Error::BadSegment`] if the selected register is unloaded.
     pub fn translate(&self, addr: ProcAddr) -> Result<GlobalAddr> {
         let seg = addr.segment();
-        let global = self.registers[seg.index()].ok_or_else(|| {
-            Error::BadSegment(format!("register {seg} is not loaded"))
-        })?;
+        let global = self.registers[seg.index()]
+            .ok_or_else(|| Error::BadSegment(format!("register {seg} is not loaded")))?;
         Ok(GlobalAddr::from_parts(global, addr.segment_offset()))
     }
 }

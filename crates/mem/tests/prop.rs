@@ -1,23 +1,26 @@
-//! Property-based tests for the memory substrate.
+//! Randomized tests for the memory substrate, driven by the
+//! repository's deterministic [`SmallRng`] instead of an external
+//! property-testing framework.
 
-use proptest::prelude::*;
 use spur_mem::pagetable::{PageTable, PTES_PER_PAGE};
 use spur_mem::phys::PhysMemory;
 use spur_mem::pte::Pte;
+use spur_types::rng::SmallRng;
 use spur_types::{MemSize, Pfn, Protection, Vpn};
 
-proptest! {
-    /// The raw PTE word is a faithful round-trip encoding of all fields.
-    #[test]
-    fn pte_raw_round_trip(
-        pfn in 0u32..(1 << 20),
-        prot in 0u8..4,
-        c in any::<bool>(),
-        k in any::<bool>(),
-        d in any::<bool>(),
-        r in any::<bool>(),
-        v in any::<bool>(),
-    ) {
+/// The raw PTE word is a faithful round-trip encoding of all fields.
+#[test]
+fn pte_raw_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0x4e40_0001);
+    for _ in 0..512 {
+        let pfn = rng.random_range(0u32..(1 << 20));
+        let prot = rng.random_range(0u8..4);
+        let c: bool = rng.random();
+        let k: bool = rng.random();
+        let d: bool = rng.random();
+        let r: bool = rng.random();
+        let v: bool = rng.random();
+
         let mut pte = Pte::INVALID;
         pte.set_pfn(Pfn::new(pfn));
         pte.set_protection(Protection::from_bits(prot));
@@ -28,43 +31,63 @@ proptest! {
         pte.set_valid(v);
 
         let back = Pte::from_raw(pte.raw());
-        prop_assert_eq!(back.pfn(), Pfn::new(pfn));
-        prop_assert_eq!(back.protection().bits(), prot);
-        prop_assert_eq!(back.coherent(), c);
-        prop_assert_eq!(back.cacheable(), k);
-        prop_assert_eq!(back.dirty(), d);
-        prop_assert_eq!(back.referenced(), r);
-        prop_assert_eq!(back.valid(), v);
+        assert_eq!(back.pfn(), Pfn::new(pfn));
+        assert_eq!(back.protection().bits(), prot);
+        assert_eq!(back.coherent(), c);
+        assert_eq!(back.cacheable(), k);
+        assert_eq!(back.dirty(), d);
+        assert_eq!(back.referenced(), r);
+        assert_eq!(back.valid(), v);
     }
+}
 
-    /// PTE virtual addresses are unique and invertible.
-    #[test]
-    fn pte_vaddr_is_injective(a in 0u64..(1 << 26), b in 0u64..(1 << 26)) {
-        let pt = PageTable::new();
+/// PTE virtual addresses are unique and invertible.
+#[test]
+fn pte_vaddr_is_injective() {
+    let mut rng = SmallRng::seed_from_u64(0x4e40_0002);
+    let pt = PageTable::new();
+    for _ in 0..512 {
+        let a = rng.random_range(0u64..(1 << 26));
+        let b = rng.random_range(0u64..(1 << 26));
         let va = pt.pte_vaddr(Vpn::new(a));
         let vb = pt.pte_vaddr(Vpn::new(b));
-        prop_assert_eq!(va == vb, a == b);
-        prop_assert_eq!(pt.vpn_for_pte_vaddr(va), Some(Vpn::new(a)));
+        assert_eq!(va == vb, a == b);
+        assert_eq!(pt.vpn_for_pte_vaddr(va), Some(Vpn::new(a)));
     }
+}
 
-    /// Consecutive VPNs share a page-table page exactly when they fall in
-    /// the same 1024-entry chunk.
-    #[test]
-    fn pte_page_grouping(vpn in 0u64..(1 << 26) - 1) {
-        let pt = PageTable::new();
+/// Consecutive VPNs share a page-table page exactly when they fall in
+/// the same 1024-entry chunk.
+#[test]
+fn pte_page_grouping() {
+    let mut rng = SmallRng::seed_from_u64(0x4e40_0003);
+    let pt = PageTable::new();
+    for _ in 0..512 {
+        let vpn = rng.random_range(0u64..(1 << 26) - 1);
         let same = pt.pte_page_vpn(Vpn::new(vpn)) == pt.pte_page_vpn(Vpn::new(vpn + 1));
-        prop_assert_eq!(same, (vpn + 1) % PTES_PER_PAGE != 0);
+        assert_eq!(same, !(vpn + 1).is_multiple_of(PTES_PER_PAGE));
     }
+    // The chunk boundary itself, exactly.
+    let edge = PTES_PER_PAGE - 1;
+    assert_ne!(
+        pt.pte_page_vpn(Vpn::new(edge)),
+        pt.pte_page_vpn(Vpn::new(edge + 1))
+    );
+}
 
-    /// Frame accounting is conserved under arbitrary allocate/free
-    /// sequences.
-    #[test]
-    fn frame_accounting_conserved(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+/// Frame accounting is conserved under arbitrary allocate/free
+/// sequences.
+#[test]
+fn frame_accounting_conserved() {
+    let mut rng = SmallRng::seed_from_u64(0x4e40_0004);
+    for _ in 0..32 {
+        let n_ops = rng.random_range(1usize..200);
         let mut pm = PhysMemory::new(MemSize::new(1));
         let total = pm.total_frames();
         let mut held: Vec<Pfn> = Vec::new();
         let mut next_vpn = 0u64;
-        for alloc in ops {
+        for _ in 0..n_ops {
+            let alloc: bool = rng.random();
             if alloc {
                 if let Ok(pfn) = pm.allocate(Vpn::new(next_vpn)) {
                     held.push(pfn);
@@ -73,15 +96,15 @@ proptest! {
             } else if let Some(pfn) = held.pop() {
                 pm.free(pfn);
             }
-            prop_assert_eq!(
+            assert_eq!(
                 pm.free_frames() + pm.in_use_frames() + pm.wired_frames(),
                 total
             );
-            prop_assert_eq!(pm.in_use_frames(), held.len());
+            assert_eq!(pm.in_use_frames(), held.len());
         }
         // Every held frame still knows its owner.
         for pfn in &held {
-            prop_assert!(pm.owner(*pfn).is_some());
+            assert!(pm.owner(*pfn).is_some());
         }
     }
 }

@@ -3,8 +3,7 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use spur_types::rng::SmallRng;
 use spur_types::{AccessKind, GlobalAddr, BLOCKS_PER_PAGE};
 
 use crate::layout::Region;
@@ -305,9 +304,10 @@ impl ProcState {
 
         let file_n = (b.file_hot_pages as f64 * b.phase_shift_frac).ceil() as usize;
         let file_pages = self.file.region.pages;
-        self.file
-            .hot
-            .shift(file_n, (0..file_n as u64).map(|_| rng.random_range(0..file_pages)));
+        self.file.hot.shift(
+            file_n,
+            (0..file_n as u64).map(|_| rng.random_range(0..file_pages)),
+        );
     }
 
     /// A fresh activation: the process restarts as a new program
@@ -367,7 +367,11 @@ impl ProcState {
                     self.read_history.push_back((page, block, which));
                     (self.seg(which).addr_of(page, block), kind)
                 } else {
-                    let cold = if which == Seg::Heap { b.cold_read_frac } else { 0.0 };
+                    let cold = if which == Seg::Heap {
+                        b.cold_read_frac
+                    } else {
+                        0.0
+                    };
                     let (page, block) = self.seg(which).read_step(rng, b.read_burst, cold);
                     (self.seg(which).addr_of(page, block), kind)
                 }
@@ -409,8 +413,10 @@ impl ProcState {
                             // Figure 3.1's scenario: read a second block
                             // first (cached while clean), then write both.
                             let b2 = (b1 + 1 + rng.random_range(0..8)) % BLOCKS_PER_PAGE;
-                            self.pending_ops.push_back((page, b1, Seg::File, AccessKind::Write));
-                            self.pending_ops.push_back((page, b2, Seg::File, AccessKind::Write));
+                            self.pending_ops
+                                .push_back((page, b1, Seg::File, AccessKind::Write));
+                            self.pending_ops
+                                .push_back((page, b2, Seg::File, AccessKind::Write));
                             return (self.file.addr_of(page, b2), AccessKind::Read);
                         }
                         return (self.file.addr_of(page, b1), kind);
@@ -494,7 +500,12 @@ impl TraceGenerator {
     /// restarts, and all-idle gaps.
     fn schedule(&mut self) -> Option<usize> {
         for attempt in 0..self.procs.len() * 64 {
-            if self.quantum_left == 0 || self.procs[self.current].schedule.instance_at(self.global_time).is_none() {
+            if self.quantum_left == 0
+                || self.procs[self.current]
+                    .schedule
+                    .instance_at(self.global_time)
+                    .is_none()
+            {
                 self.current = (self.current + 1) % self.procs.len();
                 self.quantum_left = QUANTUM * self.procs[self.current].weight as u64;
             }

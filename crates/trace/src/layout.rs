@@ -31,8 +31,12 @@ pub enum SegKind {
 
 impl SegKind {
     /// All four kinds.
-    pub const ALL: [SegKind; 4] =
-        [SegKind::Code, SegKind::Heap, SegKind::Stack, SegKind::FileData];
+    pub const ALL: [SegKind; 4] = [
+        SegKind::Code,
+        SegKind::Heap,
+        SegKind::Stack,
+        SegKind::FileData,
+    ];
 }
 
 impl fmt::Display for SegKind {

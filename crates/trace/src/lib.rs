@@ -30,10 +30,10 @@
 pub mod characterize;
 pub mod gen;
 pub mod layout;
-pub mod record;
 pub mod locality;
-pub mod spec;
 pub mod process;
+pub mod record;
+pub mod spec;
 pub mod stream;
 pub mod workloads;
 

@@ -11,8 +11,7 @@
 //!   than not; we model it with a cursor that usually advances to the
 //!   next block and occasionally jumps.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use spur_types::rng::SmallRng;
 
 /// A Zipf(θ) sampler over ranks `0..n`, precomputed as an inverse-CDF
 /// table.
@@ -212,7 +211,6 @@ impl SeqCursor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(0x5eed)

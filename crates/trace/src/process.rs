@@ -123,7 +123,10 @@ impl BehaviorSpec {
         );
         assert!(self.phase_len > 0, "phase_len must be positive");
         assert!(self.code_hot_pages > 0 && self.heap_hot_pages > 0);
-        assert!(self.read_burst > 0 && self.write_burst > 0, "bursts must be positive");
+        assert!(
+            self.read_burst > 0 && self.write_burst > 0,
+            "bursts must be positive"
+        );
     }
 }
 
@@ -159,7 +162,11 @@ impl Schedule {
     pub fn instance_at(&self, t: u64) -> Option<u64> {
         match *self {
             Schedule::AlwaysOn => Some(0),
-            Schedule::Periodic { active, idle, offset } => {
+            Schedule::Periodic {
+                active,
+                idle,
+                offset,
+            } => {
                 let cycle = active + idle;
                 let pos = (t + offset) % cycle;
                 (pos < active).then(|| (t + offset) / cycle)

@@ -85,8 +85,7 @@ impl RecordedTrace {
                 (3, &block.to_le_bytes())
             };
             let pid_changed = count == 0 || r.pid != last_pid;
-            let control =
-                kind_bits(r.kind) | (u8::from(pid_changed) << 2) | (mode << 3);
+            let control = kind_bits(r.kind) | (u8::from(pid_changed) << 2) | (mode << 3);
             bytes.push(control);
             if pid_changed {
                 bytes.extend_from_slice(&r.pid.0.to_le_bytes());

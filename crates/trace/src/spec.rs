@@ -218,7 +218,11 @@ fn apply_directive<'a, I: Iterator<Item = &'a str>>(
             if active == 0 {
                 return Err(bad(line_no, "schedule needs active > 0"));
             }
-            proc.schedule = Schedule::Periodic { active, idle, offset };
+            proc.schedule = Schedule::Periodic {
+                active,
+                idle,
+                offset,
+            };
         }
         other => return Err(bad(line_no, format!("unknown directive {other:?}"))),
     }
@@ -244,7 +248,12 @@ pub fn format_workload(workload: &Workload) -> String {
         if p.weight != 1 {
             out.push_str(&format!("  weight {}\n", p.weight));
         }
-        if let Schedule::Periodic { active, idle, offset } = p.schedule {
+        if let Schedule::Periodic {
+            active,
+            idle,
+            offset,
+        } = p.schedule
+        {
             out.push_str(&format!(
                 "  schedule active={active} idle={idle} offset={offset}\n"
             ));
@@ -260,7 +269,10 @@ pub fn format_workload(workload: &Workload) -> String {
         }
         out.push_str(&format!(
             "  hot code={} heap={} stack={} file={} shared={}\n",
-            b.code_hot_pages, b.heap_hot_pages, b.stack_hot_pages, b.file_hot_pages,
+            b.code_hot_pages,
+            b.heap_hot_pages,
+            b.stack_hot_pages,
+            b.file_hot_pages,
             b.shared_hot_pages
         ));
         out.push_str(&format!(
@@ -294,10 +306,8 @@ mod tests {
 
     #[test]
     fn parses_a_minimal_spec() {
-        let w = parse_workload(
-            "workload T\nprocess a\n  pages code=8 heap=32 stack=8 file=8\n",
-        )
-        .unwrap();
+        let w = parse_workload("workload T\nprocess a\n  pages code=8 heap=32 stack=8 file=8\n")
+            .unwrap();
         assert_eq!(w.name(), "T");
         assert_eq!(w.processes()[0].heap_pages, 32);
     }
@@ -325,7 +335,10 @@ mod tests {
         assert_eq!(p.weight, 2);
         assert_eq!(p.behavior.heap_hot_pages, 40);
         assert!((p.behavior.phase_shift_frac - 0.3).abs() < 1e-12);
-        assert!(matches!(p.schedule, Schedule::Periodic { active: 100000, .. }));
+        assert!(matches!(
+            p.schedule,
+            Schedule::Periodic { active: 100000, .. }
+        ));
         assert_eq!(w.shared_region().unwrap().pages, 64);
 
         // Round trip: format then re-parse.

@@ -59,7 +59,11 @@ impl RefMix {
     /// Panics if all parts are zero.
     pub const fn new(ifetch: u32, read: u32, write: u32) -> Self {
         assert!(ifetch + read + write > 0, "mix must have at least one part");
-        RefMix { ifetch, read, write }
+        RefMix {
+            ifetch,
+            read,
+            write,
+        }
     }
 
     /// The default SPUR-ish mix: half instruction fetches, 35% reads,

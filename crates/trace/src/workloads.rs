@@ -59,7 +59,12 @@ const TEMPORAL_SCALE: u64 = 6;
 
 fn stretch(mut spec: ProcessSpec) -> ProcessSpec {
     spec.behavior.phase_len *= TEMPORAL_SCALE;
-    if let Schedule::Periodic { active, idle, offset } = spec.schedule {
+    if let Schedule::Periodic {
+        active,
+        idle,
+        offset,
+    } = spec.schedule
+    {
         spec.schedule = Schedule::Periodic {
             active: active * TEMPORAL_SCALE,
             idle: idle * TEMPORAL_SCALE,
@@ -344,8 +349,7 @@ pub fn mp_workers(n: usize, shared_pages: u64) -> Workload {
         procs.push(w);
     }
     let procs = procs.into_iter().map(stretch).collect();
-    Workload::build_with_shared("MP-WORKERS", procs, shared_pages)
-        .expect("mp spec is valid")
+    Workload::build_with_shared("MP-WORKERS", procs, shared_pages).expect("mp spec is valid")
 }
 
 /// One of the Sprite development machines observed in Table 3.5.
@@ -365,12 +369,42 @@ impl DevHost {
     /// The six machines of Table 3.5.
     pub fn table_3_5() -> Vec<DevHost> {
         vec![
-            DevHost { name: "mace", mem_mb: 8, uptime_hours: 70, seed: 101 },
-            DevHost { name: "sloth", mem_mb: 8, uptime_hours: 37, seed: 202 },
-            DevHost { name: "mace", mem_mb: 8, uptime_hours: 46, seed: 303 },
-            DevHost { name: "sage", mem_mb: 12, uptime_hours: 45, seed: 404 },
-            DevHost { name: "fenugreek", mem_mb: 12, uptime_hours: 36, seed: 505 },
-            DevHost { name: "murder", mem_mb: 16, uptime_hours: 119, seed: 606 },
+            DevHost {
+                name: "mace",
+                mem_mb: 8,
+                uptime_hours: 70,
+                seed: 101,
+            },
+            DevHost {
+                name: "sloth",
+                mem_mb: 8,
+                uptime_hours: 37,
+                seed: 202,
+            },
+            DevHost {
+                name: "mace",
+                mem_mb: 8,
+                uptime_hours: 46,
+                seed: 303,
+            },
+            DevHost {
+                name: "sage",
+                mem_mb: 12,
+                uptime_hours: 45,
+                seed: 404,
+            },
+            DevHost {
+                name: "fenugreek",
+                mem_mb: 12,
+                uptime_hours: 36,
+                seed: 505,
+            },
+            DevHost {
+                name: "murder",
+                mem_mb: 16,
+                uptime_hours: 119,
+                seed: 606,
+            },
         ]
     }
 }
@@ -502,7 +536,10 @@ mod tests {
         let w = slc();
         assert_eq!(w.name(), "SLC");
         let lisp = &w.processes()[0];
-        assert!(lisp.heap_pages > 4 * lisp.code_pages, "Lisp is heap-dominated");
+        assert!(
+            lisp.heap_pages > 4 * lisp.code_pages,
+            "Lisp is heap-dominated"
+        );
     }
 
     #[test]
@@ -572,8 +609,14 @@ mod tests {
     #[test]
     fn generators_from_different_hosts_differ() {
         let hosts = DevHost::table_3_5();
-        let a: Vec<_> = devmachine(&hosts[0]).generator(hosts[0].seed).take(2000).collect();
-        let b: Vec<_> = devmachine(&hosts[3]).generator(hosts[3].seed).take(2000).collect();
+        let a: Vec<_> = devmachine(&hosts[0])
+            .generator(hosts[0].seed)
+            .take(2000)
+            .collect();
+        let b: Vec<_> = devmachine(&hosts[3])
+            .generator(hosts[3].seed)
+            .take(2000)
+            .collect();
         assert_ne!(a, b);
     }
 }

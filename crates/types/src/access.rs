@@ -24,8 +24,7 @@ impl AccessKind {
     }
 
     /// All three reference kinds, in counter order.
-    pub const ALL: [AccessKind; 3] =
-        [AccessKind::InstrFetch, AccessKind::Read, AccessKind::Write];
+    pub const ALL: [AccessKind; 3] = [AccessKind::InstrFetch, AccessKind::Read, AccessKind::Write];
 }
 
 impl fmt::Display for AccessKind {

@@ -17,9 +17,7 @@
 
 use core::fmt;
 
-use crate::{
-    BLOCKS_PER_PAGE, BLOCK_SHIFT, GLOBAL_ADDR_BITS, PAGE_SHIFT, SEGMENT_SHIFT,
-};
+use crate::{BLOCKS_PER_PAGE, BLOCK_SHIFT, GLOBAL_ADDR_BITS, PAGE_SHIFT, SEGMENT_SHIFT};
 
 /// A 32-bit per-process virtual address.
 ///

@@ -172,8 +172,8 @@ impl SystemConfig {
     /// converted from backplane to processor cycles (rounded up).
     pub fn block_fill_cycles(&self) -> u64 {
         let words = self.block_bytes / 4;
-        let backplane = self.mem_first_word_cycles as u64
-            + (words - 1) * self.mem_next_word_cycles as u64;
+        let backplane =
+            self.mem_first_word_cycles as u64 + (words - 1) * self.mem_next_word_cycles as u64;
         // Scale by the clock ratio, rounding up: the processor stalls for
         // an integral number of its own cycles.
         let num = backplane * self.backplane_cycle_ns as u64;
@@ -192,7 +192,9 @@ impl SystemConfig {
             if v.is_power_of_two() {
                 Ok(())
             } else {
-                Err(Error::InvalidConfig(format!("{name} must be a power of two, got {v}")))
+                Err(Error::InvalidConfig(format!(
+                    "{name} must be a power of two, got {v}"
+                )))
             }
         }
         pow2("cache size", self.cache_bytes)?;
@@ -209,7 +211,9 @@ impl SystemConfig {
             ));
         }
         if self.processor_cycle_ns == 0 || self.backplane_cycle_ns == 0 {
-            return Err(Error::InvalidConfig("cycle times must be positive".to_string()));
+            return Err(Error::InvalidConfig(
+                "cycle times must be positive".to_string(),
+            ));
         }
         Ok(())
     }
@@ -223,19 +227,35 @@ impl Default for SystemConfig {
 
 impl fmt::Display for SystemConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Cache Size            {} Kbytes", self.cache_bytes / 1024)?;
+        writeln!(
+            f,
+            "Cache Size            {} Kbytes",
+            self.cache_bytes / 1024
+        )?;
         writeln!(f, "Associativity         Direct Mapped")?;
         writeln!(f, "Block Size            {} bytes", self.block_bytes)?;
         writeln!(f, "Page Size             {} Kbytes", self.page_bytes / 1024)?;
         writeln!(
             f,
             "Instruction Buffer    {}",
-            if self.instruction_buffer { "Enabled" } else { "Disabled" }
+            if self.instruction_buffer {
+                "Enabled"
+            } else {
+                "Disabled"
+            }
         )?;
         writeln!(f, "Processor cycle time  {}ns", self.processor_cycle_ns)?;
         writeln!(f, "Backplane cycle time  {}ns", self.backplane_cycle_ns)?;
-        writeln!(f, "Time to first word    {} cycles", self.mem_first_word_cycles)?;
-        write!(f, "Time to next word     {} cycles", self.mem_next_word_cycles)
+        writeln!(
+            f,
+            "Time to first word    {} cycles",
+            self.mem_first_word_cycles
+        )?;
+        write!(
+            f,
+            "Time to next word     {} cycles",
+            self.mem_next_word_cycles
+        )
     }
 }
 
@@ -354,7 +374,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_non_power_of_two() {
-        let err = SystemConfig::builder().cache_bytes(100_000).build().unwrap_err();
+        let err = SystemConfig::builder()
+            .cache_bytes(100_000)
+            .build()
+            .unwrap_err();
         assert!(err.to_string().contains("power of two"));
     }
 

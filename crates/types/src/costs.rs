@@ -136,9 +136,21 @@ impl Default for CostParams {
 
 impl fmt::Display for CostParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "t_ds      {:>6}  Time for handler to set dirty bit", self.t_ds)?;
-        writeln!(f, "t_flush   {:>6}  Time to flush page from cache", self.t_flush)?;
-        writeln!(f, "t_dm      {:>6}  Time to update cached dirty bit", self.t_dm)?;
+        writeln!(
+            f,
+            "t_ds      {:>6}  Time for handler to set dirty bit",
+            self.t_ds
+        )?;
+        writeln!(
+            f,
+            "t_flush   {:>6}  Time to flush page from cache",
+            self.t_flush
+        )?;
+        writeln!(
+            f,
+            "t_dm      {:>6}  Time to update cached dirty bit",
+            self.t_dm
+        )?;
         write!(f, "t_dc      {:>6}  Time to check PTE dirty bit", self.t_dc)
     }
 }
@@ -170,8 +182,14 @@ mod tests {
         // Paper: tag-blind flush costs nearly 2000 cycles vs ~500 for the
         // tag-checked variant.
         let blind = c.tag_blind_page_flush(128);
-        assert!(blind > 2 * c.t_flush, "blind flush {blind} should far exceed t_flush");
-        assert!((1500..=2500).contains(&blind), "blind flush {blind} ~ 2000 cycles");
+        assert!(
+            blind > 2 * c.t_flush,
+            "blind flush {blind} should far exceed t_flush"
+        );
+        assert!(
+            (1500..=2500).contains(&blind),
+            "blind flush {blind} ~ 2000 cycles"
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod config;
 pub mod costs;
 pub mod cycles;
 pub mod error;
+pub mod rng;
 
 pub use access::{AccessKind, Protection};
 pub use addr::{BlockNum, GlobalAddr, Pfn, PhysAddr, ProcAddr, SegmentId, Vpn};

@@ -1,69 +1,97 @@
-//! Property-based tests for address arithmetic invariants.
+//! Randomized tests for address arithmetic invariants.
+//!
+//! These were proptest properties; they now draw inputs from the
+//! repository's own deterministic [`SmallRng`] so the workspace builds
+//! with no external dependencies (and failures reproduce exactly).
 
-use proptest::prelude::*;
 use spur_types::addr::{BlockNum, GlobalAddr, PhysAddr, ProcAddr, Vpn};
+use spur_types::rng::SmallRng;
 use spur_types::{BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE};
 
-proptest! {
-    #[test]
-    fn global_addr_reassembles_from_parts(raw in 0u64..(1 << 38)) {
+const CASES: usize = 512;
+
+#[test]
+fn global_addr_reassembles_from_parts() {
+    let mut rng = SmallRng::seed_from_u64(0x7e57_0001);
+    for _ in 0..CASES {
+        let raw = rng.random_range(0u64..(1 << 38));
         let ga = GlobalAddr::new(raw);
         let rebuilt = ga.vpn().base_addr().raw() + ga.page_offset();
-        prop_assert_eq!(rebuilt, raw);
+        assert_eq!(rebuilt, raw);
         let rebuilt_blocks = ga.block().base_addr().raw() + ga.block_offset();
-        prop_assert_eq!(rebuilt_blocks, raw);
+        assert_eq!(rebuilt_blocks, raw);
     }
+}
 
-    #[test]
-    fn segment_and_offset_round_trip(seg in 0u64..256, off in 0u64..(1 << 30)) {
+#[test]
+fn segment_and_offset_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0x7e57_0002);
+    for _ in 0..CASES {
+        let seg = rng.random_range(0u64..256);
+        let off = rng.random_range(0u64..(1 << 30));
         let ga = GlobalAddr::from_parts(seg, off);
-        prop_assert_eq!(ga.global_segment(), seg);
-        prop_assert_eq!(ga.segment_offset(), off);
+        assert_eq!(ga.global_segment(), seg);
+        assert_eq!(ga.segment_offset(), off);
     }
+}
 
-    #[test]
-    fn block_within_page_bounds(raw in 0u64..(1 << 38)) {
+#[test]
+fn block_within_page_bounds() {
+    let mut rng = SmallRng::seed_from_u64(0x7e57_0003);
+    for _ in 0..CASES {
+        let raw = rng.random_range(0u64..(1 << 38));
         let b = GlobalAddr::new(raw).block();
-        prop_assert!(b.within_page() < BLOCKS_PER_PAGE);
-        prop_assert_eq!(
-            b.vpn().block(b.within_page()).index(),
-            b.index()
-        );
+        assert!(b.within_page() < BLOCKS_PER_PAGE);
+        assert_eq!(b.vpn().block(b.within_page()).index(), b.index());
     }
+}
 
-    #[test]
-    fn page_alignment_is_idempotent_and_dominated(raw in 0u64..(1 << 38)) {
+#[test]
+fn page_alignment_is_idempotent_and_dominated() {
+    let mut rng = SmallRng::seed_from_u64(0x7e57_0004);
+    for _ in 0..CASES {
+        let raw = rng.random_range(0u64..(1 << 38));
         let ga = GlobalAddr::new(raw);
         let pa = ga.page_aligned();
-        prop_assert_eq!(pa.page_aligned(), pa);
-        prop_assert!(pa.raw() <= ga.raw());
-        prop_assert!(ga.raw() - pa.raw() < PAGE_SIZE);
+        assert_eq!(pa.page_aligned(), pa);
+        assert!(pa.raw() <= ga.raw());
+        assert!(ga.raw() - pa.raw() < PAGE_SIZE);
         let ba = ga.block_aligned();
-        prop_assert!(ga.raw() - ba.raw() < BLOCK_SIZE);
+        assert!(ga.raw() - ba.raw() < BLOCK_SIZE);
         // Block alignment never crosses below page alignment.
-        prop_assert!(ba.raw() >= pa.raw());
+        assert!(ba.raw() >= pa.raw());
     }
+}
 
-    #[test]
-    fn proc_addr_parts_cover_raw(raw in any::<u32>()) {
+#[test]
+fn proc_addr_parts_cover_raw() {
+    let mut rng = SmallRng::seed_from_u64(0x7e57_0005);
+    for _ in 0..CASES {
+        let raw: u32 = rng.random();
         let pa = ProcAddr::new(raw);
         let rebuilt = ((pa.segment().index() as u64) << 30) | pa.segment_offset();
-        prop_assert_eq!(rebuilt, raw as u64);
+        assert_eq!(rebuilt, raw as u64);
     }
+}
 
-    #[test]
-    fn phys_addr_pfn_round_trip(raw in any::<u32>()) {
+#[test]
+fn phys_addr_pfn_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0x7e57_0006);
+    for _ in 0..CASES {
+        let raw: u32 = rng.random();
         let pa = PhysAddr::new(raw);
-        prop_assert_eq!(pa.pfn().base_addr().raw() + pa.page_offset(), raw);
+        assert_eq!(pa.pfn().base_addr().raw() + pa.page_offset(), raw);
     }
+}
 
-    #[test]
-    fn vpn_block_ordering_is_monotonic(vpn in 0u64..(1 << 26), i in 0u64..127) {
+#[test]
+fn vpn_block_ordering_is_monotonic() {
+    let mut rng = SmallRng::seed_from_u64(0x7e57_0007);
+    for _ in 0..CASES {
+        let vpn = rng.random_range(0u64..(1 << 26));
+        let i = rng.random_range(0u64..127);
         let v = Vpn::new(vpn);
-        prop_assert!(v.block(i).index() < v.block(i + 1).index());
-        prop_assert_eq!(
-            BlockNum::new(v.block(i).index()).vpn(),
-            v
-        );
+        assert!(v.block(i).index() < v.block(i + 1).index());
+        assert_eq!(BlockNum::new(v.block(i).index()).vpn(), v);
     }
 }

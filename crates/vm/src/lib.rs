@@ -35,8 +35,8 @@ pub mod system;
 
 pub use policy::RefPolicy;
 pub use proc::ProcessManager;
-pub use residency::ResidencyStats;
 pub use region::{PageKind, RegionMap};
+pub use residency::ResidencyStats;
 pub use stats::VmStats;
 pub use swap::Swap;
 pub use system::{FaultInOutcome, VmConfig, VmCtx, VmSystem};

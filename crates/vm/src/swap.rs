@@ -213,10 +213,19 @@ mod tests {
     fn zero_fill_reads_only_after_swap_out() {
         let mut swap = Swap::new();
         let vpn = Vpn::new(5);
-        assert!(!swap.fault_in_reads(vpn, PageKind::Stack), "first touch zero-fills");
-        assert!(swap.fault_in_reads(vpn, PageKind::Code), "code always reads");
+        assert!(
+            !swap.fault_in_reads(vpn, PageKind::Stack),
+            "first touch zero-fills"
+        );
+        assert!(
+            swap.fault_in_reads(vpn, PageKind::Code),
+            "code always reads"
+        );
         swap.replace(vpn, PageKind::Stack, true);
-        assert!(swap.fault_in_reads(vpn, PageKind::Stack), "reads after swap-out");
+        assert!(
+            swap.fault_in_reads(vpn, PageKind::Stack),
+            "reads after swap-out"
+        );
     }
 
     #[test]

@@ -21,9 +21,7 @@ use spur_cache::counters::{CounterEvent, PerfCounters};
 use spur_mem::pagetable::PageTable;
 use spur_mem::phys::PhysMemory;
 use spur_mem::pte::Pte;
-use spur_types::{
-    CostParams, Cycles, Error, MemSize, Pfn, Protection, Result, Vpn,
-};
+use spur_types::{CostParams, Cycles, Error, MemSize, Pfn, Protection, Result, Vpn};
 
 use crate::policy::RefPolicy;
 use crate::region::{PageKind, RegionMap};
@@ -584,8 +582,7 @@ impl VmSystem {
         self.stats.flush_writebacks += flush.written_back;
         ctx.counters.record(CounterEvent::PageFlush);
         ctx.daemon_cycles += Cycles::new(
-            flush.probed * self.costs.flush_probe
-                + flush.written_back * self.costs.flush_writeback,
+            flush.probed * self.costs.flush_probe + flush.written_back * self.costs.flush_writeback,
         );
 
         let kind = self
@@ -662,16 +659,19 @@ mod tests {
 
     fn small_vm(policy: RefPolicy) -> VmSystem {
         let config = VmConfig {
-            mem: MemSize::new(1),            // 256 frames
+            mem: MemSize::new(1), // 256 frames
             kernel_reserved_frames: 16,
             free_low_water: 8,
             free_high_water: 24,
             soft_faults: true,
         };
         let mut vm = VmSystem::new(config, CostParams::paper(), policy).unwrap();
-        vm.register_region(Vpn::new(0x1000), 1024, PageKind::Heap).unwrap();
-        vm.register_region(Vpn::new(0x2000), 1024, PageKind::Code).unwrap();
-        vm.register_region(Vpn::new(0x3000), 1024, PageKind::FileData).unwrap();
+        vm.register_region(Vpn::new(0x1000), 1024, PageKind::Heap)
+            .unwrap();
+        vm.register_region(Vpn::new(0x2000), 1024, PageKind::Code)
+            .unwrap();
+        vm.register_region(Vpn::new(0x3000), 1024, PageKind::FileData)
+            .unwrap();
         vm
     }
 
@@ -707,7 +707,9 @@ mod tests {
         let mut vm = small_vm(RefPolicy::Miss);
         let (mut cache, mut ctrs) = ctx_parts();
         let mut ctx = VmCtx::new(&mut cache, &mut ctrs);
-        let out = vm.fault_in(Vpn::new(0x2000), Protection::ReadOnly, &mut ctx).unwrap();
+        let out = vm
+            .fault_in(Vpn::new(0x2000), Protection::ReadOnly, &mut ctx)
+            .unwrap();
         assert!(out.read_from_store);
         assert_eq!(vm.stats().page_ins, 1);
         assert_eq!(ctrs.total(CounterEvent::PageIn), 1);
@@ -749,7 +751,8 @@ mod tests {
         // Make three pages resident.
         for i in 0..3u64 {
             let mut ctx = VmCtx::new(&mut cache, &mut ctrs);
-            vm.fault_in(Vpn::new(0x1000 + i), Protection::ReadWrite, &mut ctx).unwrap();
+            vm.fault_in(Vpn::new(0x1000 + i), Protection::ReadWrite, &mut ctx)
+                .unwrap();
         }
         // All three have R set; a sweep to high water clears bits first,
         // then reclaims on the second rotation.
@@ -853,7 +856,8 @@ mod tests {
         let free = vm.free_frames() + 1;
         for i in 0..free as u64 {
             let mut ctx = VmCtx::new(&mut cache, &mut ctrs);
-            vm.fault_in(Vpn::new(0x1100 + i), Protection::ReadWrite, &mut ctx).unwrap();
+            vm.fault_in(Vpn::new(0x1100 + i), Protection::ReadWrite, &mut ctx)
+                .unwrap();
         }
         let mut ctx = VmCtx::new(&mut cache, &mut ctrs);
         let hard = vm.fault_in(vpn, Protection::ReadWrite, &mut ctx).unwrap();
@@ -866,10 +870,14 @@ mod tests {
         let (mut cache, mut ctrs) = ctx_parts();
         for i in 0..300u64 {
             let mut ctx = VmCtx::new(&mut cache, &mut ctrs);
-            vm.fault_in(Vpn::new(0x2000 + i), Protection::ReadOnly, &mut ctx).unwrap();
+            vm.fault_in(Vpn::new(0x2000 + i), Protection::ReadOnly, &mut ctx)
+                .unwrap();
         }
         assert_eq!(ctrs.total(CounterEvent::PageIn), vm.stats().page_ins);
-        assert_eq!(ctrs.total(CounterEvent::DaemonScan), vm.stats().daemon_scans);
+        assert_eq!(
+            ctrs.total(CounterEvent::DaemonScan),
+            vm.stats().daemon_scans
+        );
         // Architectural check through the mode register:
         let mut hw = PerfCounters::new(CounterMode::VirtualMemory);
         hw.record_n(CounterEvent::PageIn, vm.stats().page_ins);

@@ -1,9 +1,10 @@
-//! Property-based tests for the VM system: accounting invariants under
-//! arbitrary interleavings of faults, daemon sweeps, and clear passes.
+//! Randomized tests for the VM system: accounting invariants under
+//! arbitrary interleavings of faults, daemon sweeps, and clear passes,
+//! driven by the repository's deterministic [`SmallRng`].
 
-use proptest::prelude::*;
 use spur_cache::cache::VirtualCache;
 use spur_cache::counters::PerfCounters;
+use spur_types::rng::SmallRng;
 use spur_types::{CostParams, MemSize, Protection, Vpn};
 use spur_vm::policy::RefPolicy;
 use spur_vm::region::PageKind;
@@ -11,9 +12,9 @@ use spur_vm::system::{VmConfig, VmCtx, VmSystem};
 
 #[derive(Debug, Clone)]
 enum Op {
-    /// Fault in page `heap_base + i`.
+    /// Fault in page `base + i`.
     Fault(u64),
-    /// Mark page `heap_base + i` dirty if resident.
+    /// Mark page `base + i` dirty if resident.
     Dirty(u64),
     /// Pressure sweep toward `free + extra`.
     Sweep(u8),
@@ -21,13 +22,14 @@ enum Op {
     ClearPass,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => (0u64..600).prop_map(Op::Fault),
-        3 => (0u64..600).prop_map(Op::Dirty),
-        1 => (1u8..32).prop_map(Op::Sweep),
-        1 => Just(Op::ClearPass),
-    ]
+fn arb_op(rng: &mut SmallRng) -> Op {
+    // Weighted 6:3:1:1 like the original proptest strategy.
+    match rng.random_range(0u32..11) {
+        0..=5 => Op::Fault(rng.random_range(0u64..600)),
+        6..=8 => Op::Dirty(rng.random_range(0u64..600)),
+        9 => Op::Sweep(rng.random_range(1u8..32)),
+        _ => Op::ClearPass,
+    }
 }
 
 fn build_vm(policy: RefPolicy) -> VmSystem {
@@ -39,30 +41,29 @@ fn build_vm(policy: RefPolicy) -> VmSystem {
         soft_faults: true,
     };
     let mut vm = VmSystem::new(config, CostParams::paper(), policy).unwrap();
-    vm.register_region(Vpn::new(0x5000), 600, PageKind::Heap).unwrap();
-    vm.register_region(Vpn::new(0x6000), 600, PageKind::FileData).unwrap();
+    vm.register_region(Vpn::new(0x5000), 600, PageKind::Heap)
+        .unwrap();
+    vm.register_region(Vpn::new(0x6000), 600, PageKind::FileData)
+        .unwrap();
     vm
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Whatever the interleaving and policy, the VM's frame/clock/queue
-    /// accounting stays exact, and stats stay mutually consistent.
-    #[test]
-    fn vm_invariants_under_random_ops(
-        ops in prop::collection::vec(arb_op(), 1..250),
-        policy_idx in 0usize..3,
-        file_bias in any::<bool>(),
-    ) {
-        let policy = RefPolicy::ALL[policy_idx];
+/// Whatever the interleaving and policy, the VM's frame/clock/queue
+/// accounting stays exact, and stats stay mutually consistent.
+#[test]
+fn vm_invariants_under_random_ops() {
+    let mut rng = SmallRng::seed_from_u64(0x5151_0001);
+    for case in 0..24 {
+        let policy = RefPolicy::ALL[case % 3];
+        let file_bias: bool = rng.random();
+        let n_ops = rng.random_range(1usize..250);
         let mut vm = build_vm(policy);
         let mut cache = VirtualCache::prototype();
         let mut ctrs = PerfCounters::promiscuous();
         let base = if file_bias { 0x6000 } else { 0x5000 };
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match arb_op(&mut rng) {
                 Op::Fault(i) => {
                     let vpn = Vpn::new(base + i);
                     if !vm.is_resident(vpn) {
@@ -87,31 +88,33 @@ proptest! {
                 }
             }
             if let Err(e) = vm.check_invariants() {
-                return Err(TestCaseError::fail(e));
+                panic!("{policy}: {e}");
             }
         }
 
         let stats = vm.stats();
-        prop_assert_eq!(
+        assert_eq!(
             stats.page_faults,
             stats.page_ins + stats.zero_fills + stats.soft_faults
         );
-        prop_assert!(vm.swap().not_modified <= vm.swap().potentially_modified);
+        assert!(vm.swap().not_modified <= vm.swap().potentially_modified);
         // Completed residencies can never exceed reclaims.
-        prop_assert!(vm.residency().count() <= stats.reclaims);
+        assert!(vm.residency().count() <= stats.reclaims);
     }
+}
 
-    /// NOREF runs of the same op sequence never take reference faults and
-    /// never clear bits.
-    #[test]
-    fn noref_daemon_is_inert_about_bits(
-        ops in prop::collection::vec(arb_op(), 1..120),
-    ) {
+/// NOREF runs of the same op sequence never take reference faults and
+/// never clear bits.
+#[test]
+fn noref_daemon_is_inert_about_bits() {
+    let mut rng = SmallRng::seed_from_u64(0x5151_0002);
+    for _ in 0..24 {
+        let n_ops = rng.random_range(1usize..120);
         let mut vm = build_vm(RefPolicy::Noref);
         let mut cache = VirtualCache::prototype();
         let mut ctrs = PerfCounters::promiscuous();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match arb_op(&mut rng) {
                 Op::Fault(i) => {
                     let vpn = Vpn::new(0x5000 + i);
                     if !vm.is_resident(vpn) {
@@ -131,7 +134,7 @@ proptest! {
                 Op::Dirty(_) => {}
             }
         }
-        prop_assert_eq!(vm.stats().ref_clears, 0);
-        prop_assert_eq!(vm.stats().ref_flushes, 0);
+        assert_eq!(vm.stats().ref_clears, 0);
+        assert_eq!(vm.stats().ref_flushes, 0);
     }
 }

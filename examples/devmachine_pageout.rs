@@ -30,10 +30,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let row = measure_host(&host, &scale)?;
 
     println!("page-ins                     {:>8}", row.page_ins);
-    println!("writable pages replaced      {:>8}", row.potentially_modified);
+    println!(
+        "writable pages replaced      {:>8}",
+        row.potentially_modified
+    );
     println!("  of which clean (saved I/O) {:>8}", row.not_modified);
-    println!("percent not modified         {:>7.1}%", row.pct_not_modified);
-    println!("additional I/O without D bit {:>7.1}%", row.pct_additional_io);
+    println!(
+        "percent not modified         {:>7.1}%",
+        row.pct_not_modified
+    );
+    println!(
+        "additional I/O without D bit {:>7.1}%",
+        row.pct_additional_io
+    );
 
     println!(
         "\nWith ~{:.0}% of modifiable pages dirty at replacement, dropping\n\

@@ -13,8 +13,8 @@ use spur_core::experiments::events::measure_events;
 use spur_core::experiments::overhead::direct_elapsed;
 use spur_core::experiments::Scale;
 use spur_core::model::ExcessFaultModel;
-use spur_types::{CostParams, MemSize};
 use spur_trace::workloads::workload1;
+use spur_types::{CostParams, MemSize};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale {
@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let workload = workload1();
     let mem = MemSize::MB6;
-    println!("measuring {} at {mem} ({} references)...\n", workload.name(), scale.refs);
+    println!(
+        "measuring {} at {mem} ({} references)...\n",
+        workload.name(),
+        scale.refs
+    );
 
     // Step 1: one instrumented run (the paper's methodology — the
     // prototype ran its native SPUR mechanism while the counters

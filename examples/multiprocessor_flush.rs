@@ -32,7 +32,12 @@ fn main() {
             bus.processor_read(cpu, page.block(i).base_addr(), Protection::ReadWrite, false);
         }
         for i in 0..12u64 {
-            bus.processor_write(0, page.block(100 + i).base_addr(), Protection::ReadWrite, false);
+            bus.processor_write(
+                0,
+                page.block(100 + i).base_addr(),
+                Protection::ReadWrite,
+                false,
+            );
         }
         bus.check_invariants().expect("protocol safety");
 
@@ -53,7 +58,10 @@ fn main() {
         );
         for c in 0..ncpus {
             assert_eq!(bus.cache(c).resident_blocks_of_page(page), 0);
-            assert_eq!(bus.line_state(c, page.block(0).base_addr()), CoherencyState::Invalid);
+            assert_eq!(
+                bus.line_state(c, page.block(0).base_addr()),
+                CoherencyState::Invalid
+            );
         }
     }
     println!(

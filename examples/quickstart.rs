@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use spur_cache::counters::CounterEvent;
 use spur_core::dirty::DirtyPolicy;
 use spur_core::system::{SimConfig, SpurSystem};
-use spur_cache::counters::CounterEvent;
 use spur_trace::workloads::slc;
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;
@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  N_ds                {:>10}", ev.n_ds);
     println!("  N_zfod              {:>10}", ev.n_zfod);
     println!("  N_ef = N_dm         {:>10}", ev.n_ef);
-    println!("  read-before-write   {:>9.1}%", 100.0 * ev.read_before_write_fraction());
+    println!(
+        "  read-before-write   {:>9.1}%",
+        100.0 * ev.read_before_write_fraction()
+    );
     println!("  modeled elapsed     {:>9.2}s", ev.elapsed_seconds());
     Ok(())
 }

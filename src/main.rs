@@ -103,7 +103,10 @@ fn cmd_table(args: &Args) -> ExitCode {
             }
             Ok(out)
         }
-        "3.2" => Ok(format!("Table 3.2: Time Parameters\n{}", CostParams::paper())),
+        "3.2" => Ok(format!(
+            "Table 3.2: Time Parameters\n{}",
+            CostParams::paper()
+        )),
         "3.3" => events::table_3_3(&scale).map(|r| events::render_table_3_3(&r)),
         "3.4" => events::table_3_3(&scale)
             .map(|r| overhead::render_table_3_4(&overhead::table_3_4(&r, &CostParams::paper()))),
@@ -127,7 +130,10 @@ fn cmd_model(args: &Args) -> ExitCode {
     let scale = scale_of(args);
     match events::table_3_3(&scale) {
         Ok(rows) => {
-            println!("{}", overhead::render_model(&overhead::model_vs_measured(&rows)));
+            println!(
+                "{}",
+                overhead::render_model(&overhead::model_vs_measured(&rows))
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -156,8 +162,14 @@ fn cmd_run(args: &Args) -> ExitCode {
         .flag("refs")
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(2_000_000);
-    let seed = args.flag("seed").and_then(|v| v.parse::<u64>().ok()).unwrap_or(1989);
-    let cpus = args.flag("cpus").and_then(|v| v.parse::<usize>().ok()).unwrap_or(1);
+    let seed = args
+        .flag("seed")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1989);
+    let cpus = args
+        .flag("cpus")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
 
     let mut sim = match SpurSystem::new(SimConfig {
         mem,
@@ -187,8 +199,12 @@ fn cmd_run(args: &Args) -> ExitCode {
     }
     let ev = sim.events();
     println!("{ev}");
-    println!("page-ins {}  soft-faults {}  miss ratio {:.2}%", ev.page_ins,
-        sim.vm().stats().soft_faults, 100.0 * ev.miss_ratio());
+    println!(
+        "page-ins {}  soft-faults {}  miss ratio {:.2}%",
+        ev.page_ins,
+        sim.vm().stats().soft_faults,
+        100.0 * ev.miss_ratio()
+    );
     println!("elapsed decomposition:");
     print!("{}", sim.breakdown().render());
     ExitCode::SUCCESS

@@ -2,10 +2,10 @@
 //! share the VM and the trace, so everything *logical* must agree —
 //! only costs and mechanism-specific event classes may differ.
 
+use spur_cache::counters::CounterEvent as E;
 use spur_core::baseline::{TlbConfig, TlbSystem};
 use spur_core::dirty::DirtyPolicy;
 use spur_core::system::{SimConfig, SpurSystem};
-use spur_cache::counters::CounterEvent as E;
 use spur_trace::workloads::slc;
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;
@@ -45,7 +45,10 @@ fn both_machines_take_identical_necessary_dirty_faults() {
 #[test]
 fn only_the_virtual_cache_has_an_excess_fault_class() {
     let (va, tlb) = run_both(MemSize::MB8, 400_000, 10);
-    assert!(va.counters().total(E::ExcessFault) > 0, "FAULT on a VA cache");
+    assert!(
+        va.counters().total(E::ExcessFault) > 0,
+        "FAULT on a VA cache"
+    );
     assert_eq!(tlb.counters().total(E::ExcessFault), 0);
     assert_eq!(tlb.counters().total(E::DirtyBitMiss), 0);
 }

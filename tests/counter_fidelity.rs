@@ -3,8 +3,8 @@
 //! its deterministic workloads once per mode. Four hardware-faithful
 //! passes must reconstruct exactly what one promiscuous pass records.
 
-use spur_core::system::{SimConfig, SpurSystem};
 use spur_cache::counters::CounterMode;
+use spur_core::system::{SimConfig, SpurSystem};
 use spur_trace::workloads::slc;
 use spur_types::MemSize;
 

@@ -2,9 +2,9 @@
 //! methodology rests on ("synthetic workloads that could be repeated with
 //! different paging policies and memory sizes").
 
+use spur_cache::counters::{CounterEvent, CounterMode, PerfCounters};
 use spur_core::dirty::DirtyPolicy;
 use spur_core::system::{SimConfig, SpurSystem};
-use spur_cache::counters::{CounterEvent, CounterMode, PerfCounters};
 use spur_trace::workloads::slc;
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;

@@ -1,9 +1,9 @@
 //! Cross-crate integration tests: the full trace → cache → translation →
 //! VM pipeline under every policy combination.
 
+use spur_cache::counters::CounterEvent;
 use spur_core::dirty::DirtyPolicy;
 use spur_core::system::{SimConfig, SpurSystem};
-use spur_cache::counters::CounterEvent;
 use spur_trace::workloads::{slc, workload1};
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;
@@ -11,7 +11,11 @@ use spur_vm::policy::RefPolicy;
 const RUN: u64 = 300_000;
 
 fn run_sim(mem: MemSize, dirty: DirtyPolicy, ref_policy: RefPolicy, seed: u64) -> SpurSystem {
-    let workload = if seed.is_multiple_of(2) { slc() } else { workload1() };
+    let workload = if seed.is_multiple_of(2) {
+        slc()
+    } else {
+        workload1()
+    };
     let mut sim = SpurSystem::new(SimConfig {
         mem,
         dirty,
@@ -40,9 +44,8 @@ fn every_policy_combination_upholds_invariants() {
 fn counter_totals_are_internally_consistent() {
     let sim = run_sim(MemSize::MB6, DirtyPolicy::Spur, RefPolicy::Miss, 4);
     let c = sim.counters();
-    let refs = c.total(CounterEvent::IFetch)
-        + c.total(CounterEvent::Read)
-        + c.total(CounterEvent::Write);
+    let refs =
+        c.total(CounterEvent::IFetch) + c.total(CounterEvent::Read) + c.total(CounterEvent::Write);
     assert_eq!(refs, sim.refs());
     let misses = c.total(CounterEvent::IFetchMiss)
         + c.total(CounterEvent::ReadMiss)
@@ -84,7 +87,10 @@ fn events_record_matches_counters() {
     assert_eq!(ev.ref_faults, c.total(CounterEvent::RefFault));
     assert_eq!(ev.refs, sim.refs());
     assert_eq!(ev.misses, sim.misses());
-    assert!(ev.n_zfod <= ev.n_ds, "zfod faults are a subset of dirty faults");
+    assert!(
+        ev.n_zfod <= ev.n_ds,
+        "zfod faults are a subset of dirty faults"
+    );
     assert_eq!(ev.elapsed, sim.cycles());
 }
 
@@ -127,7 +133,11 @@ fn logical_dirty_state_is_policy_independent() {
     // trace (at 8 MB, where policy timing cannot perturb replacement).
     let counts: Vec<u64> = DirtyPolicy::ALL
         .iter()
-        .map(|&dirty| run_sim(MemSize::MB8, dirty, RefPolicy::Miss, 12).events().n_ds)
+        .map(|&dirty| {
+            run_sim(MemSize::MB8, dirty, RefPolicy::Miss, 12)
+                .events()
+                .n_ds
+        })
         .collect();
     for pair in counts.windows(2) {
         assert_eq!(pair[0], pair[1], "necessary faults differ: {counts:?}");
@@ -140,7 +150,10 @@ fn cache_occupancy_stays_bounded_and_dense() {
     let occ = sim.cache().occupancy();
     assert!(occ <= sim.cache().num_lines());
     // After 300k references the 4096-line cache should be mostly full.
-    assert!(occ > sim.cache().num_lines() / 2, "cache oddly empty: {occ}");
+    assert!(
+        occ > sim.cache().num_lines() / 2,
+        "cache oddly empty: {occ}"
+    );
 }
 
 #[test]
@@ -163,8 +176,7 @@ fn cycle_breakdown_sums_to_elapsed() {
     // when its daemon cleared bits or faults fired.
     let r = run_sim(MemSize::MB5, DirtyPolicy::Spur, RefPolicy::Ref, 18);
     let n = run_sim(MemSize::MB5, DirtyPolicy::Spur, RefPolicy::Noref, 18);
-    let r_events = r.counters().total(CounterEvent::RefFault)
-        + r.vm().stats().ref_flushes;
+    let r_events = r.counters().total(CounterEvent::RefFault) + r.vm().stats().ref_flushes;
     assert_eq!(
         r.breakdown()[CycleCategory::RefBit].raw() > 0,
         r_events > 0,

@@ -2,9 +2,9 @@
 //! one bus, shared memory, and the coherence protocol under real
 //! workload traffic.
 
+use spur_cache::counters::CounterEvent;
 use spur_core::dirty::DirtyPolicy;
 use spur_core::system::{SimConfig, SpurSystem};
-use spur_cache::counters::CounterEvent;
 use spur_trace::workloads::mp_workers;
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;

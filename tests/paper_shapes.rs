@@ -37,10 +37,22 @@ fn dirty_bit_overhead_ordering_matches_table_3_4() {
         let write = t.relative(DirtyPolicy::Write);
         assert!((min - 1.0).abs() < 1e-9);
         assert!((spur - 1.03).abs() < 0.02, "{}: SPUR {spur}", row.workload);
-        assert!(spur < fault, "{}: SPUR {spur} !< FAULT {fault}", row.workload);
+        assert!(
+            spur < fault,
+            "{}: SPUR {spur} !< FAULT {fault}",
+            row.workload
+        );
         assert!(fault < 1.45, "{}: FAULT {fault} too costly", row.workload);
-        assert!((flush - 1.50).abs() < 0.01, "{}: FLUSH {flush}", row.workload);
-        assert!(write > fault, "{}: WRITE {write} must beat no one", row.workload);
+        assert!(
+            (flush - 1.50).abs() < 0.01,
+            "{}: FLUSH {flush}",
+            row.workload
+        );
+        assert!(
+            write > fault,
+            "{}: WRITE {write} must beat no one",
+            row.workload
+        );
     }
 }
 
@@ -147,5 +159,8 @@ fn noref_never_takes_reference_faults_and_miss_does() {
     let miss = measure_refbit(&w, MemSize::MB5, RefPolicy::Miss, &scale).unwrap();
     let noref = measure_refbit(&w, MemSize::MB5, RefPolicy::Noref, &scale).unwrap();
     assert_eq!(noref.ref_faults, 0.0);
-    assert!(miss.ref_faults > 0.0, "5 MB pressure must clear some R bits");
+    assert!(
+        miss.ref_faults > 0.0,
+        "5 MB pressure must clear some R bits"
+    );
 }

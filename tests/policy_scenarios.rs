@@ -1,9 +1,9 @@
 //! Scripted policy-interaction scenarios: the corner cases where the
 //! five dirty-bit mechanisms and the residency machinery meet.
 
+use spur_cache::counters::CounterEvent as E;
 use spur_core::dirty::DirtyPolicy;
 use spur_core::testkit::Scenario;
-use spur_cache::counters::CounterEvent as E;
 
 /// Eviction and refill after the page is already dirty must not
 /// re-trigger anything: the refilled line carries fresh (upgraded)
@@ -13,15 +13,19 @@ fn refill_after_upgrade_carries_fresh_metadata() {
     for dirty in [DirtyPolicy::Fault, DirtyPolicy::Spur] {
         let mut s = Scenario::new(dirty).unwrap();
         s.read(0, 0).write(0, 0); // page dirtied (1 necessary fault)
-        // Evict block 0 by conflict: the scenario heap is tiny, so evict
-        // via an aliasing page 32 pages away is unavailable — instead
-        // flush through the daemon path: reading 127 other blocks won't
-        // evict (distinct lines), so just re-read the same block (hit)
-        // and write again.
+                                  // Evict block 0 by conflict: the scenario heap is tiny, so evict
+                                  // via an aliasing page 32 pages away is unavailable — instead
+                                  // flush through the daemon path: reading 127 other blocks won't
+                                  // evict (distinct lines), so just re-read the same block (hit)
+                                  // and write again.
         s.read(0, 0).write(0, 0);
         assert_eq!(s.count(E::DirtyFault), 1, "{dirty}: one necessary fault");
         assert_eq!(s.count(E::ExcessFault), 0, "{dirty}");
-        assert_eq!(s.count(E::DirtyBitMiss), 0, "{dirty}: page_dirty copy fresh");
+        assert_eq!(
+            s.count(E::DirtyBitMiss),
+            0,
+            "{dirty}: page_dirty copy fresh"
+        );
     }
 }
 

@@ -1,102 +1,92 @@
-//! Property-based tests over randomly generated small workloads: the
-//! full system must uphold its invariants for *any* workload the trace
-//! crate can express, not just the two calibrated ones.
+//! Randomized tests over generated small workloads: the full system
+//! must uphold its invariants for *any* workload the trace crate can
+//! express, not just the two calibrated ones. Inputs come from the
+//! repository's deterministic [`SmallRng`].
 
-use proptest::prelude::*;
 use spur_core::dirty::DirtyPolicy;
 use spur_core::system::{SimConfig, SpurSystem};
 use spur_trace::process::{ProcessSpec, Schedule};
 use spur_trace::workloads::Workload;
+use spur_types::rng::SmallRng;
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;
 
-fn arb_process(i: usize) -> impl Strategy<Value = ProcessSpec> {
-    (
-        8u64..64,     // code pages
-        32u64..512,   // heap pages
-        8u64..16,     // stack pages
-        8u64..128,    // file pages
-        1u32..4,      // weight
-        prop::bool::ANY,
-    )
-        .prop_map(move |(code, heap, stack, file, weight, periodic)| {
-            let mut p = ProcessSpec::new(&format!("p{i}"), code, heap, stack, file);
-            p.weight = weight;
-            if periodic {
-                p.schedule = Schedule::Periodic {
-                    active: 60_000,
-                    idle: 40_000,
-                    offset: (i as u64) * 20_000,
-                };
-            }
-            p.behavior.phase_len = 50_000;
-            p
-        })
+fn arb_process(rng: &mut SmallRng, i: usize) -> ProcessSpec {
+    let code = rng.random_range(8u64..64);
+    let heap = rng.random_range(32u64..512);
+    let stack = rng.random_range(8u64..16);
+    let file = rng.random_range(8u64..128);
+    let mut p = ProcessSpec::new(&format!("p{i}"), code, heap, stack, file);
+    p.weight = rng.random_range(1u32..4);
+    if rng.random() {
+        p.schedule = Schedule::Periodic {
+            active: 60_000,
+            idle: 40_000,
+            offset: (i as u64) * 20_000,
+        };
+    }
+    p.behavior.phase_len = 50_000;
+    p
 }
 
-fn arb_workload() -> impl Strategy<Value = Workload> {
-    prop::collection::vec(any::<u8>(), 1..4).prop_flat_map(|procs| {
-        let n = procs.len();
-        let mut strategies = Vec::new();
-        for i in 0..n {
-            strategies.push(arb_process(i));
-        }
-        strategies.prop_map(|specs| {
-            let mut specs = specs;
-            // Guarantee at least one always-on process so the scheduler
-            // can always make progress.
-            specs[0].schedule = Schedule::AlwaysOn;
-            Workload::build("prop", specs).expect("generated spec is valid")
-        })
-    })
+fn arb_workload(rng: &mut SmallRng) -> Workload {
+    let n = rng.random_range(1usize..4);
+    let mut specs: Vec<ProcessSpec> = (0..n).map(|i| arb_process(rng, i)).collect();
+    // Guarantee at least one always-on process so the scheduler can
+    // always make progress.
+    specs[0].schedule = Schedule::AlwaysOn;
+    Workload::build("prop", specs).expect("generated spec is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any generated workload runs to completion under any policy pair
-    /// with all cross-component invariants intact.
-    #[test]
-    fn random_workloads_uphold_invariants(
-        workload in arb_workload(),
-        seed in 0u64..1000,
-        dirty_idx in 0usize..5,
-        ref_idx in 0usize..3,
-    ) {
-        let dirty = DirtyPolicy::ALL[dirty_idx];
-        let ref_policy = RefPolicy::ALL[ref_idx];
+/// Any generated workload runs to completion under any policy pair
+/// with all cross-component invariants intact.
+#[test]
+fn random_workloads_uphold_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0x5457_0001);
+    for case in 0..12 {
+        let workload = arb_workload(&mut rng);
+        let seed = rng.random_range(0u64..1000);
+        let dirty = DirtyPolicy::ALL[case % 5];
+        let ref_policy = RefPolicy::ALL[case % 3];
         let mut sim = SpurSystem::new(SimConfig {
             mem: MemSize::new(2),
             kernel_reserved_frames: 64,
             dirty,
             ref_policy,
             ..SimConfig::default()
-        }).expect("config valid");
+        })
+        .expect("config valid");
         sim.load_workload(&workload).expect("registers");
-        sim.run(&mut workload.generator(seed), 60_000).expect("runs");
-        prop_assert_eq!(sim.refs(), 60_000);
+        sim.run(&mut workload.generator(seed), 60_000)
+            .expect("runs");
+        assert_eq!(sim.refs(), 60_000);
         if let Err(e) = sim.check_invariants() {
-            return Err(TestCaseError::fail(format!("{dirty}/{ref_policy}: {e}")));
+            panic!("{dirty}/{ref_policy}: {e}");
         }
         let ev = sim.events();
-        prop_assert!(ev.misses <= ev.refs);
-        prop_assert!(ev.n_zfod <= ev.n_ds);
-        prop_assert!(ev.n_wmiss <= ev.misses);
+        assert!(ev.misses <= ev.refs);
+        assert!(ev.n_zfod <= ev.n_ds);
+        assert!(ev.n_wmiss <= ev.misses);
     }
+}
 
-    /// The event record is a pure function of (workload, seed, config).
-    #[test]
-    fn runs_are_reproducible(seed in 0u64..50) {
+/// The event record is a pure function of (workload, seed, config).
+#[test]
+fn runs_are_reproducible() {
+    let mut rng = SmallRng::seed_from_u64(0x5457_0002);
+    for _ in 0..4 {
+        let seed = rng.random_range(0u64..50);
         let workload = spur_trace::workloads::slc();
         let run = || {
             let mut sim = SpurSystem::new(SimConfig {
                 mem: MemSize::MB5,
                 ..SimConfig::default()
-            }).unwrap();
+            })
+            .unwrap();
             sim.load_workload(&workload).unwrap();
             sim.run(&mut workload.generator(seed), 50_000).unwrap();
             sim.events()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

@@ -32,7 +32,10 @@ fn replayed_trace_drives_the_simulator_identically_to_the_generator() {
 
     let live = run(&workload, workload.generator(31), n);
     let replayed = run(&workload, trace.iter(), n);
-    assert_eq!(live, replayed, "replay must be indistinguishable from generation");
+    assert_eq!(
+        live, replayed,
+        "replay must be indistinguishable from generation"
+    );
 }
 
 #[test]

@@ -109,7 +109,10 @@ fn in_cache_translation_matches_architectural_translation() {
     for i in 0..64u64 {
         let vpn = Vpn::new(0x8000 + i * 3);
         pt.ensure_second_level(vpn, &mut phys).unwrap();
-        pt.insert(vpn, Pte::resident(Pfn::new(100 + i as u32), Protection::ReadWrite));
+        pt.insert(
+            vpn,
+            Pte::resident(Pfn::new(100 + i as u32), Protection::ReadWrite),
+        );
         let addr = spur_types::GlobalAddr::new(vpn.base_addr().raw() + (i % 4096));
 
         let out = tr.translate(addr, &mut cache, &pt, &mut ctrs);
