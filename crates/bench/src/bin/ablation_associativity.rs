@@ -9,13 +9,13 @@
 //! Every (workload, ways) cell is a harness job (`--jobs N`
 //! parallelism); artifacts land in `results/json/`.
 
-use spur_bench::jobs::finish_run;
-use spur_bench::{jobs_from_args, print_header, scale_from_args};
+use spur_bench::jobs::finish_run_obs;
+use spur_bench::{jobs_from_args, obs_from_args, print_header, scale_from_args};
 use spur_cache::assoc::{synonym_hazard_demo, SetAssocCache};
 use spur_cache::cache::VirtualCache;
 use spur_core::experiments::Scale;
 use spur_core::report::Table;
-use spur_harness::{run_jobs, Job, JobOutput, Json, RunReport};
+use spur_harness::{run_jobs_with_progress, Job, JobOutput, Json, RunReport};
 use spur_trace::workloads::{slc, workload1, Workload};
 use spur_types::{Protection, CACHE_LINES};
 
@@ -79,14 +79,22 @@ fn main() {
     let mut scale = scale_from_args();
     scale.refs = scale.refs.min(6_000_000);
     let workers = jobs_from_args();
+    // Raw cache models without a SpurSystem, so only the heartbeat and
+    // trace-flag plumbing apply; no per-job traces are produced.
+    let obs = obs_from_args();
     print_header("ablation: cache associativity (miss ratio, no VM)", &scale);
 
     let jobs = WORKLOADS
         .iter()
         .flat_map(|&(name, make)| WAYS.map(|ways| miss_ratio_job(name, make, ways, scale)))
         .collect();
-    let report = run_jobs(jobs, workers);
-    finish_run("ablation_associativity", &scale, &report);
+    let report = run_jobs_with_progress(jobs, workers, obs.progress);
+    finish_run_obs(
+        "ablation_associativity",
+        &scale,
+        &report,
+        obs.trace_out.as_deref(),
+    );
     match assemble(&report) {
         Ok(t) => println!("{}", t.render()),
         Err(e) => {

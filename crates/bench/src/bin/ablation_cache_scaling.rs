@@ -5,12 +5,12 @@
 //! Every cache size is a harness job (`--jobs N` parallelism);
 //! artifacts land in `results/json/`.
 
-use spur_bench::jobs::finish_run;
-use spur_bench::{jobs_from_args, print_header, scale_from_args};
+use spur_bench::jobs::{attach_obs, finish_run_obs};
+use spur_bench::{jobs_from_args, obs_from_args, print_header, scale_from_args};
 use spur_core::experiments::ablation::{
-    measure_cache_scaling_point, render_cache_scaling, CacheScalingRow,
+    measure_cache_scaling_point_obs, render_cache_scaling, CacheScalingRow,
 };
-use spur_harness::{run_jobs, Job, JobOutput, RunReport};
+use spur_harness::{run_jobs_with_progress, Job, JobOutput, RunReport};
 use spur_trace::workloads::slc;
 use spur_types::MemSize;
 
@@ -31,21 +31,29 @@ fn main() {
     let mut scale = scale_from_args();
     scale.refs = scale.refs.min(8_000_000);
     let workers = jobs_from_args();
+    let obs = obs_from_args();
+    let params = obs.params();
     print_header("ablation: MISS approximation vs cache size", &scale);
     let jobs = CACHE_KBS
         .iter()
         .map(|&kb| {
             Job::new(key(kb), move || {
                 let workload = slc();
-                let row = measure_cache_scaling_point(&workload, MemSize::MB5, &scale, kb)
-                    .map_err(|e| e.to_string())?;
+                let (row, rep) =
+                    measure_cache_scaling_point_obs(&workload, MemSize::MB5, &scale, kb, params)
+                        .map_err(|e| e.to_string())?;
                 let artifact = row.to_json();
-                Ok(JobOutput::new(row, artifact))
+                Ok(attach_obs(JobOutput::new(row, artifact), rep))
             })
         })
         .collect();
-    let report = run_jobs(jobs, workers);
-    finish_run("ablation_cache_scaling", &scale, &report);
+    let report = run_jobs_with_progress(jobs, workers, obs.progress);
+    finish_run_obs(
+        "ablation_cache_scaling",
+        &scale,
+        &report,
+        obs.trace_out.as_deref(),
+    );
     match assemble(&report) {
         Ok(rows) => {
             println!("{}", render_cache_scaling(&rows));

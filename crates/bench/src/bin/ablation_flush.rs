@@ -5,11 +5,11 @@
 //! Each occupancy fraction is a harness job; artifacts land in
 //! `results/json/`.
 
-use spur_bench::jobs::finish_run;
-use spur_bench::{jobs_from_args, scale_from_args};
+use spur_bench::jobs::finish_run_obs;
+use spur_bench::{jobs_from_args, obs_from_args, scale_from_args};
 use spur_core::experiments::ablation::{flush_cost_comparison, FlushComparison};
 use spur_core::report::Table;
-use spur_harness::{run_jobs, Job, JobOutput, RunReport};
+use spur_harness::{run_jobs_with_progress, Job, JobOutput, RunReport};
 use spur_types::CostParams;
 
 const FRACS: [f64; 5] = [0.05, 0.10, 0.25, 0.50, 1.00];
@@ -45,6 +45,9 @@ fn assemble(report: &RunReport<FlushComparison>) -> Result<Table, String> {
 fn main() {
     let scale = scale_from_args();
     let workers = jobs_from_args();
+    // Analytic comparison on synthetic cache states — no SpurSystem event
+    // stream to trace, so only the heartbeat and flag plumbing apply.
+    let obs = obs_from_args();
     let jobs = FRACS
         .iter()
         .map(|&frac| {
@@ -55,8 +58,8 @@ fn main() {
             })
         })
         .collect();
-    let report = run_jobs(jobs, workers);
-    finish_run("ablation_flush", &scale, &report);
+    let report = run_jobs_with_progress(jobs, workers, obs.progress);
+    finish_run_obs("ablation_flush", &scale, &report, obs.trace_out.as_deref());
     match assemble(&report) {
         Ok(t) => {
             println!("{}", t.render());

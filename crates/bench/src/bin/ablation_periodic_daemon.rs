@@ -10,10 +10,10 @@
 //! Every (period, policy) cell is a harness job (`--jobs N`
 //! parallelism); artifacts land in `results/json/`.
 
-use spur_bench::jobs::finish_run;
-use spur_bench::{jobs_from_args, print_header, scale_from_args};
-use spur_core::experiments::crossover::{measure_crossover, render_crossover, CrossoverRow};
-use spur_harness::{run_jobs, Job, JobOutput, RunReport};
+use spur_bench::jobs::{attach_obs, finish_run_obs};
+use spur_bench::{jobs_from_args, obs_from_args, print_header, scale_from_args};
+use spur_core::experiments::crossover::{measure_crossover_obs, render_crossover, CrossoverRow};
+use spur_harness::{run_jobs_with_progress, Job, JobOutput, RunReport};
 use spur_trace::workloads::workload1;
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;
@@ -39,6 +39,8 @@ fn main() {
     let mut scale = scale_from_args();
     scale.refs = scale.refs.min(12_000_000);
     let workers = jobs_from_args();
+    let obs = obs_from_args();
+    let params = obs.params();
     print_header("ablation: periodic daemon (WORKLOAD1 @ 8 MB)", &scale);
     let jobs = PERIODS
         .iter()
@@ -46,16 +48,28 @@ fn main() {
             RefPolicy::ALL.map(|policy| {
                 Job::new(key(period, policy), move || {
                     let workload = workload1();
-                    let row = measure_crossover(&workload, MemSize::MB8, period, policy, &scale)
-                        .map_err(|e| e.to_string())?;
+                    let (row, rep) = measure_crossover_obs(
+                        &workload,
+                        MemSize::MB8,
+                        period,
+                        policy,
+                        &scale,
+                        params,
+                    )
+                    .map_err(|e| e.to_string())?;
                     let artifact = row.to_json();
-                    Ok(JobOutput::new(row, artifact))
+                    Ok(attach_obs(JobOutput::new(row, artifact), rep))
                 })
             })
         })
         .collect();
-    let report = run_jobs(jobs, workers);
-    finish_run("ablation_periodic_daemon", &scale, &report);
+    let report = run_jobs_with_progress(jobs, workers, obs.progress);
+    finish_run_obs(
+        "ablation_periodic_daemon",
+        &scale,
+        &report,
+        obs.trace_out.as_deref(),
+    );
     let rows = match assemble(&report) {
         Ok(rows) => rows,
         Err(e) => {

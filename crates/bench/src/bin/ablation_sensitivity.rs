@@ -6,26 +6,33 @@
 //! in `results/json/` like every other cell; the sensitivity sweeps are
 //! cheap arithmetic on the result.
 
-use spur_bench::jobs::{events_job, finish_run};
-use spur_bench::{jobs_from_args, print_header, scale_from_args};
+use spur_bench::jobs::{events_job_obs, finish_run_obs};
+use spur_bench::{jobs_from_args, obs_from_args, print_header, scale_from_args};
 use spur_core::experiments::ablation::{handler_tuning, render_handler_tuning, tdc_sensitivity};
 use spur_core::report::Table;
-use spur_harness::run_jobs;
+use spur_harness::run_jobs_with_progress;
 use spur_trace::workloads::slc;
 use spur_types::MemSize;
 
 fn main() {
     let scale = scale_from_args();
     let workers = jobs_from_args();
+    let obs = obs_from_args();
     print_header("ablation: cost-parameter sensitivity", &scale);
-    let jobs = vec![events_job(
+    let jobs = vec![events_job_obs(
         "sensitivity/SLC/5MB".to_string(),
         slc,
         MemSize::MB5,
         scale,
+        obs.params(),
     )];
-    let report = run_jobs(jobs, workers);
-    finish_run("ablation_sensitivity", &scale, &report);
+    let report = run_jobs_with_progress(jobs, workers, obs.progress);
+    finish_run_obs(
+        "ablation_sensitivity",
+        &scale,
+        &report,
+        obs.trace_out.as_deref(),
+    );
     let row = match report.require("sensitivity/SLC/5MB") {
         Ok(row) => row,
         Err(e) => {

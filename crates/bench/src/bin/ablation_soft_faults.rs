@@ -10,12 +10,12 @@
 //! Every (policy, window) cell is a harness job (`--jobs N`
 //! parallelism); artifacts land in `results/json/`.
 
-use spur_bench::jobs::finish_run;
-use spur_bench::{jobs_from_args, print_header, scale_from_args};
+use spur_bench::jobs::{attach_obs, finish_run_obs};
+use spur_bench::{jobs_from_args, obs_from_args, print_header, scale_from_args};
 use spur_core::dirty::DirtyPolicy;
 use spur_core::report::Table;
 use spur_core::system::{SimConfig, SpurSystem};
-use spur_harness::{run_jobs, Job, JobOutput, Json, RunReport};
+use spur_harness::{run_jobs_with_progress, Job, JobOutput, Json, RunReport};
 use spur_trace::workloads::workload1;
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;
@@ -63,6 +63,8 @@ fn main() {
     let mut scale = scale_from_args();
     scale.refs = scale.refs.min(6_000_000);
     let workers = jobs_from_args();
+    let obs = obs_from_args();
+    let params = obs.params();
     print_header("ablation: free-list soft faults (WORKLOAD1 @ 5 MB)", &scale);
     let jobs = POLICIES
         .iter()
@@ -78,9 +80,13 @@ fn main() {
                         ..SimConfig::default()
                     })
                     .map_err(|e| e.to_string())?;
+                    if let Some(p) = params {
+                        sim.enable_obs(p);
+                    }
                     sim.load_workload(&workload).map_err(|e| e.to_string())?;
                     sim.run(&mut workload.generator(scale.seed), scale.refs)
                         .map_err(|e| e.to_string())?;
+                    let rep = sim.finish_obs();
                     let stats = sim.vm().stats();
                     let row = Row {
                         page_ins: stats.page_ins,
@@ -94,13 +100,18 @@ fn main() {
                         ("soft_faults_taken", Json::from(row.soft_faults)),
                         ("elapsed_secs", Json::from(row.elapsed_secs)),
                     ]);
-                    Ok(JobOutput::new(row, artifact))
+                    Ok(attach_obs(JobOutput::new(row, artifact), rep))
                 })
             })
         })
         .collect();
-    let report = run_jobs(jobs, workers);
-    finish_run("ablation_soft_faults", &scale, &report);
+    let report = run_jobs_with_progress(jobs, workers, obs.progress);
+    finish_run_obs(
+        "ablation_soft_faults",
+        &scale,
+        &report,
+        obs.trace_out.as_deref(),
+    );
     match assemble(&report) {
         Ok(t) => {
             println!("{}", t.render());

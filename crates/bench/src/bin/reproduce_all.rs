@@ -10,13 +10,13 @@
 //! cargo run --release -p spur-bench --bin reproduce_all -- --scale quick --jobs 8
 //! ```
 
-use spur_bench::jobs::{events_job, finish_run, pageout_job, refbit_job};
-use spur_bench::{jobs_from_args, scale_from_args};
+use spur_bench::jobs::{events_job_obs, finish_run_obs, pageout_job, refbit_job_obs};
+use spur_bench::{jobs_from_args, obs_from_args, scale_from_args, ObsOptions};
 use spur_core::experiments::events::{render_table_3_3, EventRow};
 use spur_core::experiments::pageout::{render_table_3_5, PageoutRow};
 use spur_core::experiments::refbit::{render_table_4_1, RefbitRow};
 use spur_core::experiments::{self, overhead};
-use spur_harness::{run_jobs, Job, RunReport};
+use spur_harness::{run_jobs_with_progress, Job, RunReport};
 use spur_trace::workloads::{slc, workload1, DevHost, Workload};
 use spur_types::{CostParams, MemSize, SystemConfig};
 use spur_vm::policy::RefPolicy;
@@ -45,11 +45,14 @@ fn refbit_key(workload: &str, mem: MemSize, policy: RefPolicy) -> String {
     format!("table_4_1/{workload}/{}MB/{policy}", mem.megabytes())
 }
 
-fn build_jobs(scale: experiments::Scale, hosts: &[DevHost]) -> Vec<Job<Cell>> {
+fn build_jobs(scale: experiments::Scale, hosts: &[DevHost], obs: &ObsOptions) -> Vec<Job<Cell>> {
+    let params = obs.params();
     let mut jobs = Vec::new();
     for (name, make) in WORKLOADS {
         for mem in MemSize::STUDY_SIZES {
-            jobs.push(events_job(events_key(name, mem), make, mem, scale).map(Cell::Events));
+            jobs.push(
+                events_job_obs(events_key(name, mem), make, mem, scale, params).map(Cell::Events),
+            );
         }
     }
     for (i, host) in hosts.iter().enumerate() {
@@ -59,8 +62,15 @@ fn build_jobs(scale: experiments::Scale, hosts: &[DevHost]) -> Vec<Job<Cell>> {
         for mem in MemSize::STUDY_SIZES {
             for policy in RefPolicy::ALL {
                 jobs.push(
-                    refbit_job(refbit_key(name, mem, policy), make, mem, policy, scale)
-                        .map(Cell::Refbit),
+                    refbit_job_obs(
+                        refbit_key(name, mem, policy),
+                        make,
+                        mem,
+                        policy,
+                        scale,
+                        params,
+                    )
+                    .map(Cell::Refbit),
                 );
             }
         }
@@ -116,6 +126,7 @@ fn assemble_refbits(report: &RunReport<Cell>) -> Result<Vec<RefbitRow>, String> 
 fn main() {
     let scale = scale_from_args();
     let workers = jobs_from_args();
+    let obs = obs_from_args();
     println!("SPUR reference/dirty-bit reproduction — all artifacts");
     println!(
         "scale: {} references/run, {} rep(s), seed {}\n",
@@ -131,8 +142,8 @@ fn main() {
     println!("{}\n", CostParams::paper());
 
     let hosts = DevHost::table_3_5();
-    let report = run_jobs(build_jobs(scale, &hosts), workers);
-    finish_run("reproduce_all", &scale, &report);
+    let report = run_jobs_with_progress(build_jobs(scale, &hosts, &obs), workers, obs.progress);
+    finish_run_obs("reproduce_all", &scale, &report, obs.trace_out.as_deref());
 
     let rows = match assemble_events(&report) {
         Ok(rows) => rows,

@@ -6,10 +6,10 @@
 //! Every (size, policy) cell is a harness job (`--jobs N` parallelism);
 //! artifacts land in `results/json/sweep_memory-<scale>/`.
 
-use spur_bench::jobs::{assemble_memory_sweep, finish_run, memory_sweep_jobs};
-use spur_bench::{has_flag, jobs_from_args, print_header, scale_from_args};
+use spur_bench::jobs::{assemble_memory_sweep, finish_run_obs, memory_sweep_jobs_obs};
+use spur_bench::{has_flag, jobs_from_args, obs_from_args, print_header, scale_from_args};
 use spur_core::experiments::sweep::render_memory_sweep;
-use spur_harness::run_jobs;
+use spur_harness::run_jobs_with_progress;
 use spur_trace::workloads::workload1;
 
 const SIZES: [u32; 5] = [4, 5, 6, 8, 10];
@@ -18,11 +18,16 @@ fn main() {
     let mut scale = scale_from_args();
     scale.reps = scale.reps.min(2);
     let workers = jobs_from_args();
+    let obs = obs_from_args();
     if !has_flag("csv") {
         print_header("memory sweep (WORKLOAD1, 4-10 MB)", &scale);
     }
-    let report = run_jobs(memory_sweep_jobs(workload1, &SIZES, scale), workers);
-    finish_run("sweep_memory", &scale, &report);
+    let report = run_jobs_with_progress(
+        memory_sweep_jobs_obs(workload1, &SIZES, scale, obs.params()),
+        workers,
+        obs.progress,
+    );
+    finish_run_obs("sweep_memory", &scale, &report, obs.trace_out.as_deref());
     match assemble_memory_sweep(&report, &SIZES) {
         Ok(rows) => {
             if has_flag("csv") {

@@ -5,10 +5,10 @@
 //! Every (entries, flush) cell is a harness job (`--jobs N`
 //! parallelism); artifacts land in `results/json/sweep_tlb-<scale>/`.
 
-use spur_bench::jobs::finish_run;
-use spur_bench::{jobs_from_args, print_header, scale_from_args};
+use spur_bench::jobs::finish_run_obs;
+use spur_bench::{jobs_from_args, obs_from_args, print_header, scale_from_args};
 use spur_core::experiments::sweep::{measure_tlb_point, render_tlb_sweep, TlbSweepRow};
-use spur_harness::{run_jobs, Job, JobOutput, RunReport};
+use spur_harness::{run_jobs_with_progress, Job, JobOutput, RunReport};
 use spur_trace::workloads::workload1;
 use spur_types::MemSize;
 
@@ -35,6 +35,10 @@ fn main() {
     let mut scale = scale_from_args();
     scale.refs = scale.refs.min(6_000_000);
     let workers = jobs_from_args();
+    // The TLB baseline is a separate model without SpurSystem's event
+    // stream, so only the heartbeat and trace-flag plumbing apply here;
+    // no per-job traces are produced.
+    let obs = obs_from_args();
     print_header("baseline TLB-size sweep (WORKLOAD1 @ 8 MB)", &scale);
     let jobs = ENTRIES
         .iter()
@@ -50,8 +54,8 @@ fn main() {
             })
         })
         .collect();
-    let report = run_jobs(jobs, workers);
-    finish_run("sweep_tlb", &scale, &report);
+    let report = run_jobs_with_progress(jobs, workers, obs.progress);
+    finish_run_obs("sweep_tlb", &scale, &report, obs.trace_out.as_deref());
     match assemble(&report) {
         Ok(rows) => {
             println!("{}", render_tlb_sweep(&rows));

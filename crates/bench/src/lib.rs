@@ -10,6 +10,96 @@
 //! ```
 
 use spur_core::experiments::Scale;
+use spur_core::obs::ObsParams;
+
+/// Observability options shared by the harness binaries.
+///
+/// Recording defaults to on: artifacts gain per-job `metrics` (and
+/// `series` when `--epoch` is set) without changing any existing key.
+/// `--no-obs` turns the whole subsystem off, restoring artifacts that
+/// are byte-identical to an uninstrumented build; stdout is identical
+/// either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// Recording on (`--no-obs` clears this).
+    pub enabled: bool,
+    /// Epoch length in references for the counter time series
+    /// (`--epoch N`); `None` records no series.
+    pub epoch: Option<u64>,
+    /// Directory for Chrome-trace exports (`--trace-out DIR`); one
+    /// `<run>/<key>.trace.json` per successful job.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Stderr heartbeat while the job pool runs (`--progress` or a
+    /// truthy `SPUR_PROGRESS`).
+    pub progress: bool,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            enabled: true,
+            epoch: None,
+            trace_out: None,
+            progress: false,
+        }
+    }
+}
+
+impl ObsOptions {
+    /// The per-simulation parameters, or `None` when disabled.
+    pub fn params(&self) -> Option<ObsParams> {
+        self.enabled.then(|| ObsParams {
+            epoch: self.epoch,
+            ..ObsParams::default()
+        })
+    }
+}
+
+/// Parses observability flags from process args and `SPUR_PROGRESS`.
+pub fn obs_from_args() -> ObsOptions {
+    parse_obs(
+        std::env::args().skip(1),
+        std::env::var("SPUR_PROGRESS").ok().as_deref(),
+    )
+}
+
+/// The testable core of [`obs_from_args`]. `progress_env` is the
+/// `SPUR_PROGRESS` value; anything but empty or `"0"` enables the
+/// heartbeat (the `--progress` flag also does).
+pub fn parse_obs<I: IntoIterator<Item = String>>(
+    args: I,
+    progress_env: Option<&str>,
+) -> ObsOptions {
+    let mut opts = ObsOptions::default();
+    if let Some(v) = progress_env {
+        if !v.is_empty() && v != "0" {
+            opts.progress = true;
+        }
+    }
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--no-obs" => opts.enabled = false,
+            "--progress" => opts.progress = true,
+            "--epoch" => match args.peek().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => {
+                    opts.epoch = Some(n);
+                    args.next();
+                }
+                _ => eprintln!("--epoch needs a positive integer; ignoring"),
+            },
+            "--trace-out" => match args.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    opts.trace_out = Some(std::path::PathBuf::from(v));
+                    args.next();
+                }
+                _ => eprintln!("--trace-out needs a directory; ignoring"),
+            },
+            _ => {}
+        }
+    }
+    opts
+}
 
 /// Parses `--scale {quick|default|full}` from process args; defaults to
 /// `default`.
@@ -53,9 +143,9 @@ pub fn parse_scale<I: IntoIterator<Item = String>>(args: I) -> Scale {
                 }
                 None => eprintln!("--scale is missing a value; using default"),
             },
-            "--jobs" => {
-                // The worker count is parse_jobs's business; skip its
-                // value so it isn't reported as an unknown argument.
+            "--jobs" | "--epoch" | "--trace-out" => {
+                // These values belong to parse_jobs / parse_obs; skip
+                // them so they aren't reported as unknown arguments.
                 if args.peek().is_some_and(|v| !v.starts_with("--")) {
                     args.next();
                 }
@@ -142,15 +232,36 @@ pub mod jobs {
     //! Binaries and the determinism parity test share these builders,
     //! so what the test certifies is exactly what the binaries run.
 
-    use spur_core::experiments::events::{measure_events, EventRow};
+    use spur_core::experiments::events::{measure_events_obs, EventRow};
     use spur_core::experiments::pageout::{measure_host, PageoutRow};
-    use spur_core::experiments::refbit::{measure_refbit, RefbitRow};
+    use spur_core::experiments::refbit::{measure_refbit_obs, RefbitRow};
     use spur_core::experiments::sweep::MemorySweepRow;
     use spur_core::experiments::Scale;
+    use spur_core::obs::{ObsParams, ObsReport};
     use spur_harness::{default_root, write_run, Job, JobOutput, Json, RunReport};
     use spur_trace::workloads::{DevHost, Workload};
     use spur_types::MemSize;
     use spur_vm::policy::RefPolicy;
+
+    /// The `pid` stamped on exported Chrome traces (each job is its own
+    /// file, so one logical process suffices).
+    const TRACE_PID: u64 = 1;
+
+    /// Attaches a finalized observability report to a job output:
+    /// `metrics` and `series` ride the artifact pipeline, the Chrome
+    /// trace awaits `--trace-out` export. Binaries that run
+    /// `SpurSystem` inline call this with `sim.finish_obs()`.
+    pub fn attach_obs<T>(mut out: JobOutput<T>, report: Option<ObsReport>) -> JobOutput<T> {
+        if let Some(rep) = report {
+            if let Some(series) = rep.series_json() {
+                out = out.with_series(series);
+            }
+            out = out
+                .with_metrics(rep.metrics_json())
+                .with_trace(rep.trace_json(TRACE_PID, 0));
+        }
+        out
+    }
 
     /// Workload constructor — jobs rebuild their workload inside the
     /// worker so the closures stay `'static` and each cell is a pure
@@ -164,11 +275,23 @@ pub mod jobs {
         mem: MemSize,
         scale: Scale,
     ) -> Job<EventRow> {
+        events_job_obs(key, make, mem, scale, None)
+    }
+
+    /// [`events_job`] with optional observability.
+    pub fn events_job_obs(
+        key: String,
+        make: WorkloadCtor,
+        mem: MemSize,
+        scale: Scale,
+        obs: Option<ObsParams>,
+    ) -> Job<EventRow> {
         Job::new(key, move || {
             let workload = make();
-            let row = measure_events(&workload, mem, &scale).map_err(|e| e.to_string())?;
+            let (row, rep) =
+                measure_events_obs(&workload, mem, &scale, obs).map_err(|e| e.to_string())?;
             let artifact = row.to_json();
-            Ok(JobOutput::new(row, artifact))
+            Ok(attach_obs(JobOutput::new(row, artifact), rep))
         })
     }
 
@@ -181,11 +304,25 @@ pub mod jobs {
         policy: RefPolicy,
         scale: Scale,
     ) -> Job<RefbitRow> {
+        refbit_job_obs(key, make, mem, policy, scale, None)
+    }
+
+    /// [`refbit_job`] with optional observability (repetition 0 only;
+    /// see `measure_refbit_obs`).
+    pub fn refbit_job_obs(
+        key: String,
+        make: WorkloadCtor,
+        mem: MemSize,
+        policy: RefPolicy,
+        scale: Scale,
+        obs: Option<ObsParams>,
+    ) -> Job<RefbitRow> {
         Job::new(key, move || {
             let workload = make();
-            let row = measure_refbit(&workload, mem, policy, &scale).map_err(|e| e.to_string())?;
+            let (row, rep) = measure_refbit_obs(&workload, mem, policy, &scale, obs)
+                .map_err(|e| e.to_string())?;
             let artifact = row.to_json();
-            Ok(JobOutput::new(row, artifact))
+            Ok(attach_obs(JobOutput::new(row, artifact), rep))
         })
     }
 
@@ -209,15 +346,26 @@ pub mod jobs {
         sizes: &[u32],
         scale: Scale,
     ) -> Vec<Job<RefbitRow>> {
+        memory_sweep_jobs_obs(make, sizes, scale, None)
+    }
+
+    /// [`memory_sweep_jobs`] with optional observability.
+    pub fn memory_sweep_jobs_obs(
+        make: WorkloadCtor,
+        sizes: &[u32],
+        scale: Scale,
+        obs: Option<ObsParams>,
+    ) -> Vec<Job<RefbitRow>> {
         let mut jobs = Vec::new();
         for &mb in sizes {
             for policy in RefPolicy::ALL {
-                jobs.push(refbit_job(
+                jobs.push(refbit_job_obs(
                     memory_sweep_key(mb, policy),
                     make,
                     MemSize::new(mb),
                     policy,
                     scale,
+                    obs,
                 ));
             }
         }
@@ -254,6 +402,21 @@ pub mod jobs {
     /// `$SPUR_RESULTS_DIR`) and prints the run summary — both on
     /// stderr, so stdout stays byte-identical to a serial run.
     pub fn finish_run<T>(bin: &str, scale: &Scale, report: &RunReport<T>) {
+        finish_run_obs(bin, scale, report, None);
+    }
+
+    /// [`finish_run`] plus trace export: when `trace_out` is set, every
+    /// successful job carrying a trace is written to
+    /// `<trace_out>/<run>/<key>.trace.json` (keys sanitized for the
+    /// filesystem). Also prints the per-job wall-time distribution to
+    /// stderr — wall times are nondeterministic, so they never enter
+    /// the artifacts.
+    pub fn finish_run_obs<T>(
+        bin: &str,
+        scale: &Scale,
+        report: &RunReport<T>,
+        trace_out: Option<&std::path::Path>,
+    ) {
         let run_name = format!("{bin}-{}", crate::scale_name(scale));
         let meta = [
             ("refs", Json::from(scale.refs)),
@@ -265,6 +428,60 @@ pub mod jobs {
             Ok(art) => eprintln!("{}\nartifacts: {}", report.summary(), art.dir.display()),
             Err(e) => eprintln!("{}\nartifact write FAILED: {e}", report.summary()),
         }
+        eprintln!("{}", wall_histogram_line(report));
+        if let Some(root) = trace_out {
+            match export_traces(root, &run_name, report) {
+                Ok(0) => eprintln!("traces: none to export (observability off or no trace data)"),
+                Ok(n) => eprintln!(
+                    "traces: {n} file(s) under {}",
+                    root.join(run_name).display()
+                ),
+                Err(e) => eprintln!("trace export FAILED: {e}"),
+            }
+        }
+    }
+
+    /// Renders the per-job wall-time distribution as one stderr line.
+    fn wall_histogram_line<T>(report: &RunReport<T>) -> String {
+        let mut wall = spur_obs::Histogram::new("job_wall_ms");
+        for job in report.jobs() {
+            wall.record(job.wall.as_millis() as u64);
+        }
+        let buckets: Vec<String> = wall
+            .nonzero_buckets()
+            .iter()
+            .map(|&(lo, hi, n)| format!("[{lo}-{hi}ms]x{n}"))
+            .collect();
+        format!("job wall histogram: {}", buckets.join(" "))
+    }
+
+    /// Writes every successful job's Chrome trace under
+    /// `<root>/<run_name>/`. Returns the number of files written.
+    pub fn export_traces<T>(
+        root: &std::path::Path,
+        run_name: &str,
+        report: &RunReport<T>,
+    ) -> std::io::Result<usize> {
+        let dir = root.join(run_name);
+        let mut written = 0;
+        for job in report.jobs() {
+            let Ok(output) = &job.outcome else { continue };
+            let Some(trace) = &output.trace else { continue };
+            if written == 0 {
+                std::fs::create_dir_all(&dir)?;
+            }
+            let file = dir.join(format!("{}.trace.json", sanitize_key(&job.key)));
+            std::fs::write(&file, trace.encode() + "\n")?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// Maps a job key onto a safe file stem, using the same rule as the
+    /// artifact writer so `<key>.trace.json` sits next to `<key>.json`
+    /// under matching names.
+    pub fn sanitize_key(key: &str) -> String {
+        spur_harness::artifacts::sanitize_key(key)
     }
 }
 
@@ -440,6 +657,87 @@ mod tests {
         // Trailing --scale is harmless.
         let t = parse_scale(args(&["--scale"]));
         assert_eq!(t.refs, Scale::default_scale().refs);
+    }
+
+    #[test]
+    fn parses_obs_flags() {
+        let defaults = parse_obs(Vec::<String>::new(), None);
+        assert!(defaults.enabled, "observability is on by default");
+        assert_eq!(defaults.epoch, None);
+        assert_eq!(defaults.trace_out, None);
+        assert!(!defaults.progress);
+
+        let opts = parse_obs(
+            args(&[
+                "--epoch",
+                "100000",
+                "--trace-out",
+                "results/trace",
+                "--progress",
+            ]),
+            None,
+        );
+        assert_eq!(opts.epoch, Some(100_000));
+        assert_eq!(
+            opts.trace_out.as_deref(),
+            Some(std::path::Path::new("results/trace"))
+        );
+        assert!(opts.progress);
+        assert!(opts.params().is_some());
+        assert_eq!(opts.params().unwrap().epoch, Some(100_000));
+
+        let off = parse_obs(args(&["--no-obs", "--epoch", "5"]), None);
+        assert!(!off.enabled);
+        assert!(off.params().is_none(), "--no-obs wins over --epoch");
+    }
+
+    #[test]
+    fn obs_progress_env_is_truthy() {
+        assert!(parse_obs(Vec::<String>::new(), Some("1")).progress);
+        assert!(parse_obs(Vec::<String>::new(), Some("yes")).progress);
+        assert!(!parse_obs(Vec::<String>::new(), Some("0")).progress);
+        assert!(!parse_obs(Vec::<String>::new(), Some("")).progress);
+    }
+
+    #[test]
+    fn obs_flags_reject_malformed_values() {
+        // A missing or non-numeric epoch is ignored, not fatal; the
+        // flag that follows keeps its own meaning.
+        let opts = parse_obs(args(&["--epoch", "--progress"]), None);
+        assert_eq!(opts.epoch, None);
+        assert!(opts.progress);
+        let opts = parse_obs(args(&["--epoch", "zero"]), None);
+        assert_eq!(opts.epoch, None);
+        let opts = parse_obs(args(&["--trace-out", "--progress"]), None);
+        assert_eq!(opts.trace_out, None);
+        assert!(opts.progress);
+    }
+
+    #[test]
+    fn scale_skips_obs_values() {
+        // `--epoch 100000 --scale quick`: the epoch value must not be
+        // reported or mistaken for a positional argument.
+        let q = parse_scale(args(&[
+            "--epoch",
+            "100000",
+            "--trace-out",
+            "results/trace",
+            "--scale",
+            "quick",
+        ]));
+        assert_eq!(q.refs, Scale::quick().refs);
+    }
+
+    #[test]
+    fn keys_sanitize_to_file_stems() {
+        // Same rule as the artifact writer: the trace file's stem must
+        // match its sibling artifact's.
+        assert_eq!(
+            jobs::sanitize_key("table_4_1/SLC/5MB/MISS"),
+            "table_4_1-SLC-5MB-MISS"
+        );
+        assert_eq!(jobs::sanitize_key("tlb/0016/tagged"), "tlb-0016-tagged");
+        assert_eq!(jobs::sanitize_key("a b:c"), "a-b-c");
     }
 
     #[test]

@@ -55,23 +55,23 @@ impl CounterMode {
 
 impl CounterMode {
     /// The events wired to this mode's counter slots, in slot order.
-    pub fn events(self) -> Vec<CounterEvent> {
+    ///
+    /// The wiring is fixed at design time, so the listings are `const`
+    /// slices — callers on hot paths (and `dump()`, which walks all
+    /// four modes) pay no allocation or sort.
+    pub fn events(self) -> &'static [CounterEvent] {
         use CounterEvent::*;
-        let all = [
-            IFetch,
-            Read,
-            Write,
-            IFetchMiss,
-            ReadMiss,
-            WriteMiss,
-            Fill,
-            Eviction,
-            Writeback,
+        const REFERENCES: &[CounterEvent] = &[
+            IFetch, Read, Write, IFetchMiss, ReadMiss, WriteMiss, Fill, Eviction, Writeback,
+        ];
+        const TRANSLATION: &[CounterEvent] = &[
             PteProbe,
             PteCacheHit,
             PteCacheMiss,
             SecondLevelFetch,
             PteFill,
+        ];
+        const VIRTUAL_MEMORY: &[CounterEvent] = &[
             DirtyFault,
             ExcessFault,
             DirtyBitMiss,
@@ -83,6 +83,8 @@ impl CounterMode {
             DaemonScan,
             PageFlush,
             SoftFault,
+        ];
+        const COHERENCY: &[CounterEvent] = &[
             BusReadShared,
             BusReadForOwnership,
             BusWriteInvalidate,
@@ -90,12 +92,12 @@ impl CounterMode {
             OwnerSupply,
             Invalidation,
         ];
-        let mut events: Vec<CounterEvent> = all
-            .into_iter()
-            .filter(|e| e.mode_slot().0 == self)
-            .collect();
-        events.sort_by_key(|e| e.mode_slot().1);
-        events
+        match self {
+            CounterMode::References => REFERENCES,
+            CounterMode::Translation => TRANSLATION,
+            CounterMode::VirtualMemory => VIRTUAL_MEMORY,
+            CounterMode::Coherency => COHERENCY,
+        }
     }
 }
 
@@ -357,7 +359,7 @@ impl PerfCounters {
                 "mode {mode}{}:\n",
                 if mode == self.mode { " (selected)" } else { "" }
             ));
-            for (slot, event) in mode.events().into_iter().enumerate() {
+            for (slot, event) in mode.events().iter().copied().enumerate() {
                 out.push_str(&format!(
                     "  [{slot:>2}] {:<22} {:>12}\n",
                     event.to_string(),

@@ -11,6 +11,7 @@
 
 use spur_mem::pagetable::PageTable;
 use spur_mem::pte::Pte;
+use spur_obs::{EventKind, NoopRecorder, Recorder, SimEvent};
 use spur_types::{CostParams, Cycles, GlobalAddr, Protection};
 
 use crate::cache::{EvictedBlock, VirtualCache};
@@ -93,6 +94,26 @@ impl InCacheTranslator {
         pt: &PageTable,
         counters: &mut PerfCounters,
     ) -> TranslationOutcome {
+        self.translate_traced(addr, cache, pt, counters, &mut NoopRecorder, 0)
+    }
+
+    /// [`InCacheTranslator::translate`] with an event recorder attached.
+    ///
+    /// `cycle_base` is the simulated clock at the start of the
+    /// translation; emitted event timestamps are offsets from it, so
+    /// trace time is pure simulated time. Emits `PteCacheMiss` (the
+    /// moment the probe fails) and `SecondLevelFetch` (completion of
+    /// the wired fetch) — one trace event per corresponding counter
+    /// record, which is what the reconciliation test checks.
+    pub fn translate_traced(
+        &self,
+        addr: GlobalAddr,
+        cache: &mut VirtualCache,
+        pt: &PageTable,
+        counters: &mut PerfCounters,
+        recorder: &mut dyn Recorder,
+        cycle_base: u64,
+    ) -> TranslationOutcome {
         let vpn = addr.vpn();
         let pte_va = pt.pte_vaddr(vpn);
         counters.record(CounterEvent::PteProbe);
@@ -112,8 +133,20 @@ impl InCacheTranslator {
 
         // First-level PTE missed: go to the wired second-level table.
         counters.record(CounterEvent::PteCacheMiss);
+        recorder.emit(SimEvent {
+            kind: EventKind::PteCacheMiss,
+            cycle: cycle_base + cycles.raw(),
+            page: vpn.index(),
+            cost: 0,
+        });
         counters.record(CounterEvent::SecondLevelFetch);
         cycles += Cycles::new(self.costs.pte_wired_fetch);
+        recorder.emit(SimEvent {
+            kind: EventKind::SecondLevelFetch,
+            cycle: cycle_base + cycles.raw(),
+            page: vpn.index(),
+            cost: self.costs.pte_wired_fetch,
+        });
 
         let pte_page = pt.pte_page_vpn(vpn);
         if pt.second_level_lookup(pte_page).is_err() {
@@ -241,6 +274,66 @@ mod tests {
         // Page 201 shares the page-table page but has no PTE.
         let out = tr.translate(Vpn::new(201).base_addr(), &mut cache, &pt, &mut ctrs);
         assert!(!out.pte.valid());
+    }
+
+    #[test]
+    fn traced_translation_reconciles_with_counters() {
+        use spur_obs::TraceRecorder;
+        let (mut cache, mut pt, mut phys, mut ctrs, tr) = setup();
+        let mut rec = TraceRecorder::new(64);
+        for i in 0..4 {
+            map(&mut pt, &mut phys, Vpn::new(100 + i * 8), 3 + i as u32);
+        }
+        let mut clock = 0u64;
+        for i in 0..4 {
+            // Two translations per page: a cold miss then a warm hit.
+            for _ in 0..2 {
+                let out = tr.translate_traced(
+                    Vpn::new(100 + i * 8).base_addr(),
+                    &mut cache,
+                    &pt,
+                    &mut ctrs,
+                    &mut rec,
+                    clock,
+                );
+                clock += out.cycles.raw();
+            }
+        }
+        assert_eq!(
+            rec.emitted(EventKind::PteCacheMiss),
+            ctrs.total(CounterEvent::PteCacheMiss)
+        );
+        assert_eq!(
+            rec.emitted(EventKind::SecondLevelFetch),
+            ctrs.total(CounterEvent::SecondLevelFetch)
+        );
+        // Timestamps are monotone in simulated time.
+        let events = rec.events();
+        for pair in events.windows(2) {
+            assert!(pair[0].cycle <= pair[1].cycle);
+        }
+    }
+
+    #[test]
+    fn traced_and_untraced_translations_agree() {
+        use spur_obs::TraceRecorder;
+        let (mut c1, mut pt, mut phys, mut k1, tr) = setup();
+        map(&mut pt, &mut phys, Vpn::new(77), 9);
+        let mut c2 = c1.clone();
+        let mut k2 = k1.clone();
+        let mut rec = TraceRecorder::new(8);
+        let plain = tr.translate(Vpn::new(77).base_addr(), &mut c1, &pt, &mut k1);
+        let traced = tr.translate_traced(
+            Vpn::new(77).base_addr(),
+            &mut c2,
+            &pt,
+            &mut k2,
+            &mut rec,
+            500,
+        );
+        assert_eq!(plain, traced, "recording must not perturb the outcome");
+        assert_eq!(k1.total(CounterEvent::PteCacheMiss), 1);
+        assert_eq!(k2.total(CounterEvent::PteCacheMiss), 1);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use spur_vm::policy::RefPolicy;
 use crate::dirty::DirtyPolicy;
 use crate::events::EventCounts;
 use crate::experiments::Scale;
+use crate::obs::{ObsParams, ObsReport};
 use crate::report::Table;
 use crate::system::{SimConfig, SpurSystem};
 
@@ -251,31 +252,54 @@ pub fn measure_cache_scaling_point(
     scale: &Scale,
     cache_kb: usize,
 ) -> Result<CacheScalingRow> {
+    measure_cache_scaling_point_obs(workload, mem, scale, cache_kb, None).map(|(row, _)| row)
+}
+
+/// [`measure_cache_scaling_point`] with optional observability. Each
+/// point runs two simulations (`MISS` and `REF`); only the `MISS` run is
+/// instrumented so one cell yields one trace.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_cache_scaling_point_obs(
+    workload: &Workload,
+    mem: MemSize,
+    scale: &Scale,
+    cache_kb: usize,
+    obs: Option<ObsParams>,
+) -> Result<(CacheScalingRow, Option<ObsReport>)> {
     let lines = cache_kb * 1024 / 32;
-    let run = |policy: RefPolicy| -> Result<(u64, u64)> {
-        let mut sim = SpurSystem::with_cache_lines(
-            SimConfig {
-                mem,
-                dirty: DirtyPolicy::Spur,
-                ref_policy: policy,
-                ..SimConfig::default()
-            },
-            lines,
-        )?;
-        sim.load_workload(workload)?;
-        let mut gen = workload.generator(scale.seed);
-        sim.run(&mut gen, scale.refs)?;
-        let ev = sim.events();
-        Ok((ev.page_ins, ev.ref_faults))
-    };
-    let (miss_page_ins, miss_ref_faults) = run(RefPolicy::Miss)?;
-    let (ref_page_ins, _) = run(RefPolicy::Ref)?;
-    Ok(CacheScalingRow {
+    let run =
+        |policy: RefPolicy, obs: Option<ObsParams>| -> Result<((u64, u64), Option<ObsReport>)> {
+            let mut sim = SpurSystem::with_cache_lines(
+                SimConfig {
+                    mem,
+                    dirty: DirtyPolicy::Spur,
+                    ref_policy: policy,
+                    ..SimConfig::default()
+                },
+                lines,
+            )?;
+            if let Some(params) = obs {
+                sim.enable_obs(params);
+            }
+            sim.load_workload(workload)?;
+            let mut gen = workload.generator(scale.seed);
+            sim.run(&mut gen, scale.refs)?;
+            let report = sim.finish_obs();
+            let ev = sim.events();
+            Ok(((ev.page_ins, ev.ref_faults), report))
+        };
+    let ((miss_page_ins, miss_ref_faults), report) = run(RefPolicy::Miss, obs)?;
+    let ((ref_page_ins, _), _) = run(RefPolicy::Ref, None)?;
+    let row = CacheScalingRow {
         cache_kb,
         miss_page_ins,
         ref_page_ins,
         miss_ref_faults,
-    })
+    };
+    Ok((row, report))
 }
 
 /// Section 4.1's extrapolation: as the cache grows, active pages stop

@@ -14,6 +14,7 @@ use spur_vm::policy::RefPolicy;
 
 use crate::dirty::DirtyPolicy;
 use crate::experiments::Scale;
+use crate::obs::{ObsParams, ObsReport};
 use crate::report::Table;
 use crate::system::{SimConfig, SpurSystem};
 
@@ -58,6 +59,23 @@ pub fn measure_crossover(
     policy: RefPolicy,
     scale: &Scale,
 ) -> Result<CrossoverRow> {
+    measure_crossover_obs(workload, mem, period, policy, scale, None).map(|(row, _)| row)
+}
+
+/// [`measure_crossover`] with optional observability: when `obs` is
+/// set the cell is traced and the finished [`ObsReport`] rides along.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_crossover_obs(
+    workload: &Workload,
+    mem: MemSize,
+    period: Option<u64>,
+    policy: RefPolicy,
+    scale: &Scale,
+    obs: Option<ObsParams>,
+) -> Result<(CrossoverRow, Option<ObsReport>)> {
     let mut sim = SpurSystem::new(SimConfig {
         mem,
         dirty: DirtyPolicy::Spur,
@@ -65,17 +83,22 @@ pub fn measure_crossover(
         daemon_period: period,
         ..SimConfig::default()
     })?;
+    if let Some(params) = obs {
+        sim.enable_obs(params);
+    }
     sim.load_workload(workload)?;
     let mut gen = workload.generator(scale.seed);
     sim.run(&mut gen, scale.refs)?;
+    let report = sim.finish_obs();
     let ev = sim.events();
-    Ok(CrossoverRow {
+    let row = CrossoverRow {
         period,
         policy,
         page_ins: ev.page_ins,
         ref_faults: ev.ref_faults,
         elapsed_secs: ev.elapsed_seconds(),
-    })
+    };
+    Ok((row, report))
 }
 
 /// Sweeps daemon periods × policies at one memory size.

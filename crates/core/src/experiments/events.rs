@@ -13,6 +13,7 @@ use spur_vm::policy::RefPolicy;
 use crate::dirty::DirtyPolicy;
 use crate::events::EventCounts;
 use crate::experiments::Scale;
+use crate::obs::{ObsParams, ObsReport};
 use crate::report::Table;
 use crate::system::{SimConfig, SpurSystem};
 
@@ -46,20 +47,43 @@ impl EventRow {
 ///
 /// Propagates simulator errors (exhausted memory, bad workload).
 pub fn measure_events(workload: &Workload, mem: MemSize, scale: &Scale) -> Result<EventRow> {
+    measure_events_obs(workload, mem, scale, None).map(|(row, _)| row)
+}
+
+/// [`measure_events`] with optional observability: when `obs` is set,
+/// the run is traced and the finalized [`ObsReport`] is returned
+/// alongside the row. Recording never perturbs the row.
+///
+/// # Errors
+///
+/// Propagates simulator errors (exhausted memory, bad workload).
+pub fn measure_events_obs(
+    workload: &Workload,
+    mem: MemSize,
+    scale: &Scale,
+    obs: Option<ObsParams>,
+) -> Result<(EventRow, Option<ObsReport>)> {
     let mut sim = SpurSystem::new(SimConfig {
         mem,
         dirty: DirtyPolicy::Spur,
         ref_policy: RefPolicy::Miss,
         ..SimConfig::default()
     })?;
+    if let Some(params) = obs {
+        sim.enable_obs(params);
+    }
     sim.load_workload(workload)?;
     let mut gen = workload.generator(scale.seed);
     sim.run(&mut gen, scale.refs)?;
-    Ok(EventRow {
-        workload: workload.name().to_string(),
-        mem,
-        events: sim.events(),
-    })
+    let report = sim.finish_obs();
+    Ok((
+        EventRow {
+            workload: workload.name().to_string(),
+            mem,
+            events: sim.events(),
+        },
+        report,
+    ))
 }
 
 /// Regenerates every Table 3.3 row: `SLC` and `WORKLOAD1` at 5, 6, and

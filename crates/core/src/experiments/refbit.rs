@@ -11,6 +11,7 @@ use spur_vm::policy::RefPolicy;
 
 use crate::dirty::DirtyPolicy;
 use crate::experiments::Scale;
+use crate::obs::{ObsParams, ObsReport};
 use crate::report::Table;
 use crate::stats::Sample;
 use crate::system::{SimConfig, SpurSystem};
@@ -67,9 +68,28 @@ pub fn measure_refbit(
     policy: RefPolicy,
     scale: &Scale,
 ) -> Result<RefbitRow> {
+    measure_refbit_obs(workload, mem, policy, scale, None).map(|(row, _)| row)
+}
+
+/// [`measure_refbit`] with optional observability. Only repetition 0 is
+/// instrumented, so the trace stays a pure function of (workload,
+/// memory, policy, base seed) regardless of the repetition count; the
+/// averaged row is untouched either way.
+///
+/// # Errors
+///
+/// Propagates the first failing run.
+pub fn measure_refbit_obs(
+    workload: &Workload,
+    mem: MemSize,
+    policy: RefPolicy,
+    scale: &Scale,
+    obs: Option<ObsParams>,
+) -> Result<(RefbitRow, Option<ObsReport>)> {
     let mut page_ins_sample = Sample::new();
     let mut elapsed_sample = Sample::new();
     let mut ref_faults = 0.0;
+    let mut report = None;
     for rep in 0..scale.reps {
         let mut sim = SpurSystem::new(SimConfig {
             mem,
@@ -77,15 +97,23 @@ pub fn measure_refbit(
             ref_policy: policy,
             ..SimConfig::default()
         })?;
+        if rep == 0 {
+            if let Some(params) = obs {
+                sim.enable_obs(params);
+            }
+        }
         sim.load_workload(workload)?;
         let mut gen = workload.generator(scale.seed + rep as u64);
         sim.run(&mut gen, scale.refs)?;
+        if rep == 0 {
+            report = sim.finish_obs();
+        }
         let ev = sim.events();
         page_ins_sample.push(ev.page_ins as f64);
         elapsed_sample.push(ev.elapsed_seconds());
         ref_faults += ev.ref_faults as f64;
     }
-    Ok(RefbitRow {
+    let row = RefbitRow {
         workload: workload.name().to_string(),
         mem,
         policy,
@@ -94,7 +122,8 @@ pub fn measure_refbit(
         ref_faults: ref_faults / scale.reps as f64,
         page_ins_sample,
         elapsed_sample,
-    })
+    };
+    Ok((row, report))
 }
 
 /// Regenerates Table 4.1: both workloads × {5, 6, 8} MB × {MISS, REF,

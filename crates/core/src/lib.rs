@@ -46,6 +46,7 @@ pub mod dirty;
 pub mod events;
 pub mod experiments;
 pub mod model;
+pub mod obs;
 pub mod report;
 pub mod stats;
 pub mod system;
@@ -56,4 +57,5 @@ pub use breakdown::{CycleBreakdown, CycleCategory};
 pub use dirty::DirtyPolicy;
 pub use events::EventCounts;
 pub use model::ExcessFaultModel;
+pub use obs::{ObsParams, ObsReport};
 pub use system::{SimConfig, SpurSystem};

@@ -11,9 +11,10 @@ use spur_cache::cache::VirtualCache;
 use spur_cache::coherence::CoherencyState;
 use spur_cache::counters::{CounterEvent, CounterMode, PerfCounters};
 use spur_cache::line::LineIndex;
-use spur_cache::translate::InCacheTranslator;
+use spur_cache::translate::{InCacheTranslator, TranslationOutcome};
 use spur_mem::pagetable::PT_GLOBAL_SEGMENT;
 use spur_mem::pte::Pte;
+use spur_obs::{EventKind, Recorder, SimEvent};
 use spur_trace::layout::SegKind;
 use spur_trace::stream::TraceRef;
 use spur_trace::workloads::Workload;
@@ -29,6 +30,7 @@ use std::collections::HashMap;
 use crate::breakdown::{CycleBreakdown, CycleCategory};
 use crate::dirty::DirtyPolicy;
 use crate::events::EventCounts;
+use crate::obs::{ObsParams, ObsReport, SystemObs, EPOCH_COLUMNS};
 
 /// Simulator configuration: the machine plus the two policies under
 /// study.
@@ -137,6 +139,8 @@ pub struct SpurSystem {
     stale_at_fault: u64,
     /// The same count, restricted to faults on zero-filled residencies.
     stale_at_fault_zfod: u64,
+    /// Observability bundle (`None` keeps the uninstrumented paths).
+    obs: Option<Box<SystemObs>>,
 }
 
 impl SpurSystem {
@@ -207,6 +211,7 @@ impl SpurSystem {
             excess_breakdown: HashMap::new(),
             stale_at_fault: 0,
             stale_at_fault_zfod: 0,
+            obs: None,
         })
     }
 
@@ -257,6 +262,137 @@ impl SpurSystem {
     /// The cache controller's counters.
     pub fn counters(&self) -> &PerfCounters {
         &self.counters
+    }
+
+    /// Enables observability for the rest of the run: event tracing,
+    /// fault/residency histograms, and (when `params.epoch` is set) the
+    /// per-epoch counter series. Replaces any previous bundle.
+    pub fn enable_obs(&mut self, params: ObsParams) {
+        self.obs = Some(Box::new(SystemObs::new(params)));
+    }
+
+    /// Whether an observability bundle is attached.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Detaches and finalizes the observability bundle: flushes the
+    /// partial last epoch and closes the residency histogram for pages
+    /// still resident. Returns `None` if observability was never
+    /// enabled.
+    pub fn finish_obs(&mut self) -> Option<ObsReport> {
+        let totals = self.obs_totals();
+        let refs = self.refs;
+        self.obs.take().map(|o| o.finish(refs, &totals))
+    }
+
+    /// Running totals for the epoch series, one per
+    /// [`EPOCH_COLUMNS`] entry. Under a hardware-faithful
+    /// [`CounterMode`], events outside the selected set read zero here,
+    /// exactly as they do in `PerfCounters::total`.
+    fn obs_totals(&self) -> [u64; EPOCH_COLUMNS.len()] {
+        [
+            self.misses,
+            self.counters.total(CounterEvent::DirtyFault),
+            self.counters.total(CounterEvent::ExcessFault),
+            self.counters.total(CounterEvent::DirtyBitMiss),
+            self.counters.total(CounterEvent::RefFault),
+            self.counters.total(CounterEvent::ZeroFill),
+            self.counters.total(CounterEvent::PageIn),
+            self.counters.total(CounterEvent::PageOut),
+            self.counters.total(CounterEvent::DaemonScan),
+            self.counters.total(CounterEvent::SoftFault),
+            self.counters.total(CounterEvent::PageFlush),
+            self.cycles.raw(),
+        ]
+    }
+
+    /// Emits one trace event at the current simulated time.
+    /// Fault-category events also feed the fault distributions.
+    fn obs_emit(&mut self, kind: EventKind, page: u64, cost: u64) {
+        let cycle = self.cycles.raw();
+        let refs = self.refs;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.recorder.emit(SimEvent {
+                kind,
+                cycle,
+                page,
+                cost,
+            });
+            if kind.category() == "fault" {
+                o.note_fault(refs, cost);
+            }
+        }
+    }
+
+    /// Samples an epoch row when the reference count crosses a
+    /// boundary.
+    fn obs_tick(&mut self) {
+        let due = self
+            .obs
+            .as_ref()
+            .and_then(|o| o.series.as_ref())
+            .is_some_and(|s| s.due(self.refs));
+        if due {
+            let totals = self.obs_totals();
+            if let Some(series) = self.obs.as_deref_mut().and_then(|o| o.series.as_mut()) {
+                series.sample(self.refs, &totals);
+            }
+        }
+    }
+
+    /// Translates through the recorder when observability is on.
+    fn translate_obs(&mut self, cpu: usize, addr: GlobalAddr) -> TranslationOutcome {
+        let base = self.cycles.raw();
+        match self.obs.as_deref_mut() {
+            Some(o) => self.translator.translate_traced(
+                addr,
+                &mut self.caches[cpu],
+                self.vm.page_table(),
+                &mut self.counters,
+                &mut o.recorder,
+                base,
+            ),
+            None => self.translator.translate(
+                addr,
+                &mut self.caches[cpu],
+                self.vm.page_table(),
+                &mut self.counters,
+            ),
+        }
+    }
+
+    /// Runs `f` with a [`VmCtx`] — recorder-attached when observability
+    /// is on — then charges its accumulated cycles and closes residency
+    /// histograms for any pages it reclaimed.
+    fn with_vm_ctx<R>(&mut self, f: impl FnOnce(&mut VmSystem, &mut VmCtx) -> R) -> R {
+        let cycle_base = self.cycles.raw();
+        let (out, paging, daemon, ref_flush, reclaimed) = {
+            let mut ctx = match self.obs.as_deref_mut() {
+                Some(o) => VmCtx::with_recorder(
+                    &mut self.caches,
+                    &mut self.counters,
+                    &mut o.recorder,
+                    cycle_base,
+                ),
+                None => VmCtx::new(&mut self.caches, &mut self.counters),
+            };
+            let out = f(&mut self.vm, &mut ctx);
+            (
+                out,
+                ctx.paging_cycles,
+                ctx.daemon_cycles,
+                ctx.ref_flush_cycles,
+                std::mem::take(&mut ctx.reclaimed),
+            )
+        };
+        self.charge(CycleCategory::Paging, paging.raw());
+        self.charge(CycleCategory::Daemon, daemon.raw());
+        self.charge(CycleCategory::RefBit, ref_flush.raw());
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.note_reclaims(&reclaimed);
+        }
+        out
     }
 
     /// The VM system (stats, swap accounting).
@@ -329,12 +465,19 @@ impl SpurSystem {
             AccessKind::Write => CounterEvent::Write,
         });
 
+        if r.kind.is_write() {
+            if let Some(o) = self.obs.as_deref_mut() {
+                *o.page_writes.entry(r.addr.vpn().index()).or_insert(0) += 1;
+            }
+        }
+
         let cpu = self.cpu_of(r.pid);
         let probe = self.caches[cpu].probe(r.addr);
         if probe.hit {
             if r.kind.is_write() {
                 self.write_hit(cpu, probe.index, r.addr)?;
             }
+            self.obs_tick();
             return Ok(());
         }
 
@@ -344,7 +487,19 @@ impl SpurSystem {
             AccessKind::Read => CounterEvent::ReadMiss,
             AccessKind::Write => CounterEvent::WriteMiss,
         });
-        self.handle_miss(cpu, r.addr, r.kind)
+        let before = self.cycles.raw();
+        self.handle_miss(cpu, r.addr, r.kind)?;
+        if self.obs.is_some() {
+            let kind = match r.kind {
+                AccessKind::InstrFetch => EventKind::IFetchMiss,
+                AccessKind::Read => EventKind::ReadMiss,
+                AccessKind::Write => EventKind::WriteMiss,
+            };
+            let cost = self.cycles.raw() - before;
+            self.obs_emit(kind, r.addr.vpn().index(), cost);
+        }
+        self.obs_tick();
+        Ok(())
     }
 
     /// Snoop for a write by `cpu`: invalidate every other cache's copy of
@@ -418,6 +573,7 @@ impl SpurSystem {
                         // Stale cached copy: refresh with a dirty-bit miss.
                         self.counters.record(CounterEvent::DirtyBitMiss);
                         self.charge(CycleCategory::DirtyBit, costs.t_dm);
+                        self.obs_emit(EventKind::DirtyBitMiss, vpn.index(), costs.t_dm);
                         if let Some(k) = self.vm.kind_of(vpn) {
                             *self.excess_breakdown.entry(k).or_insert(0) += 1;
                         }
@@ -437,6 +593,7 @@ impl SpurSystem {
                         // other block of this page: an excess fault.
                         self.counters.record(CounterEvent::ExcessFault);
                         self.charge(CycleCategory::DirtyBit, costs.t_ds);
+                        self.obs_emit(EventKind::ExcessFault, vpn.index(), costs.t_ds);
                         if let Some(k) = self.vm.kind_of(vpn) {
                             *self.excess_breakdown.entry(k).or_insert(0) += 1;
                         }
@@ -456,6 +613,7 @@ impl SpurSystem {
                         // stale lines), but handle it as FAULT would.
                         self.counters.record(CounterEvent::ExcessFault);
                         self.charge(CycleCategory::DirtyBit, costs.t_ds);
+                        self.obs_emit(EventKind::ExcessFault, vpn.index(), costs.t_ds);
                         self.caches[cpu].line_mut(index).prot = pte.protection();
                     } else {
                         if !self.emulation_fault(vpn)? {
@@ -468,6 +626,7 @@ impl SpurSystem {
                         self.counters
                             .record_n(CounterEvent::Writeback, stats.written_back);
                         self.charge(CycleCategory::DirtyBit, costs.t_flush);
+                        self.obs_emit(EventKind::PageFlush, vpn.index(), costs.t_flush);
                         self.fill_for_write(cpu, addr, Protection::ReadWrite, true);
                         return Ok(());
                     }
@@ -496,12 +655,7 @@ impl SpurSystem {
         let vpn = addr.vpn();
         let costs = self.config.costs;
 
-        let out = self.translator.translate(
-            addr,
-            &mut self.caches[cpu],
-            self.vm.page_table(),
-            &mut self.counters,
-        );
+        let out = self.translate_obs(cpu, addr);
         self.charge(CycleCategory::MissService, out.cycles.raw());
         let mut pte = out.pte;
 
@@ -515,21 +669,10 @@ impl SpurSystem {
                 .dirty
                 .initial_protection(kindp.natural_protection());
             // The daemon flushes replaced pages out of *every* cache.
-            let mut ctx = VmCtx::new(&mut self.caches, &mut self.counters);
-            self.vm.fault_in(vpn, init, &mut ctx)?;
-            let (paging, daemon, ref_flush) =
-                (ctx.paging_cycles, ctx.daemon_cycles, ctx.ref_flush_cycles);
-            self.charge(CycleCategory::Paging, paging.raw());
-            self.charge(CycleCategory::Daemon, daemon.raw());
-            self.charge(CycleCategory::RefBit, ref_flush.raw());
+            self.with_vm_ctx(|vm, ctx| vm.fault_in(vpn, init, ctx))?;
             // The restarted reference translates again (the PTE block may
             // or may not still be cached).
-            let out2 = self.translator.translate(
-                addr,
-                &mut self.caches[cpu],
-                self.vm.page_table(),
-                &mut self.counters,
-            );
+            let out2 = self.translate_obs(cpu, addr);
             self.charge(CycleCategory::MissService, out2.cycles.raw());
             pte = out2.pte;
             debug_assert!(pte.valid(), "page still invalid after fault-in");
@@ -540,6 +683,7 @@ impl SpurSystem {
         if self.vm.ref_policy().faults_enabled() && !pte.referenced() {
             self.counters.record(CounterEvent::RefFault);
             self.charge(CycleCategory::RefBit, costs.t_ref_fault);
+            self.obs_emit(EventKind::RefFault, vpn.index(), costs.t_ref_fault);
             self.vm.set_referenced(vpn);
             pte.set_referenced(true);
         }
@@ -590,6 +734,7 @@ impl SpurSystem {
                         self.counters
                             .record_n(CounterEvent::Writeback, stats.written_back);
                         self.charge(CycleCategory::DirtyBit, costs.t_flush);
+                        self.obs_emit(EventKind::PageFlush, vpn.index(), costs.t_flush);
                     }
                 }
                 self.fill_for_write(cpu, addr, Protection::ReadWrite, true);
@@ -610,10 +755,12 @@ impl SpurSystem {
             // A true protection violation (writing code).
             self.counters.record(CounterEvent::ProtFault);
             self.charge(CycleCategory::DirtyBit, self.config.costs.t_ds);
+            self.obs_emit(EventKind::ProtFault, vpn.index(), self.config.costs.t_ds);
             return Ok(false);
         }
         self.counters.record(CounterEvent::DirtyFault);
         self.charge(CycleCategory::DirtyBit, cost);
+        self.obs_emit(EventKind::DirtyFault, vpn.index(), cost);
         let zf = self.vm.residency_zero_filled(vpn);
         if zf {
             self.zfod_faults += 1;
@@ -644,10 +791,12 @@ impl SpurSystem {
         if !kind.writable() {
             self.counters.record(CounterEvent::ProtFault);
             self.charge(CycleCategory::DirtyBit, self.config.costs.t_ds);
+            self.obs_emit(EventKind::ProtFault, vpn.index(), self.config.costs.t_ds);
             return Ok(false);
         }
         self.counters.record(CounterEvent::DirtyFault);
         self.charge(CycleCategory::DirtyBit, self.config.costs.t_ds);
+        self.obs_emit(EventKind::DirtyFault, vpn.index(), self.config.costs.t_ds);
         let zf = self.vm.residency_zero_filled(vpn);
         if zf {
             self.zfod_faults += 1;
@@ -714,26 +863,14 @@ impl SpurSystem {
     /// pressure automatically). Daemon work is charged to the elapsed
     /// model as usual.
     pub fn daemon_sweep(&mut self, target_free: usize) {
-        let mut ctx = VmCtx::new(&mut self.caches, &mut self.counters);
-        self.vm.sweep_target(&mut ctx, target_free);
-        let (paging, daemon, ref_flush) =
-            (ctx.paging_cycles, ctx.daemon_cycles, ctx.ref_flush_cycles);
-        self.charge(CycleCategory::Paging, paging.raw());
-        self.charge(CycleCategory::Daemon, daemon.raw());
-        self.charge(CycleCategory::RefBit, ref_flush.raw());
+        self.with_vm_ctx(|vm, ctx| vm.sweep_target(ctx, target_free));
     }
 
     /// Runs one clear-only daemon pass over every resident page (the
     /// first hand of a two-handed clock): reference bits are cleared per
     /// the policy, nothing is reclaimed.
     pub fn daemon_clear_pass(&mut self) {
-        let mut ctx = VmCtx::new(&mut self.caches, &mut self.counters);
-        self.vm.daemon_clear_pass(&mut ctx);
-        let (paging, daemon, ref_flush) =
-            (ctx.paging_cycles, ctx.daemon_cycles, ctx.ref_flush_cycles);
-        self.charge(CycleCategory::Paging, paging.raw());
-        self.charge(CycleCategory::Daemon, daemon.raw());
-        self.charge(CycleCategory::RefBit, ref_flush.raw());
+        self.with_vm_ctx(|vm, ctx| vm.daemon_clear_pass(ctx));
     }
 
     /// Gathers the Table 3.3 event record for this run.
@@ -925,6 +1062,123 @@ mod tests {
             kind: AccessKind::Read,
         };
         assert!(matches!(s.reference(r), Err(Error::BadWorkload(_))));
+    }
+
+    /// The counter event carrying the same population as a traced kind.
+    fn counter_for(kind: EventKind) -> CounterEvent {
+        match kind {
+            EventKind::IFetchMiss => CounterEvent::IFetchMiss,
+            EventKind::ReadMiss => CounterEvent::ReadMiss,
+            EventKind::WriteMiss => CounterEvent::WriteMiss,
+            EventKind::PteCacheMiss => CounterEvent::PteCacheMiss,
+            EventKind::SecondLevelFetch => CounterEvent::SecondLevelFetch,
+            EventKind::DirtyFault => CounterEvent::DirtyFault,
+            EventKind::ExcessFault => CounterEvent::ExcessFault,
+            EventKind::DirtyBitMiss => CounterEvent::DirtyBitMiss,
+            EventKind::RefFault => CounterEvent::RefFault,
+            EventKind::ProtFault => CounterEvent::ProtFault,
+            EventKind::ZeroFill => CounterEvent::ZeroFill,
+            EventKind::PageIn => CounterEvent::PageIn,
+            EventKind::PageOut => CounterEvent::PageOut,
+            EventKind::DaemonScan => CounterEvent::DaemonScan,
+            EventKind::SoftFault => CounterEvent::SoftFault,
+            EventKind::PageFlush => CounterEvent::PageFlush,
+        }
+    }
+
+    #[test]
+    fn trace_reconciles_with_counters_across_the_whole_system() {
+        // Memory pressure at 5 MB drives the daemon, page-outs, and soft
+        // faults, so every traced kind is exercised or provably zero.
+        let w = slc();
+        let mut s = sim(MemSize::MB5, DirtyPolicy::Spur, RefPolicy::Miss);
+        s.load_workload(&w).unwrap();
+        s.enable_obs(ObsParams::default());
+        s.run(&mut w.generator(1), 300_000).unwrap();
+        let report = s.finish_obs().unwrap();
+        for kind in EventKind::ALL {
+            assert_eq!(
+                report.emitted(kind),
+                s.counters().total(counter_for(kind)),
+                "trace and counters disagree on {}",
+                kind.name()
+            );
+        }
+        assert!(report.emitted(EventKind::ReadMiss) > 0);
+        assert!(report.emitted(EventKind::DirtyFault) > 0);
+        assert!(report.emitted(EventKind::PageIn) > 0);
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_simulation() {
+        let w = slc();
+        let run = |obs: bool| {
+            let mut s = sim(MemSize::MB5, DirtyPolicy::Spur, RefPolicy::Miss);
+            s.load_workload(&w).unwrap();
+            if obs {
+                s.enable_obs(ObsParams {
+                    epoch: Some(25_000),
+                    ..ObsParams::default()
+                });
+            }
+            s.run(&mut w.generator(42), 200_000).unwrap();
+            (s.cycles(), s.misses(), s.events())
+        };
+        assert_eq!(run(false), run(true), "observability must be invisible");
+    }
+
+    #[test]
+    fn epoch_series_covers_the_run_and_sums_to_totals() {
+        let w = slc();
+        let mut s = sim(MemSize::MB6, DirtyPolicy::Spur, RefPolicy::Miss);
+        s.load_workload(&w).unwrap();
+        s.enable_obs(ObsParams {
+            epoch: Some(30_000),
+            ..ObsParams::default()
+        });
+        s.run(&mut w.generator(9), 100_000).unwrap();
+        let misses = s.misses();
+        let cycles = s.cycles().raw();
+        let report = s.finish_obs().unwrap();
+        let series = report.series.as_ref().unwrap();
+        // 100_000 refs at epoch 30_000: three full rows plus the flushed
+        // partial tail.
+        assert_eq!(series.rows().len(), 4);
+        assert_eq!(series.rows().last().unwrap().end_ref, 100_000);
+        let col = |name: &str| {
+            let i = series.columns().iter().position(|c| c == name).unwrap();
+            series.rows().iter().map(|r| r.deltas[i]).sum::<u64>()
+        };
+        assert_eq!(col("misses"), misses, "epoch deltas must sum to totals");
+        assert_eq!(col("cycles"), cycles);
+    }
+
+    #[test]
+    fn residency_histogram_accounts_for_every_write() {
+        let w = slc();
+        let mut s = sim(MemSize::MB5, DirtyPolicy::Spur, RefPolicy::Miss);
+        s.load_workload(&w).unwrap();
+        s.enable_obs(ObsParams::default());
+        s.run(&mut w.generator(3), 250_000).unwrap();
+        let writes = s.counters().total(CounterEvent::Write);
+        let reclaims = s.vm().stats().reclaims;
+        let report = s.finish_obs().unwrap();
+        let hist = report
+            .histograms
+            .iter()
+            .find(|h| h.name() == "writes_per_residency")
+            .unwrap();
+        // Every write lands in exactly one residency; every reclaimed
+        // page closes one histogram entry.
+        assert_eq!(hist.sum(), writes);
+        assert!(hist.count() >= reclaims);
+    }
+
+    #[test]
+    fn finish_obs_is_none_when_never_enabled() {
+        let mut s = sim(MemSize::MB8, DirtyPolicy::Spur, RefPolicy::Miss);
+        assert!(!s.obs_enabled());
+        assert!(s.finish_obs().is_none());
     }
 
     #[test]

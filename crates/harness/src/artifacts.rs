@@ -21,7 +21,12 @@ use crate::json::Json;
 use crate::run::RunReport;
 
 /// Version stamp written into every artifact file.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: 1 = initial layout; 2 = optional per-job `metrics` (in the
+/// manifest and job files) and `series` (job files) sections from the
+/// observability layer. Both are additive and appear only when
+/// observability was enabled for the run.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The default artifact root: `$SPUR_RESULTS_DIR` or `results/json`.
 pub fn default_root() -> PathBuf {
@@ -92,12 +97,18 @@ pub fn write_run<T>(
             n += 1;
         }
         fs::write(dir.join(&file), job_artifact(job).encode_pretty())?;
-        manifest_jobs.push(Json::object([
-            ("key", Json::from(job.key.as_str())),
-            ("file", Json::from(file.as_str())),
-            ("status", Json::from(status(job))),
-            ("wall_ms", Json::from(millis(job.wall))),
-        ]));
+        let mut entry = vec![
+            ("key".to_string(), Json::from(job.key.as_str())),
+            ("file".to_string(), Json::from(file.as_str())),
+            ("status".to_string(), Json::from(status(job))),
+            ("wall_ms".to_string(), Json::from(millis(job.wall))),
+        ];
+        if let Ok(output) = &job.outcome {
+            if let Some(metrics) = &output.metrics {
+                entry.push(("metrics".to_string(), metrics.clone()));
+            }
+        }
+        manifest_jobs.push(Json::Obj(entry));
         files.push((job.key.clone(), file));
     }
 
@@ -150,14 +161,26 @@ fn millis(wall: Duration) -> f64 {
 /// The per-job artifact document. Deliberately excludes timing (see
 /// the module docs): success carries the job's data, failure carries
 /// the kind and reason so a dead cell is still a readable record.
+/// Observability payloads (`metrics`, `series`) appear only when the
+/// job attached them — an uninstrumented run's files carry exactly the
+/// pre-observability shape.
 fn job_artifact<T>(job: &CompletedJob<T>) -> Json {
     match &job.outcome {
-        Ok(output) => Json::object([
-            ("schema_version", Json::from(SCHEMA_VERSION)),
-            ("key", Json::from(job.key.as_str())),
-            ("status", Json::from("ok")),
-            ("data", output.artifact.clone()),
-        ]),
+        Ok(output) => {
+            let mut fields = vec![
+                ("schema_version".to_string(), Json::from(SCHEMA_VERSION)),
+                ("key".to_string(), Json::from(job.key.as_str())),
+                ("status".to_string(), Json::from("ok")),
+                ("data".to_string(), output.artifact.clone()),
+            ];
+            if let Some(metrics) = &output.metrics {
+                fields.push(("metrics".to_string(), metrics.clone()));
+            }
+            if let Some(series) = &output.series {
+                fields.push(("series".to_string(), series.clone()));
+            }
+            Json::Obj(fields)
+        }
         Err(failure) => Json::object([
             ("schema_version", Json::from(SCHEMA_VERSION)),
             ("key", Json::from(job.key.as_str())),
@@ -165,6 +188,67 @@ fn job_artifact<T>(job: &CompletedJob<T>) -> Json {
             ("kind", Json::from(failure.kind.as_str())),
             ("reason", Json::from(failure.reason.as_str())),
         ]),
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use crate::job::{Job, JobOutput};
+    use crate::run::run_jobs;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "spur-harness-obs-{tag}-{}-{}",
+            std::process::id(),
+            UNIQUE.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn metrics_and_series_land_in_artifact_and_manifest() {
+        let root = temp_dir("metrics");
+        let jobs = vec![Job::new("cell/m", || {
+            Ok(JobOutput::new(1u64, Json::from(1u64))
+                .with_metrics(Json::object([("events_total", Json::from(42u64))]))
+                .with_series(Json::object([("epoch", Json::from(100u64))])))
+        })];
+        let report = run_jobs(jobs, 1);
+        let art = write_run(&root, "demo", &report, &[]).unwrap();
+
+        let job_file = fs::read_to_string(art.dir.join("cell-m.json")).unwrap();
+        assert!(job_file.contains("\"metrics\""));
+        assert!(job_file.contains("\"events_total\": 42"));
+        assert!(job_file.contains("\"series\""));
+
+        let manifest = fs::read_to_string(&art.manifest_path).unwrap();
+        assert!(manifest.contains("\"metrics\""));
+        assert!(manifest.contains("\"events_total\": 42"));
+        assert!(
+            !manifest.contains("\"series\""),
+            "the full series stays out of the manifest"
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn absent_observability_adds_no_keys() {
+        let root = temp_dir("plain");
+        let jobs = vec![Job::new("cell/p", || {
+            Ok(JobOutput::new(1u64, Json::from(1u64)))
+        })];
+        let report = run_jobs(jobs, 1);
+        let art = write_run(&root, "demo", &report, &[]).unwrap();
+        let job_file = fs::read_to_string(art.dir.join("cell-p.json")).unwrap();
+        assert!(!job_file.contains("metrics"));
+        assert!(!job_file.contains("series"));
+        let manifest = fs::read_to_string(&art.manifest_path).unwrap();
+        assert!(!manifest.contains("metrics"));
+        fs::remove_dir_all(&root).unwrap();
     }
 }
 
@@ -218,7 +302,7 @@ mod tests {
         assert!(bad_file.contains("deliberate"));
 
         let manifest = fs::read_to_string(&art.manifest_path).unwrap();
-        assert!(manifest.contains("\"schema_version\": 1"));
+        assert!(manifest.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
         assert!(manifest.contains("\"run\": \"demo\""));
         assert!(manifest.contains("\"seed\": 1989"));
         assert!(manifest.contains("\"wall_ms\""));

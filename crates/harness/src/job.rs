@@ -39,7 +39,15 @@ impl<T: 'static> Job<T> {
         let run = self.run;
         Job {
             key: self.key,
-            run: Box::new(move || run().map(|out| JobOutput::new(f(out.value), out.artifact))),
+            run: Box::new(move || {
+                run().map(|out| JobOutput {
+                    value: f(out.value),
+                    artifact: out.artifact,
+                    metrics: out.metrics,
+                    series: out.series,
+                    trace: out.trace,
+                })
+            }),
         }
     }
 }
@@ -65,12 +73,48 @@ pub struct JobOutput<T> {
     pub value: T,
     /// The machine-readable result, persisted to the artifact file.
     pub artifact: Json,
+    /// Optional compact observability summary (event totals, histogram
+    /// moments). Lands both in the per-job artifact and as the job's
+    /// `metrics` entry in `manifest.json`. `None` (observability off)
+    /// leaves the artifacts byte-identical to a run without this field.
+    pub metrics: Option<Json>,
+    /// Optional per-epoch counter series, merged into the per-job
+    /// artifact under `series`.
+    pub series: Option<Json>,
+    /// Optional Chrome-trace document. Not persisted by `write_run`
+    /// (traces are large); the caller exports it to its `--trace-out`
+    /// directory.
+    pub trace: Option<Json>,
 }
 
 impl<T> JobOutput<T> {
-    /// Pairs a value with its artifact.
+    /// Pairs a value with its artifact; no observability payloads.
     pub fn new(value: T, artifact: Json) -> Self {
-        JobOutput { value, artifact }
+        JobOutput {
+            value,
+            artifact,
+            metrics: None,
+            series: None,
+            trace: None,
+        }
+    }
+
+    /// Attaches a compact metrics summary.
+    pub fn with_metrics(mut self, metrics: Json) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches a per-epoch counter series.
+    pub fn with_series(mut self, series: Json) -> Self {
+        self.series = Some(series);
+        self
+    }
+
+    /// Attaches a Chrome-trace document.
+    pub fn with_trace(mut self, trace: Json) -> Self {
+        self.trace = Some(trace);
+        self
     }
 }
 

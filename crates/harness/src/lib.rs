@@ -38,4 +38,4 @@ pub mod run;
 pub use artifacts::{default_root, write_run, RunArtifacts, SCHEMA_VERSION};
 pub use job::{CompletedJob, FailureKind, Job, JobFailure, JobOutput};
 pub use json::Json;
-pub use run::{run_jobs, RunReport};
+pub use run::{run_jobs, run_jobs_with_progress, RunReport};

@@ -26,6 +26,20 @@ use crate::job::{CompletedJob, FailureKind, Job, JobFailure};
 /// artifact layer hangs off, so a duplicate is a programming error in
 /// the caller's job construction, not a runtime condition.
 pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, workers: usize) -> RunReport<T> {
+    run_jobs_with_progress(jobs, workers, false)
+}
+
+/// [`run_jobs`] with an opt-in stderr heartbeat.
+///
+/// With `progress` set, every completion prints one stderr line —
+/// `progress: completed/total (jobs/s, eta, failures so far)` — driven
+/// by atomic counters so it costs nothing on the result path. Stdout
+/// is untouched, preserving the byte-identical parity contract.
+pub fn run_jobs_with_progress<T: Send>(
+    jobs: Vec<Job<T>>,
+    workers: usize,
+    progress: bool,
+) -> RunReport<T> {
     let workers = workers.max(1);
     {
         let mut keys: Vec<&str> = jobs.iter().map(|j| j.key.as_str()).collect();
@@ -40,6 +54,8 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, workers: usize) -> RunReport<T> {
     let queue: Vec<Mutex<Option<Job<T>>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<CompletedJob<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..workers.min(n.max(1)) {
@@ -66,6 +82,18 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, workers: usize) -> RunReport<T> {
                         reason: panic_message(payload.as_ref()),
                     }),
                 };
+                if outcome.is_err() {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                }
+                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if progress {
+                    heartbeat(
+                        completed,
+                        n,
+                        failed.load(Ordering::Relaxed),
+                        started.elapsed(),
+                    );
+                }
                 *results[i].lock().expect("result slot lock") = Some(CompletedJob {
                     key,
                     index: i,
@@ -90,6 +118,26 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, workers: usize) -> RunReport<T> {
         workers,
         wall: started.elapsed(),
     }
+}
+
+/// One stderr progress line. Rate and ETA come from the shared run
+/// clock, so concurrent completions may interleave lines but each line
+/// is internally consistent.
+fn heartbeat(completed: usize, total: usize, failed: usize, elapsed: Duration) {
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 {
+        completed as f64 / secs
+    } else {
+        0.0
+    };
+    let eta = if rate > 0.0 {
+        (total - completed) as f64 / rate
+    } else {
+        0.0
+    };
+    eprintln!(
+        "progress: {completed}/{total} jobs ({rate:.2} jobs/s, eta {eta:.1}s, {failed} failed)"
+    );
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

@@ -1,0 +1,207 @@
+//! Exporters: Chrome-trace JSON, histogram JSON, epoch-series JSON.
+//!
+//! All exporters build `spur_harness::Json` values so they inherit the
+//! harness's determinism guarantees (insertion-ordered objects, exact
+//! integer printing).
+
+use spur_harness::Json;
+
+use crate::epoch::EpochSeries;
+use crate::event::SimEvent;
+use crate::hist::Histogram;
+use crate::recorder::TraceRecorder;
+
+/// Builds a Chrome-trace-event JSON document from the recorder's
+/// retained events, loadable at <https://ui.perfetto.dev>.
+///
+/// Each event becomes a complete (`"ph": "X"`) duration event on the
+/// given `pid`/`tid` track: `ts` is the simulated cycle the event
+/// *started* (completion cycle minus cost, so durations nest sensibly
+/// on the timeline), `dur` is the cost clamped to at least 1 so
+/// zero-cost bookkeeping events stay visible, and the page number
+/// rides in `args`. Cycle timestamps are reported as microseconds to
+/// Perfetto; read them as cycles.
+pub fn chrome_trace(recorder: &TraceRecorder, pid: u64, tid: u64) -> Json {
+    let events = recorder
+        .events()
+        .iter()
+        .map(|e| trace_event(e, pid, tid))
+        .collect::<Vec<_>>();
+    Json::object([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ns")),
+        (
+            "otherData",
+            Json::object([
+                ("clock", Json::from("simulated-cycles")),
+                ("emitted", Json::from(recorder.emitted_total())),
+                ("dropped", Json::from(recorder.dropped())),
+            ]),
+        ),
+    ])
+}
+
+fn trace_event(e: &SimEvent, pid: u64, tid: u64) -> Json {
+    Json::object([
+        ("name", Json::from(e.kind.name())),
+        ("cat", Json::from(e.kind.category())),
+        ("ph", Json::from("X")),
+        ("ts", Json::from(e.cycle.saturating_sub(e.cost))),
+        ("dur", Json::from(e.cost.max(1))),
+        ("pid", Json::from(pid)),
+        ("tid", Json::from(tid)),
+        ("args", Json::object([("page", Json::from(e.page))])),
+    ])
+}
+
+/// Serializes a histogram: name, moments, and the non-empty buckets
+/// as `[lo, hi, count]` triples (empty buckets are omitted — 65
+/// mostly-zero rows per histogram would dominate the artifact).
+pub fn histogram_json(h: &Histogram) -> Json {
+    Json::object([
+        ("name", Json::from(h.name())),
+        ("count", Json::from(h.count())),
+        ("sum", Json::from(h.sum())),
+        ("min", h.min().map_or(Json::Null, Json::from)),
+        ("max", h.max().map_or(Json::Null, Json::from)),
+        ("mean", h.mean().map_or(Json::Null, Json::from)),
+        (
+            "buckets",
+            Json::array(
+                h.nonzero_buckets().into_iter().map(|(lo, hi, n)| {
+                    Json::array([Json::from(lo), Json::from(hi), Json::from(n)])
+                }),
+            ),
+        ),
+    ])
+}
+
+/// Serializes an epoch series: the interval width, column names, and
+/// one `{start_ref, end_ref, deltas}` row per epoch.
+pub fn series_json(s: &EpochSeries) -> Json {
+    Json::object([
+        ("epoch", Json::from(s.epoch())),
+        (
+            "columns",
+            Json::array(s.columns().iter().map(|c| Json::from(c.as_str()))),
+        ),
+        (
+            "rows",
+            Json::array(s.rows().iter().map(|r| {
+                Json::object([
+                    ("start_ref", Json::from(r.start_ref)),
+                    ("end_ref", Json::from(r.end_ref)),
+                    (
+                        "deltas",
+                        Json::array(r.deltas.iter().map(|&d| Json::from(d))),
+                    ),
+                ])
+            })),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::recorder::Recorder;
+    use crate::validate::parse;
+
+    #[test]
+    fn chrome_trace_round_trips_through_the_validator() {
+        let mut r = TraceRecorder::new(16);
+        r.emit(SimEvent {
+            kind: EventKind::DirtyFault,
+            cycle: 500,
+            page: 42,
+            cost: 300,
+        });
+        r.emit(SimEvent {
+            kind: EventKind::DaemonScan,
+            cycle: 900,
+            page: 43,
+            cost: 0,
+        });
+        let doc = chrome_trace(&r, 1, 1);
+        let parsed = parse(&doc.encode_pretty()).expect("valid JSON");
+        assert_eq!(parsed, doc, "parse(encode(x)) == x");
+
+        // Spot-check the trace-event shape Perfetto requires.
+        let Json::Obj(fields) = &doc else {
+            panic!("trace root must be an object")
+        };
+        let (_, events) = &fields[0];
+        let Json::Arr(events) = events else {
+            panic!("traceEvents must be an array")
+        };
+        let Json::Obj(ev) = &events[0] else {
+            panic!("event must be an object")
+        };
+        let get = |k: &str| ev.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        assert_eq!(get("name"), Some(&Json::from("DirtyFault")));
+        assert_eq!(get("ph"), Some(&Json::from("X")));
+        assert_eq!(get("ts"), Some(&Json::from(200u64)), "ts = cycle - cost");
+        assert_eq!(get("dur"), Some(&Json::from(300u64)));
+    }
+
+    #[test]
+    fn zero_cost_events_get_unit_duration() {
+        let mut r = TraceRecorder::new(4);
+        r.emit(SimEvent {
+            kind: EventKind::DaemonScan,
+            cycle: 10,
+            page: 0,
+            cost: 0,
+        });
+        let doc = chrome_trace(&r, 0, 0);
+        let encoded = doc.encode();
+        assert!(encoded.contains("\"dur\":1"), "zero cost clamps to dur 1");
+        assert!(encoded.contains("\"ts\":10"));
+    }
+
+    #[test]
+    fn histogram_json_parses_and_keeps_only_nonzero_buckets() {
+        let mut h = Histogram::new("fault_cost");
+        h.record(0);
+        h.record(5);
+        h.record(u64::MAX);
+        let doc = histogram_json(&h);
+        parse(&doc.encode()).expect("valid JSON");
+        let encoded = doc.encode();
+        assert!(encoded.starts_with("{\"name\":\"fault_cost\",\"count\":3,"));
+        assert!(encoded.contains(&format!("\"max\":{}", u64::MAX)));
+        assert!(encoded.ends_with(&format!(
+            "\"buckets\":[[0,0,1],[4,7,1],[{},{},1]]}}",
+            1u64 << 63,
+            u64::MAX
+        )));
+    }
+
+    #[test]
+    fn empty_histogram_exports_null_moments() {
+        let doc = histogram_json(&Histogram::new("empty"));
+        assert_eq!(
+            doc.encode(),
+            "{\"name\":\"empty\",\"count\":0,\"sum\":0,\"min\":null,\
+             \"max\":null,\"mean\":null,\"buckets\":[]}"
+        );
+        assert!(parse(&doc.encode()).is_ok());
+    }
+
+    #[test]
+    fn series_json_parses_and_carries_rows_in_order() {
+        let mut s = EpochSeries::new(100, vec!["misses".into()]);
+        s.sample(100, &[3]);
+        s.flush(150, &[5]);
+        let doc = series_json(&s);
+        let parsed = parse(&doc.encode_pretty()).expect("valid JSON");
+        assert_eq!(parsed, doc);
+        assert_eq!(
+            doc.encode(),
+            "{\"epoch\":100,\"columns\":[\"misses\"],\"rows\":[\
+             {\"start_ref\":0,\"end_ref\":100,\"deltas\":[3]},\
+             {\"start_ref\":100,\"end_ref\":150,\"deltas\":[2]}]}"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Log2-bucket histograms.
+//!
+//! Distributions the end-of-run totals can't express — inter-fault
+//! distance, writes per residency, fault cost, per-job wall time —
+//! span many orders of magnitude, so buckets double: bucket 0 holds
+//! the value 0, bucket *i* ≥ 1 holds values in
+//! `[2^(i-1), 2^i - 1]`. 65 buckets cover the full `u64` range
+//! (bucket 64 holds `[2^63, u64::MAX]`).
+
+/// Number of buckets: one for zero plus one per bit of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log2-bucket histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// What is being measured, e.g. `"inter_fault_refs"`. Used as the
+    /// key when the histogram is exported.
+    name: String,
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// The bucket a value lands in: 0 for 0, else `64 - leading_zeros`
+/// (so 1 → bucket 1, 2..=3 → bucket 2, 4..=7 → bucket 3, …).
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `i`.
+pub fn bucket_range(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else if i == 64 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << (i - 1), (1 << i) - 1)
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new(name: impl Into<String>) -> Self {
+        Histogram {
+            name: name.into(),
+            counts: [0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Mean sample, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)`, lowest first.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        (0..BUCKETS)
+            .filter(|&i| self.counts[i] > 0)
+            .map(|i| {
+                let (lo, hi) = bucket_range(i);
+                (lo, hi, self.counts[i])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_zero_one_and_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        // Each power of two opens a new bucket; one less closes the
+        // previous bucket.
+        for bit in 1..64 {
+            let p: u64 = 1 << bit;
+            assert_eq!(bucket_index(p), bit + 1, "2^{bit} opens bucket {}", bit + 1);
+            assert_eq!(bucket_index(p - 1), bit, "2^{bit}-1 stays in bucket {bit}");
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_u64_domain() {
+        assert_eq!(bucket_range(0), (0, 0));
+        assert_eq!(bucket_range(1), (1, 1));
+        assert_eq!(bucket_range(2), (2, 3));
+        assert_eq!(bucket_range(64), (1 << 63, u64::MAX));
+        // Consecutive buckets are adjacent: hi(i) + 1 == lo(i+1).
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_range(i);
+            let (lo, _) = bucket_range(i + 1);
+            assert_eq!(hi + 1, lo, "gap between buckets {i} and {}", i + 1);
+        }
+        // And each range round-trips through bucket_index.
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bucket_range_rejects_out_of_range_index() {
+        bucket_range(BUCKETS);
+    }
+
+    #[test]
+    fn records_track_count_sum_min_max_mean() {
+        let mut h = Histogram::new("t");
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.mean(), Some(1006.0 / 5.0));
+    }
+
+    #[test]
+    fn extreme_values_land_in_terminal_buckets() {
+        let mut h = Histogram::new("t");
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(64), 2);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz, vec![(0, 0, 1), (1 << 63, u64::MAX, 2)]);
+    }
+
+    #[test]
+    fn nonzero_buckets_skip_empty_ranges() {
+        let mut h = Histogram::new("t");
+        h.record(5); // bucket 3: [4,7]
+        h.record(6);
+        h.record(100); // bucket 7: [64,127]
+        assert_eq!(h.nonzero_buckets(), vec![(4, 7, 2), (64, 127, 1)]);
+    }
+}

@@ -1,0 +1,190 @@
+//! The `Recorder` trait, its zero-cost no-op, and the ring-buffered
+//! trace recorder.
+
+use crate::event::{EventKind, SimEvent};
+
+/// A sink for simulator events.
+///
+/// Hot paths take `&mut dyn Recorder` and call [`Recorder::emit`]
+/// unconditionally; the no-op implementation is an empty inlineable
+/// method, so an uninstrumented run pays nothing beyond a virtual call
+/// on paths that already cost hundreds of simulated cycles. Emitters
+/// that must do real work to *build* an event (e.g. compute a cost
+/// delta) can guard it with [`Recorder::enabled`].
+pub trait Recorder {
+    /// Whether events are being kept. Default: no.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Record one event. Default: drop it.
+    fn emit(&mut self, _event: SimEvent) {}
+}
+
+/// The zero-cost default recorder: keeps nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// A recorder backed by a bounded ring buffer.
+///
+/// Two books are kept separately:
+///
+/// * the **ring** holds the most recent `capacity` events, for export
+///   as a Chrome trace (bounding memory on billion-reference runs);
+/// * the **per-kind counts** tally every emitted event, ring or not,
+///   so trace↔counter reconciliation is exact even after the ring has
+///   wrapped.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    ring: Vec<SimEvent>,
+    capacity: usize,
+    /// Next write position in the ring once it is full.
+    head: usize,
+    /// Total events emitted per kind, indexed by `EventKind as usize`.
+    counts: [u64; EventKind::COUNT],
+    /// Events that fell off the ring (emitted - retained).
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// Default ring capacity: enough to hold every event of a quick
+    /// cell and the recent tail of a long one.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates a recorder retaining at most `capacity` events
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRecorder {
+            ring: Vec::new(),
+            capacity,
+            head: 0,
+            counts: [0; EventKind::COUNT],
+            dropped: 0,
+        }
+    }
+
+    /// Total events emitted for `kind`, including any dropped from the
+    /// ring. This is the number reconciled against `PerfCounters`.
+    pub fn emitted(&self, kind: EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Total events emitted across all kinds.
+    pub fn emitted_total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Events that fell off the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first (unwrapping the ring).
+    pub fn events(&self) -> Vec<SimEvent> {
+        if self.ring.len() < self.capacity {
+            self.ring.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.ring.len());
+            out.extend_from_slice(&self.ring[self.head..]);
+            out.extend_from_slice(&self.ring[..self.head]);
+            out
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn emit(&mut self, event: SimEvent) {
+        self.counts[event.kind as usize] += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(event);
+        } else {
+            self.ring[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, cycle: u64) -> SimEvent {
+        SimEvent {
+            kind,
+            cycle,
+            page: 7,
+            cost: 10,
+        }
+    }
+
+    #[test]
+    fn noop_recorder_is_disabled_and_zero_sized() {
+        let mut r = NoopRecorder;
+        assert!(!r.enabled());
+        r.emit(ev(EventKind::PageIn, 1));
+        assert_eq!(core::mem::size_of::<NoopRecorder>(), 0);
+    }
+
+    #[test]
+    fn events_come_back_in_emission_order() {
+        let mut r = TraceRecorder::new(8);
+        for c in 0..5 {
+            r.emit(ev(EventKind::ReadMiss, c));
+        }
+        let got: Vec<u64> = r.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest_and_counting_drops() {
+        let mut r = TraceRecorder::new(4);
+        for c in 0..10 {
+            r.emit(ev(EventKind::PageOut, c));
+        }
+        let got: Vec<u64> = r.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(got, vec![6, 7, 8, 9], "oldest-first after wrap");
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.emitted(EventKind::PageOut), 10, "counts survive drops");
+        assert_eq!(r.emitted_total(), 10);
+    }
+
+    #[test]
+    fn per_kind_counts_are_independent() {
+        let mut r = TraceRecorder::new(16);
+        r.emit(ev(EventKind::DirtyFault, 1));
+        r.emit(ev(EventKind::DirtyFault, 2));
+        r.emit(ev(EventKind::SoftFault, 3));
+        assert_eq!(r.emitted(EventKind::DirtyFault), 2);
+        assert_eq!(r.emitted(EventKind::SoftFault), 1);
+        assert_eq!(r.emitted(EventKind::PageIn), 0);
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let mut r = TraceRecorder::new(0);
+        r.emit(ev(EventKind::ZeroFill, 1));
+        r.emit(ev(EventKind::ZeroFill, 2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.events()[0].cycle, 2);
+        assert_eq!(r.emitted(EventKind::ZeroFill), 2);
+    }
+}

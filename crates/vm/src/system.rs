@@ -21,6 +21,7 @@ use spur_cache::counters::{CounterEvent, PerfCounters};
 use spur_mem::pagetable::PageTable;
 use spur_mem::phys::PhysMemory;
 use spur_mem::pte::Pte;
+use spur_obs::{EventKind, Recorder, SimEvent};
 use spur_types::{CostParams, Cycles, Error, MemSize, Pfn, Protection, Result, Vpn};
 
 use crate::policy::RefPolicy;
@@ -135,6 +136,15 @@ pub struct VmCtx<'a> {
     pub daemon_cycles: Cycles,
     /// `REF`-policy page-flush cycles (clearing reference bits).
     pub ref_flush_cycles: Cycles,
+    /// Optional event recorder; `None` keeps the uninstrumented path.
+    recorder: Option<&'a mut dyn Recorder>,
+    /// Simulated clock at context creation; emitted event timestamps
+    /// are this base plus the cycles charged so far.
+    cycle_base: u64,
+    /// Pages reclaimed through this context (their VPN indices), in
+    /// reclaim order. Only tracked when a recorder is attached — the
+    /// caller uses it to close per-residency histograms.
+    pub reclaimed: Vec<u64>,
 }
 
 impl<'a> VmCtx<'a> {
@@ -146,12 +156,43 @@ impl<'a> VmCtx<'a> {
             paging_cycles: Cycles::ZERO,
             daemon_cycles: Cycles::ZERO,
             ref_flush_cycles: Cycles::ZERO,
+            recorder: None,
+            cycle_base: 0,
+            reclaimed: Vec::new(),
         }
+    }
+
+    /// [`VmCtx::new`] with an event recorder attached. `cycle_base` is
+    /// the simulated clock at context creation.
+    pub fn with_recorder(
+        flusher: &'a mut dyn PageFlusher,
+        counters: &'a mut PerfCounters,
+        recorder: &'a mut dyn Recorder,
+        cycle_base: u64,
+    ) -> Self {
+        let mut ctx = Self::new(flusher, counters);
+        ctx.recorder = Some(recorder);
+        ctx.cycle_base = cycle_base;
+        ctx
     }
 
     /// Total cycles charged through this context.
     pub fn total(&self) -> Cycles {
         self.paging_cycles + self.daemon_cycles + self.ref_flush_cycles
+    }
+
+    /// Emits one event at the current simulated time (base + cycles
+    /// charged so far). A no-op without a recorder.
+    fn emit(&mut self, kind: EventKind, page: Vpn, cost: u64) {
+        let cycle = self.cycle_base + self.total().raw();
+        if let Some(recorder) = self.recorder.as_deref_mut() {
+            recorder.emit(SimEvent {
+                kind,
+                cycle,
+                page: page.index(),
+                cost,
+            });
+        }
     }
 }
 
@@ -375,6 +416,7 @@ impl VmSystem {
             self.stats.soft_faults += 1;
             self.stats.page_faults += 1;
             ctx.counters.record(CounterEvent::SoftFault);
+            ctx.emit(EventKind::SoftFault, vpn, self.costs.page_fault_service);
             let mut pte = Pte::resident(pfn, initial_prot);
             pte.set_referenced(true);
             self.pt.insert(vpn, pte);
@@ -405,11 +447,13 @@ impl VmSystem {
             self.stats.page_ins += 1;
             ctx.counters.record(CounterEvent::PageIn);
             ctx.paging_cycles += Cycles::new(self.costs.page_in);
+            ctx.emit(EventKind::PageIn, vpn, self.costs.page_in);
         } else {
             self.stats.zero_fills += 1;
             self.zero_filled.insert(vpn);
             ctx.counters.record(CounterEvent::ZeroFill);
             ctx.paging_cycles += Cycles::new(self.costs.zero_fill);
+            ctx.emit(EventKind::ZeroFill, vpn, self.costs.zero_fill);
         }
         self.stats.page_faults += 1;
 
@@ -511,6 +555,7 @@ impl VmSystem {
             self.stats.daemon_scans += 1;
             ctx.counters.record(CounterEvent::DaemonScan);
             ctx.daemon_cycles += Cycles::new(self.costs.daemon_per_page);
+            ctx.emit(EventKind::DaemonScan, vpn, self.costs.daemon_per_page);
 
             let pte = self.pt.pte(vpn);
             if self.ref_policy.read_ref(pte) {
@@ -527,10 +572,10 @@ impl VmSystem {
                     // line and a write-back per dirty block, per cache
                     // (~t_flush = 500 cycles on a uniprocessor, scaling
                     // with the number of caches on a multiprocessor).
-                    ctx.ref_flush_cycles += Cycles::new(
-                        flush.probed * (self.costs.flush_probe + 2)
-                            + flush.written_back * self.costs.flush_writeback,
-                    );
+                    let flush_cost = flush.probed * (self.costs.flush_probe + 2)
+                        + flush.written_back * self.costs.flush_writeback;
+                    ctx.ref_flush_cycles += Cycles::new(flush_cost);
+                    ctx.emit(EventKind::PageFlush, vpn, flush_cost);
                 }
                 // Second chance: rotate to the back.
                 self.clock.rotate_left(1);
@@ -550,6 +595,7 @@ impl VmSystem {
             self.stats.daemon_scans += 1;
             ctx.counters.record(CounterEvent::DaemonScan);
             ctx.daemon_cycles += Cycles::new(self.costs.daemon_per_page);
+            ctx.emit(EventKind::DaemonScan, vpn, self.costs.daemon_per_page);
             if self.ref_policy.read_ref(self.pt.pte(vpn)) {
                 if self.ref_policy.clear_clears_bit() {
                     self.pt.update(vpn, |p| p.set_referenced(false));
@@ -560,10 +606,10 @@ impl VmSystem {
                     self.stats.ref_flushes += 1;
                     self.stats.flush_writebacks += flush.written_back;
                     ctx.counters.record(CounterEvent::PageFlush);
-                    ctx.ref_flush_cycles += Cycles::new(
-                        flush.probed * (self.costs.flush_probe + 2)
-                            + flush.written_back * self.costs.flush_writeback,
-                    );
+                    let flush_cost = flush.probed * (self.costs.flush_probe + 2)
+                        + flush.written_back * self.costs.flush_writeback;
+                    ctx.ref_flush_cycles += Cycles::new(flush_cost);
+                    ctx.emit(EventKind::PageFlush, vpn, flush_cost);
                 }
             }
             self.clock.rotate_left(1);
@@ -581,9 +627,10 @@ impl VmSystem {
         let flush = ctx.flusher.flush_page(vpn);
         self.stats.flush_writebacks += flush.written_back;
         ctx.counters.record(CounterEvent::PageFlush);
-        ctx.daemon_cycles += Cycles::new(
-            flush.probed * self.costs.flush_probe + flush.written_back * self.costs.flush_writeback,
-        );
+        let flush_cost =
+            flush.probed * self.costs.flush_probe + flush.written_back * self.costs.flush_writeback;
+        ctx.daemon_cycles += Cycles::new(flush_cost);
+        ctx.emit(EventKind::PageFlush, vpn, flush_cost);
 
         let kind = self
             .regions
@@ -593,6 +640,10 @@ impl VmSystem {
         if outcome.wrote {
             ctx.counters.record(CounterEvent::PageOut);
             ctx.paging_cycles += Cycles::new(self.costs.page_out_cpu);
+            ctx.emit(EventKind::PageOut, vpn, self.costs.page_out_cpu);
+        }
+        if ctx.recorder.is_some() {
+            ctx.reclaimed.push(vpn.index());
         }
 
         if self.config.soft_faults {
@@ -862,6 +913,62 @@ mod tests {
         let mut ctx = VmCtx::new(&mut cache, &mut ctrs);
         let hard = vm.fault_in(vpn, Protection::ReadWrite, &mut ctx).unwrap();
         assert!(hard.read_from_store, "page now lives on swap");
+    }
+
+    #[test]
+    fn traced_vm_events_reconcile_with_counters() {
+        use spur_obs::TraceRecorder;
+        let mut vm = small_vm(RefPolicy::Miss);
+        let (mut cache, mut ctrs) = ctx_parts();
+        let mut rec = TraceRecorder::new(1 << 14);
+        let mut clock = 0u64;
+        let mut reclaimed_pages = 0u64;
+        for i in 0..400u64 {
+            let mut ctx = VmCtx::with_recorder(&mut cache, &mut ctrs, &mut rec, clock);
+            vm.fault_in(Vpn::new(0x1000 + i), Protection::ReadWrite, &mut ctx)
+                .unwrap();
+            clock += ctx.total().raw();
+            reclaimed_pages += ctx.reclaimed.len() as u64;
+        }
+        for (kind, event) in [
+            (EventKind::ZeroFill, CounterEvent::ZeroFill),
+            (EventKind::PageIn, CounterEvent::PageIn),
+            (EventKind::PageOut, CounterEvent::PageOut),
+            (EventKind::DaemonScan, CounterEvent::DaemonScan),
+            (EventKind::SoftFault, CounterEvent::SoftFault),
+            (EventKind::PageFlush, CounterEvent::PageFlush),
+        ] {
+            assert_eq!(
+                rec.emitted(kind),
+                ctrs.total(event),
+                "trace/counter mismatch for {event}"
+            );
+        }
+        assert_eq!(reclaimed_pages, vm.stats().reclaims);
+        assert!(rec.emitted(EventKind::DaemonScan) > 0, "pressure must scan");
+    }
+
+    #[test]
+    fn recorder_does_not_perturb_vm_behavior() {
+        use spur_obs::TraceRecorder;
+        let run = |record: bool| {
+            let mut vm = small_vm(RefPolicy::Miss);
+            let (mut cache, mut ctrs) = ctx_parts();
+            let mut rec = TraceRecorder::new(1 << 12);
+            let mut total = Cycles::ZERO;
+            for i in 0..300u64 {
+                let mut ctx = if record {
+                    VmCtx::with_recorder(&mut cache, &mut ctrs, &mut rec, total.raw())
+                } else {
+                    VmCtx::new(&mut cache, &mut ctrs)
+                };
+                vm.fault_in(Vpn::new(0x1000 + i), Protection::ReadWrite, &mut ctx)
+                    .unwrap();
+                total += ctx.total();
+            }
+            (total, vm.stats())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! its deterministic workloads once per mode. Four hardware-faithful
 //! passes must reconstruct exactly what one promiscuous pass records.
 
-use spur_cache::counters::CounterMode;
+use spur_cache::counters::{CounterEvent, CounterMode};
 use spur_core::system::{SimConfig, SpurSystem};
+use spur_core::ObsParams;
+use spur_obs::EventKind;
 use spur_trace::workloads::slc;
 use spur_types::MemSize;
 
@@ -26,7 +28,7 @@ fn four_hardware_passes_equal_one_promiscuous_pass() {
     let promiscuous = run(None);
     for mode in CounterMode::ALL {
         let hw = run(Some(mode));
-        for event in mode.events() {
+        for &event in mode.events() {
             assert_eq!(
                 hw.counters().total(event),
                 promiscuous.counters().total(event),
@@ -53,4 +55,79 @@ fn hardware_mode_does_not_perturb_the_simulation() {
     assert_eq!(a.cycles(), b.cycles());
     assert_eq!(a.misses(), b.misses());
     assert_eq!(a.vm().stats().page_ins, b.vm().stats().page_ins);
+}
+
+/// The counter the promiscuous pass records for each traced event kind.
+fn counter_for(kind: EventKind) -> CounterEvent {
+    match kind {
+        EventKind::IFetchMiss => CounterEvent::IFetchMiss,
+        EventKind::ReadMiss => CounterEvent::ReadMiss,
+        EventKind::WriteMiss => CounterEvent::WriteMiss,
+        EventKind::PteCacheMiss => CounterEvent::PteCacheMiss,
+        EventKind::SecondLevelFetch => CounterEvent::SecondLevelFetch,
+        EventKind::DirtyFault => CounterEvent::DirtyFault,
+        EventKind::ExcessFault => CounterEvent::ExcessFault,
+        EventKind::DirtyBitMiss => CounterEvent::DirtyBitMiss,
+        EventKind::RefFault => CounterEvent::RefFault,
+        EventKind::ProtFault => CounterEvent::ProtFault,
+        EventKind::ZeroFill => CounterEvent::ZeroFill,
+        EventKind::PageIn => CounterEvent::PageIn,
+        EventKind::PageOut => CounterEvent::PageOut,
+        EventKind::DaemonScan => CounterEvent::DaemonScan,
+        EventKind::SoftFault => CounterEvent::SoftFault,
+        EventKind::PageFlush => CounterEvent::PageFlush,
+    }
+}
+
+#[test]
+fn event_trace_reconciles_with_the_counters() {
+    // The observability layer is a third witness to the same methodology:
+    // every event it records must reconcile exactly with the CC chip's
+    // counters — the trace is the counters, itemized.
+    let workload = slc();
+    let mut sim = SpurSystem::new(SimConfig {
+        mem: MemSize::MB5,
+        ..SimConfig::default()
+    })
+    .unwrap();
+    sim.enable_obs(ObsParams::default());
+    sim.load_workload(&workload).unwrap();
+    sim.run(&mut workload.generator(1989), 400_000).unwrap();
+    let report = sim.finish_obs().expect("obs was enabled");
+    for kind in EventKind::ALL {
+        assert_eq!(
+            report.emitted(kind),
+            sim.counters().total(counter_for(kind)),
+            "traced {kind:?} must equal its counter"
+        );
+    }
+}
+
+#[test]
+fn observability_does_not_perturb_the_counters() {
+    // Tracing must be a pure observer: the counters (and hence every
+    // paper table derived from them) are identical with it on or off.
+    let plain = run(None);
+    let workload = slc();
+    let mut traced = SpurSystem::new(SimConfig {
+        mem: MemSize::MB5,
+        ..SimConfig::default()
+    })
+    .unwrap();
+    traced.enable_obs(ObsParams {
+        epoch: Some(50_000),
+        ..ObsParams::default()
+    });
+    traced.load_workload(&workload).unwrap();
+    traced.run(&mut workload.generator(1989), 400_000).unwrap();
+    assert_eq!(plain.cycles(), traced.cycles());
+    assert_eq!(plain.misses(), traced.misses());
+    for kind in EventKind::ALL {
+        let event = counter_for(kind);
+        assert_eq!(
+            plain.counters().total(event),
+            traced.counters().total(event),
+            "{event} changed under tracing"
+        );
+    }
 }
