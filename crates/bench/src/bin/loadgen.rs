@@ -1,0 +1,346 @@
+//! `loadgen`: a closed-loop load generator for the `spur-serve` daemon.
+//!
+//! Each connection thread loops submit → poll → fetch against a live
+//! server until the deadline, then all threads' histograms merge into
+//! one report: throughput, shed rate, and request/job latency
+//! quantiles (p50/p90/p99 from the `spur-obs` log2 histograms).
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7979 [--conns 16] [--duration-secs 5]
+//!         [--refs 20000] [--mem 5] [--mix full|submit|status]
+//!         [--timeout-ms 5000] [--quick]
+//! ```
+//!
+//! `--mix submit` only submits (the backpressure hammer: against a
+//! small `--queue-bound` this is how you watch 429s); `--mix status`
+//! submits one job per thread then hammers the status endpoint;
+//! `--mix full` (default) drives the whole job lifecycle. `--quick` is
+//! the CI smoke preset. Exit code is 1 only on I/O or 5xx errors —
+//! 429s are the server *working*, not failing.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use spur_harness::Json;
+use spur_obs::validate::{get_field, parse};
+use spur_obs::Histogram;
+use spur_serve::client::{get, post_json};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mix {
+    Full,
+    Submit,
+    Status,
+}
+
+#[derive(Debug, Clone)]
+struct Options {
+    addr: String,
+    conns: usize,
+    duration: Duration,
+    refs: u64,
+    mem_mb: u32,
+    mix: Mix,
+    timeout: Duration,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:7979".to_string(),
+            conns: 16,
+            duration: Duration::from_secs(5),
+            refs: 20_000,
+            mem_mb: 5,
+            mix: Mix::Full,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--conns N] [--duration-secs N] [--refs N]\n\
+         \x20              [--mem MB] [--mix full|submit|status] [--timeout-ms N] [--quick]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut opt = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("loadgen: {what} needs a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--addr" => opt.addr = value("--addr"),
+            "--conns" => opt.conns = parse_num(&value("--conns"), "--conns"),
+            "--duration-secs" => {
+                opt.duration =
+                    Duration::from_secs(parse_num(&value("--duration-secs"), "--duration-secs"))
+            }
+            "--refs" => opt.refs = parse_num(&value("--refs"), "--refs"),
+            "--mem" => opt.mem_mb = parse_num(&value("--mem"), "--mem"),
+            "--timeout-ms" => {
+                opt.timeout =
+                    Duration::from_millis(parse_num(&value("--timeout-ms"), "--timeout-ms"))
+            }
+            "--mix" => {
+                opt.mix = match value("--mix").as_str() {
+                    "full" => Mix::Full,
+                    "submit" => Mix::Submit,
+                    "status" => Mix::Status,
+                    other => {
+                        eprintln!("loadgen: unknown mix {other:?}");
+                        usage();
+                    }
+                }
+            }
+            "--quick" => {
+                opt.conns = 8;
+                opt.duration = Duration::from_secs(2);
+                opt.refs = 5_000;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("loadgen: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if opt.conns == 0 {
+        eprintln!("loadgen: --conns must be positive");
+        usage();
+    }
+    opt
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("loadgen: bad value {text:?} for {flag}");
+        usage();
+    })
+}
+
+/// Per-thread tallies, merged after the run.
+struct Stats {
+    requests: u64,
+    accepted: u64,
+    shed: u64,
+    client_errors: u64,
+    server_errors: u64,
+    io_errors: u64,
+    jobs_done: u64,
+    jobs_failed: u64,
+    result_bytes: u64,
+    request_us: Histogram,
+    job_ms: Histogram,
+}
+
+impl Stats {
+    fn new() -> Self {
+        Stats {
+            requests: 0,
+            accepted: 0,
+            shed: 0,
+            client_errors: 0,
+            server_errors: 0,
+            io_errors: 0,
+            jobs_done: 0,
+            jobs_failed: 0,
+            result_bytes: 0,
+            request_us: Histogram::new("request_us"),
+            job_ms: Histogram::new("job_ms"),
+        }
+    }
+
+    fn absorb(&mut self, other: &Stats) {
+        self.requests += other.requests;
+        self.accepted += other.accepted;
+        self.shed += other.shed;
+        self.client_errors += other.client_errors;
+        self.server_errors += other.server_errors;
+        self.io_errors += other.io_errors;
+        self.jobs_done += other.jobs_done;
+        self.jobs_failed += other.jobs_failed;
+        self.result_bytes += other.result_bytes;
+        self.request_us.merge(&other.request_us);
+        self.job_ms.merge(&other.job_ms);
+    }
+}
+
+/// One timed request; classifies the outcome into the tallies.
+fn timed<F>(stats: &mut Stats, call: F) -> Option<spur_serve::HttpResponse>
+where
+    F: FnOnce() -> std::io::Result<spur_serve::HttpResponse>,
+{
+    let begin = Instant::now();
+    let outcome = call();
+    stats.request_us.record(begin.elapsed().as_micros() as u64);
+    stats.requests += 1;
+    match outcome {
+        Ok(resp) => {
+            match resp.status {
+                202 => stats.accepted += 1,
+                429 => stats.shed += 1,
+                400..=499 => stats.client_errors += 1,
+                500..=599 => stats.server_errors += 1,
+                _ => {}
+            }
+            Some(resp)
+        }
+        Err(_) => {
+            stats.io_errors += 1;
+            None
+        }
+    }
+}
+
+/// The submitted job id, from a 202 body.
+fn job_id(resp: &spur_serve::HttpResponse) -> Option<u64> {
+    let doc = parse(&resp.text()).ok()?;
+    match get_field(&doc, "id")? {
+        Json::UInt(id) => Some(*id),
+        Json::Int(id) if *id >= 0 => Some(*id as u64),
+        _ => None,
+    }
+}
+
+/// The `status` string from a status-poll body.
+fn job_state(resp: &spur_serve::HttpResponse) -> Option<String> {
+    let doc = parse(&resp.text()).ok()?;
+    match get_field(&doc, "status")? {
+        Json::Str(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn submission_body(opt: &Options, thread: usize, iteration: u64) -> String {
+    // Vary the seed per submission so the server isn't handed one
+    // all-identical cell a thousand times over.
+    let seed = 1989 + (thread as u64) * 10_007 + iteration;
+    format!(
+        r#"{{"experiment":"refbit","workload":"SLC","mem_mb":{},"policy":"MISS","scale":{{"refs":{},"seed":{seed},"reps":1}},"obs":false}}"#,
+        opt.mem_mb, opt.refs
+    )
+}
+
+fn drive(opt: &Options, thread: usize, deadline: Instant) -> Stats {
+    let mut stats = Stats::new();
+    let mut iteration = 0u64;
+    while Instant::now() < deadline {
+        let body = submission_body(opt, thread, iteration);
+        iteration += 1;
+        let submitted = Instant::now();
+        let Some(resp) = timed(&mut stats, || {
+            post_json(&opt.addr, "/v1/jobs", &body, opt.timeout)
+        }) else {
+            continue;
+        };
+        if resp.status != 202 {
+            // Shed or refused: back off a beat and retry.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        if opt.mix == Mix::Submit {
+            continue;
+        }
+        let Some(id) = job_id(&resp) else {
+            stats.server_errors += 1;
+            continue;
+        };
+        let status_path = format!("/v1/jobs/{id}");
+        loop {
+            if Instant::now() >= deadline && opt.mix == Mix::Status {
+                return stats;
+            }
+            let Some(poll) = timed(&mut stats, || get(&opt.addr, &status_path, opt.timeout)) else {
+                break;
+            };
+            match job_state(&poll).as_deref() {
+                Some("done") => {
+                    stats.jobs_done += 1;
+                    stats.job_ms.record(submitted.elapsed().as_millis() as u64);
+                    if opt.mix == Mix::Full {
+                        let result_path = format!("/v1/jobs/{id}/result");
+                        if let Some(result) =
+                            timed(&mut stats, || get(&opt.addr, &result_path, opt.timeout))
+                        {
+                            stats.result_bytes += result.body.len() as u64;
+                        }
+                    }
+                    break;
+                }
+                Some("failed") => {
+                    stats.jobs_failed += 1;
+                    break;
+                }
+                Some(_) => std::thread::sleep(Duration::from_millis(2)),
+                None => break,
+            }
+        }
+    }
+    stats
+}
+
+fn quantiles(h: &Histogram, unit: &str) -> String {
+    match (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99), h.max()) {
+        (Some(p50), Some(p90), Some(p99), Some(max)) => {
+            format!("p50={p50}{unit} p90={p90}{unit} p99={p99}{unit} max={max}{unit}")
+        }
+        _ => "no samples".to_string(),
+    }
+}
+
+fn main() -> ExitCode {
+    let opt = parse_options();
+    let started = Instant::now();
+    let deadline = started + opt.duration;
+
+    let mut total = Stats::new();
+    let opt = &opt;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opt.conns)
+            .map(|thread| scope.spawn(move || drive(opt, thread, deadline)))
+            .collect();
+        for handle in handles {
+            if let Ok(stats) = handle.join() {
+                total.absorb(&stats);
+            }
+        }
+    });
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let req_rate = total.requests as f64 / elapsed.max(1e-9);
+    let job_rate = total.jobs_done as f64 / elapsed.max(1e-9);
+    println!(
+        "loadgen: {} conn(s) for {:.1}s against {} (mix {:?}, {} refs/job)",
+        opt.conns, elapsed, opt.addr, opt.mix, opt.refs
+    );
+    println!(
+        "requests: {} total, {:.1} req/s; 202={} 429={} 4xx={} 5xx={} io-err={}",
+        total.requests,
+        req_rate,
+        total.accepted,
+        total.shed,
+        total.client_errors,
+        total.server_errors,
+        total.io_errors
+    );
+    println!(
+        "jobs: {} done ({:.1} jobs/s), {} failed, {} result bytes fetched",
+        total.jobs_done, job_rate, total.jobs_failed, total.result_bytes
+    );
+    println!("latency request: {}", quantiles(&total.request_us, "us"));
+    println!("latency job e2e: {}", quantiles(&total.job_ms, "ms"));
+
+    if total.io_errors > 0 || total.server_errors > 0 {
+        eprintln!("loadgen: FAILED — io or server errors observed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -226,114 +226,25 @@ pub fn print_header(what: &str, scale: &Scale) {
 pub mod jobs {
     //! Experiment cells as harness jobs.
     //!
-    //! Each builder wraps one `spur-core` measure function as a
-    //! [`Job`] with a stable key; the assembly helpers collect a
-    //! completed run back into the row vectors the renderers expect.
-    //! Binaries and the determinism parity test share these builders,
-    //! so what the test certifies is exactly what the binaries run.
+    //! The cell builders themselves live in [`spur_core::jobs`] — they
+    //! are shared with the `spur-serve` experiment service so a job
+    //! submitted over HTTP runs exactly the code a CLI sweep runs —
+    //! and are re-exported here unchanged. This module keeps the
+    //! bench-side helpers: sweep assembly and the run epilogue
+    //! (artifact persistence, trace export, wall-time reporting).
 
-    use spur_core::experiments::events::{measure_events_obs, EventRow};
-    use spur_core::experiments::pageout::{measure_host, PageoutRow};
-    use spur_core::experiments::refbit::{measure_refbit_obs, RefbitRow};
+    pub use spur_core::jobs::{
+        attach_obs, events_job, events_job_for, events_job_obs, pageout_job, refbit_job,
+        refbit_job_for, refbit_job_obs, WorkloadCtor,
+    };
+
+    use spur_core::experiments::refbit::RefbitRow;
     use spur_core::experiments::sweep::MemorySweepRow;
     use spur_core::experiments::Scale;
-    use spur_core::obs::{ObsParams, ObsReport};
-    use spur_harness::{default_root, write_run, Job, JobOutput, Json, RunReport};
-    use spur_trace::workloads::{DevHost, Workload};
+    use spur_core::obs::ObsParams;
+    use spur_harness::{default_root, write_run, Job, Json, RunReport};
     use spur_types::MemSize;
     use spur_vm::policy::RefPolicy;
-
-    /// The `pid` stamped on exported Chrome traces (each job is its own
-    /// file, so one logical process suffices).
-    const TRACE_PID: u64 = 1;
-
-    /// Attaches a finalized observability report to a job output:
-    /// `metrics` and `series` ride the artifact pipeline, the Chrome
-    /// trace awaits `--trace-out` export. Binaries that run
-    /// `SpurSystem` inline call this with `sim.finish_obs()`.
-    pub fn attach_obs<T>(mut out: JobOutput<T>, report: Option<ObsReport>) -> JobOutput<T> {
-        if let Some(rep) = report {
-            if let Some(series) = rep.series_json() {
-                out = out.with_series(series);
-            }
-            out = out
-                .with_metrics(rep.metrics_json())
-                .with_trace(rep.trace_json(TRACE_PID, 0));
-        }
-        out
-    }
-
-    /// Workload constructor — jobs rebuild their workload inside the
-    /// worker so the closures stay `'static` and each cell is a pure
-    /// function of its inputs.
-    pub type WorkloadCtor = fn() -> Workload;
-
-    /// One Table 3.3 cell: event counts for (workload, memory).
-    pub fn events_job(
-        key: String,
-        make: WorkloadCtor,
-        mem: MemSize,
-        scale: Scale,
-    ) -> Job<EventRow> {
-        events_job_obs(key, make, mem, scale, None)
-    }
-
-    /// [`events_job`] with optional observability.
-    pub fn events_job_obs(
-        key: String,
-        make: WorkloadCtor,
-        mem: MemSize,
-        scale: Scale,
-        obs: Option<ObsParams>,
-    ) -> Job<EventRow> {
-        Job::new(key, move || {
-            let workload = make();
-            let (row, rep) =
-                measure_events_obs(&workload, mem, &scale, obs).map_err(|e| e.to_string())?;
-            let artifact = row.to_json();
-            Ok(attach_obs(JobOutput::new(row, artifact), rep))
-        })
-    }
-
-    /// One Table 4.1 / sweep cell: (workload, memory, policy),
-    /// averaged over `scale.reps` seeds.
-    pub fn refbit_job(
-        key: String,
-        make: WorkloadCtor,
-        mem: MemSize,
-        policy: RefPolicy,
-        scale: Scale,
-    ) -> Job<RefbitRow> {
-        refbit_job_obs(key, make, mem, policy, scale, None)
-    }
-
-    /// [`refbit_job`] with optional observability (repetition 0 only;
-    /// see `measure_refbit_obs`).
-    pub fn refbit_job_obs(
-        key: String,
-        make: WorkloadCtor,
-        mem: MemSize,
-        policy: RefPolicy,
-        scale: Scale,
-        obs: Option<ObsParams>,
-    ) -> Job<RefbitRow> {
-        Job::new(key, move || {
-            let workload = make();
-            let (row, rep) = measure_refbit_obs(&workload, mem, policy, &scale, obs)
-                .map_err(|e| e.to_string())?;
-            let artifact = row.to_json();
-            Ok(attach_obs(JobOutput::new(row, artifact), rep))
-        })
-    }
-
-    /// One Table 3.5 cell: a development host's observed uptime.
-    pub fn pageout_job(key: String, host: DevHost, scale: Scale) -> Job<PageoutRow> {
-        Job::new(key, move || {
-            let row = measure_host(&host, &scale).map_err(|e| e.to_string())?;
-            let artifact = row.to_json();
-            Ok(JobOutput::new(row, artifact))
-        })
-    }
 
     /// The key for one memory-sweep cell.
     pub fn memory_sweep_key(mb: u32, policy: RefPolicy) -> String {

@@ -15,7 +15,7 @@ use crate::events::EventCounts;
 use crate::experiments::Scale;
 use crate::obs::{ObsParams, ObsReport};
 use crate::report::Table;
-use crate::system::{SimConfig, SpurSystem};
+use crate::system::{SimConfig, SimOverrides, SpurSystem};
 
 /// One Table 3.3 row.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,12 +63,29 @@ pub fn measure_events_obs(
     scale: &Scale,
     obs: Option<ObsParams>,
 ) -> Result<(EventRow, Option<ObsReport>)> {
-    let mut sim = SpurSystem::new(SimConfig {
+    measure_events_obs_with(workload, mem, scale, obs, &SimOverrides::default())
+}
+
+/// [`measure_events_obs`] with [`SimOverrides`] applied to the
+/// canonical configuration; default overrides are the byte-identical
+/// pass-through.
+///
+/// # Errors
+///
+/// Propagates simulator errors (exhausted memory, bad workload).
+pub fn measure_events_obs_with(
+    workload: &Workload,
+    mem: MemSize,
+    scale: &Scale,
+    obs: Option<ObsParams>,
+    overrides: &SimOverrides,
+) -> Result<(EventRow, Option<ObsReport>)> {
+    let mut sim = SpurSystem::new(overrides.apply(SimConfig {
         mem,
         dirty: DirtyPolicy::Spur,
         ref_policy: RefPolicy::Miss,
         ..SimConfig::default()
-    })?;
+    }))?;
     if let Some(params) = obs {
         sim.enable_obs(params);
     }

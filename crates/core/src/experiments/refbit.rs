@@ -14,7 +14,7 @@ use crate::experiments::Scale;
 use crate::obs::{ObsParams, ObsReport};
 use crate::report::Table;
 use crate::stats::Sample;
-use crate::system::{SimConfig, SpurSystem};
+use crate::system::{SimConfig, SimOverrides, SpurSystem};
 
 /// One Table 4.1 row: a (workload, memory, policy) point.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,17 +86,37 @@ pub fn measure_refbit_obs(
     scale: &Scale,
     obs: Option<ObsParams>,
 ) -> Result<(RefbitRow, Option<ObsReport>)> {
+    measure_refbit_obs_with(workload, mem, policy, scale, obs, &SimOverrides::default())
+}
+
+/// [`measure_refbit_obs`] with [`SimOverrides`] applied to the
+/// canonical configuration. Default overrides reproduce
+/// [`measure_refbit_obs`] exactly — same simulation, same artifact
+/// bytes — which is the contract the serving layer's determinism
+/// guarantee rests on.
+///
+/// # Errors
+///
+/// Propagates the first failing run.
+pub fn measure_refbit_obs_with(
+    workload: &Workload,
+    mem: MemSize,
+    policy: RefPolicy,
+    scale: &Scale,
+    obs: Option<ObsParams>,
+    overrides: &SimOverrides,
+) -> Result<(RefbitRow, Option<ObsReport>)> {
     let mut page_ins_sample = Sample::new();
     let mut elapsed_sample = Sample::new();
     let mut ref_faults = 0.0;
     let mut report = None;
     for rep in 0..scale.reps {
-        let mut sim = SpurSystem::new(SimConfig {
+        let mut sim = SpurSystem::new(overrides.apply(SimConfig {
             mem,
             dirty: DirtyPolicy::Spur,
             ref_policy: policy,
             ..SimConfig::default()
-        })?;
+        }))?;
         if rep == 0 {
             if let Some(params) = obs {
                 sim.enable_obs(params);

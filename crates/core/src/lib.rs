@@ -45,6 +45,7 @@ pub mod breakdown;
 pub mod dirty;
 pub mod events;
 pub mod experiments;
+pub mod jobs;
 pub mod model;
 pub mod obs;
 pub mod report;
@@ -58,4 +59,4 @@ pub use dirty::DirtyPolicy;
 pub use events::EventCounts;
 pub use model::ExcessFaultModel;
 pub use obs::{ObsParams, ObsReport};
-pub use system::{SimConfig, SpurSystem};
+pub use system::{SimConfig, SimOverrides, SpurSystem};

@@ -92,6 +92,64 @@ impl Default for SimConfig {
     }
 }
 
+/// Optional [`SimConfig`] knob overrides, applied on top of whatever
+/// configuration an experiment runner builds.
+///
+/// Experiment entry points like
+/// [`crate::experiments::refbit::measure_refbit_obs_with`] construct
+/// their canonical `SimConfig` and then apply these, so a caller (the
+/// `spur-serve` API, an ablation binary) can turn individual knobs
+/// without owning the whole config. `None` fields leave the runner's
+/// value untouched; [`SimOverrides::default`] is therefore the exact
+/// unmodified experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimOverrides {
+    /// Number of processors.
+    pub cpus: Option<usize>,
+    /// Free-list soft faults on/off.
+    pub soft_faults: Option<bool>,
+    /// Periodic daemon scan: `Some(None)` forces pressure-only
+    /// clearing, `Some(Some(n))` scans every `n` references.
+    pub daemon_period: Option<Option<u64>>,
+    /// Frames wired for the kernel at boot.
+    pub kernel_reserved_frames: Option<u32>,
+    /// Page-daemon low watermark.
+    pub free_low_water: Option<u32>,
+    /// Page-daemon high watermark.
+    pub free_high_water: Option<u32>,
+}
+
+impl SimOverrides {
+    /// Whether every field is `None` (the configuration passes through
+    /// untouched — the byte-identical-artifact case).
+    pub fn is_noop(&self) -> bool {
+        *self == SimOverrides::default()
+    }
+
+    /// Applies the set fields to `cfg`.
+    pub fn apply(&self, mut cfg: SimConfig) -> SimConfig {
+        if let Some(cpus) = self.cpus {
+            cfg.cpus = cpus;
+        }
+        if let Some(soft) = self.soft_faults {
+            cfg.soft_faults = soft;
+        }
+        if let Some(period) = self.daemon_period {
+            cfg.daemon_period = period;
+        }
+        if let Some(frames) = self.kernel_reserved_frames {
+            cfg.kernel_reserved_frames = frames;
+        }
+        if let Some(low) = self.free_low_water {
+            cfg.free_low_water = low;
+        }
+        if let Some(high) = self.free_high_water {
+            cfg.free_high_water = high;
+        }
+        cfg
+    }
+}
+
 impl SimConfig {
     fn vm_config(&self) -> VmConfig {
         VmConfig {

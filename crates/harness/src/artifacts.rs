@@ -96,7 +96,7 @@ pub fn write_run<T>(
             file = format!("{stem}-{n}.json");
             n += 1;
         }
-        fs::write(dir.join(&file), job_artifact(job).encode_pretty())?;
+        fs::write(dir.join(&file), job_artifact_json(job).encode_pretty())?;
         let mut entry = vec![
             ("key".to_string(), Json::from(job.key.as_str())),
             ("file".to_string(), Json::from(file.as_str())),
@@ -164,7 +164,12 @@ fn millis(wall: Duration) -> f64 {
 /// Observability payloads (`metrics`, `series`) appear only when the
 /// job attached them — an uninstrumented run's files carry exactly the
 /// pre-observability shape.
-fn job_artifact<T>(job: &CompletedJob<T>) -> Json {
+///
+/// Public so a serving layer can stream the identical document
+/// ([`Json::encode_pretty`] of this value is byte-for-byte what
+/// [`write_run`] puts in the job's file) without going through the
+/// filesystem.
+pub fn job_artifact_json<T>(job: &CompletedJob<T>) -> Json {
     match &job.outcome {
         Ok(output) => {
             let mut fields = vec![

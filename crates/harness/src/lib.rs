@@ -35,7 +35,7 @@ pub mod job;
 pub mod json;
 pub mod run;
 
-pub use artifacts::{default_root, write_run, RunArtifacts, SCHEMA_VERSION};
+pub use artifacts::{default_root, job_artifact_json, write_run, RunArtifacts, SCHEMA_VERSION};
 pub use job::{CompletedJob, FailureKind, Job, JobFailure, JobOutput};
 pub use json::Json;
-pub use run::{run_jobs, run_jobs_with_progress, RunReport};
+pub use run::{run_jobs, run_jobs_with_progress, run_one, RunReport};

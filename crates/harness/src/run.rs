@@ -7,6 +7,46 @@ use std::time::{Duration, Instant};
 
 use crate::job::{CompletedJob, FailureKind, Job, JobFailure};
 
+/// Acquires a mutex even if a previous holder panicked.
+///
+/// The pool's slot data is plain storage — a poisoned lock carries no
+/// broken invariant, and a long-lived service (see `spur-serve`) must
+/// degrade the one job rather than panic the whole pool.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Executes a single job in the calling thread: `catch_unwind`
+/// isolation, wall-clock timing, and the same outcome mapping the pool
+/// applies — this *is* the pool's per-job body, extracted so a
+/// persistent service can run one keyed job with byte-identical
+/// semantics (and artifacts) to a batch sweep.
+pub fn run_one<T>(job: Job<T>) -> CompletedJob<T> {
+    execute(job, 0)
+}
+
+fn execute<T>(job: Job<T>, index: usize) -> CompletedJob<T> {
+    let key = job.key;
+    let begin = Instant::now();
+    let outcome = match catch_unwind(AssertUnwindSafe(job.run)) {
+        Ok(Ok(output)) => Ok(output),
+        Ok(Err(reason)) => Err(JobFailure {
+            kind: FailureKind::Error,
+            reason,
+        }),
+        Err(payload) => Err(JobFailure {
+            kind: FailureKind::Panic,
+            reason: panic_message(payload.as_ref()),
+        }),
+    };
+    CompletedJob {
+        key,
+        index,
+        outcome,
+        wall: begin.elapsed(),
+    }
+}
+
 /// Executes jobs on `workers` scoped threads and collects the results
 /// into deterministic key order.
 ///
@@ -64,25 +104,11 @@ pub fn run_jobs_with_progress<T: Send>(
                 if i >= n {
                     break;
                 }
-                let job = queue[i]
-                    .lock()
-                    .expect("job slot lock")
-                    .take()
-                    .expect("each slot is taken exactly once");
-                let key = job.key;
-                let begin = Instant::now();
-                let outcome = match catch_unwind(AssertUnwindSafe(job.run)) {
-                    Ok(Ok(output)) => Ok(output),
-                    Ok(Err(reason)) => Err(JobFailure {
-                        kind: FailureKind::Error,
-                        reason,
-                    }),
-                    Err(payload) => Err(JobFailure {
-                        kind: FailureKind::Panic,
-                        reason: panic_message(payload.as_ref()),
-                    }),
+                let Some(job) = lock_unpoisoned(&queue[i]).take() else {
+                    continue; // each slot is taken exactly once
                 };
-                if outcome.is_err() {
+                let completed_job = execute(job, i);
+                if completed_job.outcome.is_err() {
                     failed.fetch_add(1, Ordering::Relaxed);
                 }
                 let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -94,30 +120,16 @@ pub fn run_jobs_with_progress<T: Send>(
                         started.elapsed(),
                     );
                 }
-                *results[i].lock().expect("result slot lock") = Some(CompletedJob {
-                    key,
-                    index: i,
-                    outcome,
-                    wall: begin.elapsed(),
-                });
+                *lock_unpoisoned(&results[i]) = Some(completed_job);
             });
         }
     });
 
-    let mut completed: Vec<CompletedJob<T>> = results
+    let completed: Vec<CompletedJob<T>> = results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot lock")
-                .expect("every slot was filled before the scope ended")
-        })
+        .filter_map(|slot| slot.into_inner().unwrap_or_else(|e| e.into_inner()))
         .collect();
-    completed.sort_by(|a, b| a.key.cmp(&b.key));
-    RunReport {
-        jobs: completed,
-        workers,
-        wall: started.elapsed(),
-    }
+    RunReport::from_jobs(completed, workers, started.elapsed())
 }
 
 /// One stderr progress line. Rate and ETA come from the shared run
@@ -161,6 +173,20 @@ pub struct RunReport<T> {
 }
 
 impl<T> RunReport<T> {
+    /// Assembles a report from already-completed jobs (re-sorted into
+    /// key order), for callers that execute jobs one at a time — a
+    /// persistent service pairing [`run_one`] with
+    /// [`crate::artifacts::write_run`] produces artifacts
+    /// byte-identical to a batch sweep of the same keyed jobs.
+    pub fn from_jobs(mut jobs: Vec<CompletedJob<T>>, workers: usize, wall: Duration) -> Self {
+        jobs.sort_by(|a, b| a.key.cmp(&b.key));
+        RunReport {
+            jobs,
+            workers,
+            wall,
+        }
+    }
+
     /// All completed jobs, in key order.
     pub fn jobs(&self) -> &[CompletedJob<T>] {
         &self.jobs

@@ -107,6 +107,56 @@ impl Histogram {
         self.counts[i]
     }
 
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) of the
+    /// recorded samples, or `None` if the histogram is empty.
+    ///
+    /// The estimate interpolates linearly inside the bucket holding the
+    /// target rank and is clamped to the observed `[min, max]`, so a
+    /// histogram of identical samples returns that exact value and
+    /// `quantile(1.0)` always returns the true maximum.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Target rank in 1..=total: the smallest rank covering fraction q.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            let count = self.counts[i];
+            if count == 0 {
+                continue;
+            }
+            if seen + count >= rank {
+                let (lo, hi) = bucket_range(i);
+                // Position of the rank within this bucket, in (0, 1].
+                let frac = (rank - seen) as f64 / count as f64;
+                let width = (hi - lo) as f64;
+                let est = lo.saturating_add((frac * width) as u64);
+                return Some(est.clamp(self.min, self.max));
+            }
+            seen += count;
+        }
+        Some(self.max) // unreachable in practice: total > 0
+    }
+
+    /// Folds another histogram's samples into this one: bucket counts
+    /// and totals add (sum saturating), min/max widen. The name stays
+    /// `self`'s — merging is how per-thread histograms collapse into
+    /// one report.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.total == 0 {
+            return;
+        }
+        for i in 0..BUCKETS {
+            self.counts[i] += other.counts[i];
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Non-empty buckets as `(lo, hi, count)`, lowest first.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
         (0..BUCKETS)
@@ -200,5 +250,104 @@ mod tests {
         h.record(6);
         h.record(100); // bucket 7: [64,127]
         assert_eq!(h.nonzero_buckets(), vec![(4, 7, 2), (64, 127, 1)]);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        let h = Histogram::new("t");
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn quantile_of_single_bucket_returns_the_exact_value() {
+        // All samples identical: every quantile is that value, thanks
+        // to the [min, max] clamp.
+        let mut h = Histogram::new("t");
+        for _ in 0..10 {
+            h.record(7);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(7), "q={q}");
+        }
+        // A single sample behaves the same way.
+        let mut one = Histogram::new("t");
+        one.record(12345);
+        assert_eq!(one.quantile(0.5), Some(12345));
+    }
+
+    #[test]
+    fn quantile_orders_across_buckets() {
+        let mut h = Histogram::new("t");
+        // 90 small samples, 10 large ones.
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.9), Some(1));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(
+            (512..=1000).contains(&p99),
+            "p99 {p99} lands in the large bucket, clamped to max"
+        );
+        assert_eq!(h.quantile(1.0), Some(1000), "q=1 is the true max");
+        // Quantiles are monotone in q.
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "quantile not monotone at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_saturating_extremes() {
+        let mut h = Histogram::new("t");
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-1.0), Some(0));
+        assert_eq!(h.quantile(2.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn merge_folds_counts_moments_and_extremes() {
+        let mut a = Histogram::new("a");
+        a.record(1);
+        a.record(2);
+        let mut b = Histogram::new("b");
+        b.record(1000);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.name(), "a", "merge keeps the receiver's name");
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(u64::MAX));
+        assert_eq!(a.sum(), u64::MAX, "sum saturates");
+        assert_eq!(a.bucket_count(bucket_index(1000)), 1);
+        assert_eq!(a.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new("a");
+        a.record(5);
+        let before = a.clone();
+        a.merge(&Histogram::new("empty"));
+        assert_eq!(a, before);
+
+        let mut empty = Histogram::new("empty");
+        empty.merge(&before);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.min(), Some(5));
+        assert_eq!(empty.max(), Some(5));
+        assert_eq!(empty.quantile(0.5), Some(5));
     }
 }

@@ -36,6 +36,7 @@ pub mod epoch;
 pub mod event;
 pub mod export;
 pub mod hist;
+pub mod prometheus;
 pub mod recorder;
 pub mod validate;
 

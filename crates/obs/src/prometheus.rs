@@ -1,0 +1,116 @@
+//! Prometheus text-format (version 0.0.4) rendering.
+//!
+//! The serving layer exposes `GET /metrics`; this module renders the
+//! observability primitives — counters, gauges, and [`Histogram`]s —
+//! into the exposition format Prometheus scrapes. Everything is plain
+//! string building: the format is line-oriented and the histogram
+//! bucket boundaries are the log2 bucket upper edges, reported as
+//! cumulative `le` counts the way Prometheus expects.
+
+use core::fmt::Write as _;
+
+use crate::hist::{bucket_range, Histogram, BUCKETS};
+
+/// Appends one `# TYPE` header plus a sample line for a counter.
+pub fn render_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends one `# TYPE` header plus a sample line for a gauge.
+pub fn render_gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends a [`Histogram`] as a Prometheus histogram: one cumulative
+/// `_bucket{le="..."}` line per non-empty log2 bucket (upper edge as
+/// the bound), the mandatory `le="+Inf"` bucket, then `_sum` and
+/// `_count`.
+pub fn render_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for i in 0..BUCKETS {
+        let count = h.bucket_count(i);
+        if count == 0 {
+            continue;
+        }
+        cumulative += count;
+        let (_, hi) = bucket_range(i);
+        let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+/// Appends a [`Histogram`] as a Prometheus summary with fixed
+/// `quantile` labels (p50/p90/p99) estimated by
+/// [`Histogram::quantile`]. Empty histograms emit only `_sum`/`_count`
+/// — a quantile of nothing is not a number.
+pub fn render_summary(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} summary");
+    for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+        if let Some(v) = h.quantile(q) {
+            let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {v}");
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_lines() {
+        let mut out = String::new();
+        render_counter(&mut out, "spur_jobs_total", "Jobs run.", 3);
+        render_gauge(&mut out, "spur_queue_depth", "Queue depth.", 2);
+        assert!(out.contains("# TYPE spur_jobs_total counter\nspur_jobs_total 3\n"));
+        assert!(out.contains("# TYPE spur_queue_depth gauge\nspur_queue_depth 2\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let mut h = Histogram::new("lat");
+        h.record(1); // bucket [1,1]
+        h.record(5); // bucket [4,7]
+        h.record(5);
+        let mut out = String::new();
+        render_histogram(&mut out, "spur_lat_ms", "Latency.", &h);
+        assert!(out.contains("spur_lat_ms_bucket{le=\"1\"} 1\n"));
+        assert!(out.contains("spur_lat_ms_bucket{le=\"7\"} 3\n"));
+        assert!(out.contains("spur_lat_ms_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("spur_lat_ms_sum 11\n"));
+        assert!(out.contains("spur_lat_ms_count 3\n"));
+    }
+
+    #[test]
+    fn summary_renders_quantiles_and_tolerates_empty() {
+        let mut h = Histogram::new("lat");
+        for _ in 0..100 {
+            h.record(10);
+        }
+        let mut out = String::new();
+        render_summary(&mut out, "spur_job_ms", "Job latency.", &h);
+        assert!(out.contains("spur_job_ms{quantile=\"0.5\"} 10\n"));
+        assert!(out.contains("spur_job_ms{quantile=\"0.99\"} 10\n"));
+        assert!(out.contains("spur_job_ms_count 100\n"));
+
+        let mut empty = String::new();
+        render_summary(
+            &mut empty,
+            "spur_job_ms",
+            "Job latency.",
+            &Histogram::new("lat"),
+        );
+        assert!(!empty.contains("quantile"), "no quantiles of nothing");
+        assert!(empty.contains("spur_job_ms_count 0\n"));
+    }
+}

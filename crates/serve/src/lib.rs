@@ -1,0 +1,45 @@
+//! `spur-serve`: the experiment simulator as a network service.
+//!
+//! The batch harness answers "run this sweep"; this crate answers
+//! "keep a worker pool warm and run cells on demand". A `spur-serve`
+//! daemon owns a long-lived pool, accepts experiment submissions over
+//! a minimal HTTP/1.1 API, and applies backpressure honestly: the job
+//! queue is bounded, a full queue sheds submissions with `429` +
+//! `Retry-After` instead of buffering without limit, and shutdown is
+//! drain-then-exit — every accepted job still runs.
+//!
+//! # API
+//!
+//! | route | effect |
+//! |---|---|
+//! | `POST /v1/jobs` | submit a cell (JSON body, see [`api`]) → `202` with id |
+//! | `GET /v1/jobs/{id}` | poll status (`queued`/`running`/`done`/`failed`) |
+//! | `GET /v1/jobs/{id}/result` | the job's artifact document |
+//! | `GET /healthz` | liveness + queue depth |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `POST /v1/shutdown` | drain the queue, then exit |
+//!
+//! # Determinism
+//!
+//! Served jobs are compiled by the same `spur_core::jobs` builders
+//! under the same keys the CLI sweeps use, executed by the same
+//! [`spur_harness::run_one`] body, and the result endpoint streams
+//! [`spur_harness::job_artifact_json`] pretty-encoded — byte-for-byte
+//! the file a `reproduce_all` run writes for the same cell. The
+//! integration tests assert that equality end-to-end over a real
+//! socket.
+//!
+//! See `docs/SERVING.md` for the operational guide.
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use api::{parse_job_spec, JobSpec};
+pub use client::{get, http_request, post_json, HttpResponse};
+pub use metrics::ServeMetrics;
+pub use queue::{BoundedQueue, PushError};
+pub use server::{DrainSummary, ServeConfig, Server};

@@ -1,0 +1,105 @@
+//! The `spur-serve` daemon binary.
+//!
+//! ```text
+//! spur-serve [--addr 127.0.0.1:7979] [--workers N] [--queue-bound N]
+//!            [--accept-threads N] [--read-timeout-ms N]
+//!            [--write-timeout-ms N] [--max-body-bytes N]
+//!            [--results-dir DIR]
+//! ```
+//!
+//! Prints one `listening on <addr>` line to stdout once bound (scripts
+//! wait for it), then serves until `POST /v1/shutdown`, drains the
+//! queue, and exits 0. With `--results-dir` every finished job is also
+//! persisted as a single-job artifact run that `check_obs` can
+//! validate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use spur_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spur-serve [--addr HOST:PORT] [--workers N] [--queue-bound N]\n\
+         \x20                 [--accept-threads N] [--read-timeout-ms N]\n\
+         \x20                 [--write-timeout-ms N] [--max-body-bytes N]\n\
+         \x20                 [--results-dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config() -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("spur-serve: {what} needs a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => cfg.workers = parse_num(&value("--workers"), "--workers"),
+            "--queue-bound" => {
+                cfg.queue_bound = parse_num(&value("--queue-bound"), "--queue-bound")
+            }
+            "--accept-threads" => {
+                cfg.accept_threads = parse_num(&value("--accept-threads"), "--accept-threads")
+            }
+            "--read-timeout-ms" => {
+                cfg.read_timeout = Duration::from_millis(parse_num(
+                    &value("--read-timeout-ms"),
+                    "--read-timeout-ms",
+                ))
+            }
+            "--write-timeout-ms" => {
+                cfg.write_timeout = Duration::from_millis(parse_num(
+                    &value("--write-timeout-ms"),
+                    "--write-timeout-ms",
+                ))
+            }
+            "--max-body-bytes" => {
+                cfg.max_body_bytes = parse_num(&value("--max-body-bytes"), "--max-body-bytes")
+            }
+            "--results-dir" => cfg.results_dir = Some(PathBuf::from(value("--results-dir"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("spur-serve: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    cfg
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("spur-serve: bad value {text:?} for {flag}");
+        usage();
+    })
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_config();
+    let workers = cfg.workers;
+    let queue_bound = cfg.queue_bound;
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("spur-serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    // Scripts wait on this line; don't let block buffering hold it.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    eprintln!("spur-serve: {workers} worker(s), queue bound {queue_bound}; POST /v1/shutdown to drain and exit");
+    let summary = server.wait();
+    eprintln!(
+        "spur-serve: drained; {} completed, {} failed, {} rejected, {} unstarted",
+        summary.completed, summary.failed, summary.rejected, summary.unstarted
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,185 @@
+//! Service-level metrics, exposed at `GET /metrics`.
+//!
+//! Counters are lock-free atomics bumped on the request path; the two
+//! latency [`Histogram`]s (queue wait and job run time) sit behind one
+//! mutex touched only at job completion — a few dozen times a second
+//! at most, never per HTTP request. Rendering reuses the
+//! `spur_obs::prometheus` text-format helpers, so the service and the
+//! simulator speak one exposition dialect.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use spur_obs::prometheus::{render_counter, render_gauge, render_histogram, render_summary};
+use spur_obs::Histogram;
+
+/// Everything the service counts.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// HTTP requests accepted for parsing.
+    pub http_requests: AtomicU64,
+    /// Requests answered 4xx (malformed, unknown route, …).
+    pub http_client_errors: AtomicU64,
+    /// Jobs accepted onto the queue.
+    pub jobs_submitted: AtomicU64,
+    /// Submissions shed with 429 (queue full).
+    pub jobs_rejected: AtomicU64,
+    /// Jobs that ran to a successful completion.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that ran and failed (error or caught panic).
+    pub jobs_failed: AtomicU64,
+    latency: Mutex<Latency>,
+}
+
+#[derive(Debug)]
+struct Latency {
+    /// Milliseconds from enqueue to worker pickup.
+    queue_ms: Histogram,
+    /// Milliseconds of job execution (the harness wall clock).
+    run_ms: Histogram,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        ServeMetrics {
+            http_requests: AtomicU64::new(0),
+            http_client_errors: AtomicU64::new(0),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            latency: Mutex::new(Latency {
+                queue_ms: Histogram::new("queue_wait_ms"),
+                run_ms: Histogram::new("job_run_ms"),
+            }),
+        }
+    }
+
+    /// Records one finished job.
+    pub fn observe_job(&self, queue_ms: u64, run_ms: u64, ok: bool) {
+        if ok {
+            self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut latency = self.latency.lock().unwrap_or_else(|e| e.into_inner());
+        latency.queue_ms.record(queue_ms);
+        latency.run_ms.record(run_ms);
+    }
+
+    /// Renders the Prometheus text exposition. `queue_depth` and
+    /// `draining` come from the queue, the service's other live gauge.
+    pub fn render_prometheus(
+        &self,
+        queue_depth: usize,
+        queue_bound: usize,
+        draining: bool,
+    ) -> String {
+        let mut out = String::with_capacity(2048);
+        render_counter(
+            &mut out,
+            "spur_serve_http_requests_total",
+            "HTTP requests accepted for parsing.",
+            self.http_requests.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "spur_serve_http_client_errors_total",
+            "Requests answered with a 4xx status.",
+            self.http_client_errors.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "spur_serve_jobs_submitted_total",
+            "Jobs accepted onto the queue.",
+            self.jobs_submitted.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "spur_serve_jobs_rejected_total",
+            "Submissions shed with 429 because the queue was full.",
+            self.jobs_rejected.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "spur_serve_jobs_completed_total",
+            "Jobs that ran to successful completion.",
+            self.jobs_completed.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "spur_serve_jobs_failed_total",
+            "Jobs that ran and failed (error or caught panic).",
+            self.jobs_failed.load(Ordering::Relaxed),
+        );
+        render_gauge(
+            &mut out,
+            "spur_serve_queue_depth",
+            "Jobs currently waiting in the queue.",
+            queue_depth as u64,
+        );
+        render_gauge(
+            &mut out,
+            "spur_serve_queue_bound",
+            "Configured queue capacity.",
+            queue_bound as u64,
+        );
+        render_gauge(
+            &mut out,
+            "spur_serve_draining",
+            "1 while the service is draining toward exit.",
+            draining as u64,
+        );
+        let latency = self.latency.lock().unwrap_or_else(|e| e.into_inner());
+        render_histogram(
+            &mut out,
+            "spur_serve_queue_wait_ms",
+            "Milliseconds jobs waited in the queue.",
+            &latency.queue_ms,
+        );
+        render_summary(
+            &mut out,
+            "spur_serve_job_run_ms",
+            "Job execution wall time in milliseconds.",
+            &latency.run_ms,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_has_the_contractual_series() {
+        let m = ServeMetrics::new();
+        m.http_requests.fetch_add(5, Ordering::Relaxed);
+        m.jobs_submitted.fetch_add(3, Ordering::Relaxed);
+        m.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        m.observe_job(2, 40, true);
+        m.observe_job(3, 60, true);
+        m.observe_job(1, 50, false);
+        let text = m.render_prometheus(2, 16, false);
+        assert!(text.contains("spur_serve_http_requests_total 5\n"));
+        assert!(text.contains("spur_serve_jobs_submitted_total 3\n"));
+        assert!(text.contains("spur_serve_jobs_rejected_total 1\n"));
+        assert!(text.contains("spur_serve_jobs_completed_total 2\n"));
+        assert!(text.contains("spur_serve_jobs_failed_total 1\n"));
+        assert!(text.contains("spur_serve_queue_depth 2\n"));
+        assert!(text.contains("spur_serve_queue_bound 16\n"));
+        assert!(text.contains("spur_serve_draining 0\n"));
+        // The acceptance-criteria quantiles.
+        assert!(text.contains("spur_serve_job_run_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("spur_serve_job_run_ms{quantile=\"0.9\"}"));
+        assert!(text.contains("spur_serve_job_run_ms{quantile=\"0.99\"}"));
+        assert!(text.contains("spur_serve_queue_wait_ms_bucket"));
+    }
+}

@@ -1,0 +1,163 @@
+//! The bounded job queue: backpressure by refusal, drain by contract.
+//!
+//! A long-lived service must not buffer unboundedly — when producers
+//! outrun the worker pool the queue fills, and the only honest answers
+//! are "not now" (HTTP 429 upstream) or "not anymore" (draining).
+//! [`BoundedQueue::try_push`] never blocks; [`BoundedQueue::pop`]
+//! blocks until an item arrives or the queue is draining *and* empty,
+//! which is exactly the worker-exit condition a graceful shutdown
+//! needs: every accepted job still runs, no new job sneaks in.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at its bound; the item comes back to the caller.
+    Full(T),
+    /// The queue is draining and accepts nothing new.
+    Draining(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    draining: bool,
+}
+
+/// A fixed-capacity MPMC queue with explicit drain semantics.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    bound: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `bound` items (`bound` is
+    /// clamped to at least 1 — a zero-capacity queue could never
+    /// accept work).
+    pub fn new(bound: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                draining: false,
+            }),
+            available: Condvar::new(),
+            bound: bound.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The configured capacity.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue has stopped accepting new items.
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Enqueues without blocking. Returns the depth after the push, or
+    /// hands the item back if the queue is full or draining.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut state = self.lock();
+        if state.draining {
+            return Err(PushError::Draining(item));
+        }
+        if state.items.len() >= self.bound {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues, blocking until an item is available. Returns `None`
+    /// once the queue is draining and empty — the signal for a worker
+    /// to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.draining {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops accepting new items and wakes every blocked [`pop`] so
+    /// workers can finish the backlog and exit.
+    ///
+    /// [`pop`]: BoundedQueue::pop
+    pub fn drain(&self) {
+        self.lock().draining = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_til_full_then_shed() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(2));
+    }
+
+    #[test]
+    fn drain_refuses_new_work_and_releases_poppers() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        q.try_push(7).unwrap();
+        q.drain();
+        assert_eq!(q.try_push(8), Err(PushError::Draining(8)));
+        // The backlog still drains...
+        assert_eq!(q.pop(), Some(7));
+        // ...and an empty draining queue releases immediately.
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_drain() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the waiter time to block, then drain: it must return None.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.drain();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn zero_bound_is_clamped() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.bound(), 1);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+    }
+}

@@ -1,0 +1,533 @@
+//! The daemon: accept pool, worker pool, routing, and drain-then-exit.
+//!
+//! Two thread families share one [`Shared`] state. *Acceptors* block in
+//! `accept()` on a cloned listener, parse one request per connection,
+//! and answer; *workers* block in [`BoundedQueue::pop`] and execute
+//! jobs with [`run_one`] — the exact per-job body the batch harness
+//! uses, so a served job's artifact is byte-identical to a sweep's.
+//!
+//! Shutdown is drain-then-exit: `POST /v1/shutdown` (or
+//! [`Server::shutdown`]) stops the queue from accepting, workers finish
+//! the backlog and exit, and only then do the acceptors stop — so
+//! clients can keep polling results while the backlog drains.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spur_harness::{job_artifact_json, run_one, write_run, Job, Json, RunReport};
+
+use crate::api::parse_job_spec;
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::metrics::ServeMetrics;
+use crate::queue::{BoundedQueue, PushError};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:7979"`. Port 0 asks the OS for an
+    /// ephemeral port (the bound address is [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs. Zero is allowed (jobs queue but
+    /// never run — useful for tests; a real deployment wants ≥ 1).
+    pub workers: usize,
+    /// Queue capacity; submissions beyond it are shed with 429.
+    pub queue_bound: usize,
+    /// Threads blocked in `accept()` — the concurrent-connection cap.
+    pub accept_threads: usize,
+    /// Socket read timeout per connection.
+    pub read_timeout: Duration,
+    /// Socket write timeout per connection.
+    pub write_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// When set, every finished job is also persisted under this root
+    /// as a single-job run (`write_run`), so served artifacts can be
+    /// validated on disk by the same tooling as CLI sweeps.
+    pub results_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7979".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            queue_bound: 64,
+            accept_threads: 8,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body_bytes: 1024 * 1024,
+            results_dir: None,
+        }
+    }
+}
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    key: String,
+    state: JobState,
+    /// The pretty-encoded job artifact, present once the job ran —
+    /// byte-for-byte the document `write_run` puts in the job's file.
+    artifact: Option<String>,
+    error: Option<String>,
+    wall_ms: Option<u64>,
+}
+
+struct QueuedJob {
+    id: u64,
+    job: Job<()>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: BoundedQueue<QueuedJob>,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    next_id: AtomicU64,
+    metrics: ServeMetrics,
+    stop_accepting: AtomicBool,
+    local_addr: SocketAddr,
+    shutdown_flag: Mutex<bool>,
+    shutdown_signal: Condvar,
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.queue.drain();
+        *lock_unpoisoned(&self.shutdown_flag) = true;
+        self.shutdown_signal.notify_all();
+    }
+}
+
+/// What the drain left behind, returned by [`Server::wait`] /
+/// [`Server::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Jobs that ran to successful completion over the server's life.
+    pub completed: u64,
+    /// Jobs that ran and failed.
+    pub failed: u64,
+    /// Submissions shed with 429.
+    pub rejected: u64,
+    /// Jobs still queued at exit (only possible with zero workers).
+    pub unstarted: u64,
+}
+
+/// A running `spur-serve` instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, then spawns the worker and acceptor pools.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_bound),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            metrics: ServeMetrics::new(),
+            stop_accepting: AtomicBool::new(false),
+            local_addr,
+            shutdown_flag: Mutex::new(false),
+            shutdown_signal: Condvar::new(),
+            cfg,
+        });
+
+        let workers = (0..shared.cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let acceptors = (0..shared.cfg.accept_threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let listener = listener.try_clone()?;
+                Ok(std::thread::spawn(move || accept_loop(&shared, listener)))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        Ok(Server {
+            shared,
+            workers,
+            acceptors,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Blocks until a `POST /v1/shutdown` arrives, then drains and
+    /// exits. The daemon binary's main loop.
+    pub fn wait(self) -> DrainSummary {
+        let mut requested = lock_unpoisoned(&self.shared.shutdown_flag);
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_signal
+                .wait(requested)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(requested);
+        self.join_all()
+    }
+
+    /// Initiates the drain programmatically and blocks until done.
+    pub fn shutdown(self) -> DrainSummary {
+        self.shared.request_shutdown();
+        self.join_all()
+    }
+
+    fn join_all(self) -> DrainSummary {
+        // Workers first: they exit once the draining queue is empty.
+        // Acceptors stay up meanwhile so result polls keep working.
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        self.shared.stop_accepting.store(true, Ordering::SeqCst);
+        // Each blocked acceptor needs one wake-up connection; a
+        // zero-byte connection parses as "empty" and is dropped.
+        for _ in 0..self.acceptors.len() {
+            let _ = TcpStream::connect_timeout(&self.shared.local_addr, Duration::from_secs(1));
+        }
+        for acceptor in self.acceptors {
+            let _ = acceptor.join();
+        }
+
+        let jobs = lock_unpoisoned(&self.shared.jobs);
+        let unstarted = jobs
+            .values()
+            .filter(|r| matches!(r.state, JobState::Queued | JobState::Running))
+            .count() as u64;
+        DrainSummary {
+            completed: self.shared.metrics.jobs_completed.load(Ordering::Relaxed),
+            failed: self.shared.metrics.jobs_failed.load(Ordering::Relaxed),
+            rejected: self.shared.metrics.jobs_rejected.load(Ordering::Relaxed),
+            unstarted,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(queued) = shared.queue.pop() {
+        let queue_ms = queued.enqueued.elapsed().as_millis() as u64;
+        if let Some(record) = lock_unpoisoned(&shared.jobs).get_mut(&queued.id) {
+            record.state = JobState::Running;
+        }
+
+        let completed = run_one(queued.job);
+        let ok = completed.outcome.is_ok();
+        let run_ms = completed.wall.as_millis() as u64;
+        let error = completed
+            .failure()
+            .map(|f| format!("{}: {}", f.kind.as_str(), f.reason));
+        let artifact = job_artifact_json(&completed).encode_pretty();
+        persist(shared, queued.id, completed);
+
+        if let Some(record) = lock_unpoisoned(&shared.jobs).get_mut(&queued.id) {
+            record.state = if ok { JobState::Done } else { JobState::Failed };
+            record.artifact = Some(artifact);
+            record.error = error;
+            record.wall_ms = Some(run_ms);
+        }
+        shared.metrics.observe_job(queue_ms, run_ms, ok);
+    }
+}
+
+/// Persists one finished job as a single-job run under the configured
+/// results root. A filesystem error degrades to a stderr line — the
+/// in-memory record (and the client's result fetch) survive regardless.
+fn persist(shared: &Shared, id: u64, completed: spur_harness::CompletedJob<()>) {
+    let Some(root) = &shared.cfg.results_dir else {
+        return;
+    };
+    let key = completed.key.clone();
+    let wall = completed.wall;
+    let report = RunReport::from_jobs(vec![completed], 1, wall);
+    let meta = [("served_job_id", Json::UInt(id)), ("key", Json::Str(key))];
+    if let Err(e) = write_run(root, &format!("job-{id:06}"), &report, &meta) {
+        eprintln!("spur-serve: failed to persist job {id}: {e}");
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    loop {
+        if shared.stop_accepting.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop_accepting.load(Ordering::SeqCst) {
+                    return;
+                }
+                handle_connection(shared, stream);
+            }
+            Err(_) => {
+                // Transient accept errors (EMFILE, ECONNABORTED):
+                // breathe and retry rather than spin or die.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let response = match read_request(&mut stream, shared.cfg.max_body_bytes) {
+        Ok(request) => {
+            shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+            route(shared, &request)
+        }
+        // Socket-level failure (timeout, reset, empty probe): nobody
+        // is listening for an answer.
+        Err(ReadError::Io(_)) => return,
+        Err(ReadError::Malformed(what)) => {
+            shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+            error_response(400, what)
+        }
+        Err(ReadError::TooLarge(what)) => {
+            shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+            let status = if what == "request body" { 413 } else { 431 };
+            error_response(status, what)
+        }
+    };
+    if (400..500).contains(&response.status) {
+        shared
+            .metrics
+            .http_client_errors
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = write_response(&mut stream, &response);
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => Response::text(
+            200,
+            shared.metrics.render_prometheus(
+                shared.queue.depth(),
+                shared.queue.bound(),
+                shared.queue.is_draining(),
+            ),
+        ),
+        ("POST", "/v1/jobs") => submit(shared, request),
+        ("POST", "/v1/shutdown") => {
+            let queued = shared.queue.depth();
+            shared.request_shutdown();
+            Response::json(
+                200,
+                Json::object([
+                    ("status", Json::Str("draining".into())),
+                    ("queued", Json::UInt(queued as u64)),
+                ])
+                .encode(),
+            )
+        }
+        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown") => {
+            error_response(405, "method not allowed")
+        }
+        ("GET", path) => match parse_job_path(path) {
+            Some((id, false)) => job_status(shared, id),
+            Some((id, true)) => job_result(shared, id),
+            None => error_response(404, "no such route"),
+        },
+        _ => error_response(404, "no such route"),
+    }
+}
+
+/// `/v1/jobs/{id}` → `(id, false)`; `/v1/jobs/{id}/result` → `(id, true)`.
+fn parse_job_path(path: &str) -> Option<(u64, bool)> {
+    let rest = path.strip_prefix("/v1/jobs/")?;
+    let (id_part, result) = match rest.strip_suffix("/result") {
+        Some(id_part) => (id_part, true),
+        None => (rest, false),
+    };
+    id_part.parse::<u64>().ok().map(|id| (id, result))
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let draining = shared.queue.is_draining();
+    Response::json(
+        200,
+        Json::object([
+            (
+                "status",
+                Json::Str(if draining { "draining" } else { "ok" }.into()),
+            ),
+            ("queue_depth", Json::UInt(shared.queue.depth() as u64)),
+            ("queue_bound", Json::UInt(shared.queue.bound() as u64)),
+            ("workers", Json::UInt(shared.cfg.workers as u64)),
+            (
+                "jobs_submitted",
+                Json::UInt(shared.metrics.jobs_submitted.load(Ordering::Relaxed)),
+            ),
+        ])
+        .encode(),
+    )
+}
+
+fn submit(shared: &Shared, request: &Request) -> Response {
+    let spec = match parse_job_spec(&request.body) {
+        Ok(spec) => spec,
+        Err(message) => return error_response_owned(400, message),
+    };
+    let key = spec.key();
+    let job = spec.build();
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+    lock_unpoisoned(&shared.jobs).insert(
+        id,
+        JobRecord {
+            key: key.clone(),
+            state: JobState::Queued,
+            artifact: None,
+            error: None,
+            wall_ms: None,
+        },
+    );
+    match shared.queue.try_push(QueuedJob {
+        id,
+        job,
+        enqueued: Instant::now(),
+    }) {
+        Ok(depth) => {
+            shared
+                .metrics
+                .jobs_submitted
+                .fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                202,
+                Json::object([
+                    ("id", Json::UInt(id)),
+                    ("key", Json::Str(key)),
+                    ("status", Json::Str("queued".into())),
+                    ("queue_depth", Json::UInt(depth as u64)),
+                ])
+                .encode(),
+            )
+        }
+        Err(PushError::Full(_)) => {
+            lock_unpoisoned(&shared.jobs).remove(&id);
+            shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                429,
+                Json::object([
+                    ("error", Json::Str("queue full".into())),
+                    ("queue_bound", Json::UInt(shared.queue.bound() as u64)),
+                ])
+                .encode(),
+            )
+            .with_header("retry-after", "1".to_string())
+        }
+        Err(PushError::Draining(_)) => {
+            lock_unpoisoned(&shared.jobs).remove(&id);
+            error_response(503, "draining")
+        }
+    }
+}
+
+fn job_status(shared: &Shared, id: u64) -> Response {
+    let jobs = lock_unpoisoned(&shared.jobs);
+    let Some(record) = jobs.get(&id) else {
+        return error_response(404, "no such job");
+    };
+    let mut fields = vec![
+        ("id".to_string(), Json::UInt(id)),
+        ("key".to_string(), Json::Str(record.key.clone())),
+        (
+            "status".to_string(),
+            Json::Str(record.state.as_str().into()),
+        ),
+    ];
+    if let Some(wall_ms) = record.wall_ms {
+        fields.push(("wall_ms".to_string(), Json::UInt(wall_ms)));
+    }
+    if let Some(error) = &record.error {
+        fields.push(("error".to_string(), Json::Str(error.clone())));
+    }
+    Response::json(200, Json::Obj(fields).encode())
+}
+
+fn job_result(shared: &Shared, id: u64) -> Response {
+    let jobs = lock_unpoisoned(&shared.jobs);
+    let Some(record) = jobs.get(&id) else {
+        return error_response(404, "no such job");
+    };
+    match &record.artifact {
+        // The artifact document covers failures too (status "failed",
+        // kind, reason) — exactly what write_run would have persisted.
+        Some(artifact) => Response::json(200, artifact.clone()),
+        None => Response::json(
+            409,
+            Json::object([
+                ("error", Json::Str("job not finished".into())),
+                ("status", Json::Str(record.state.as_str().into())),
+            ])
+            .encode(),
+        )
+        .with_header("retry-after", "1".to_string()),
+    }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    error_response_owned(status, message.to_string())
+}
+
+fn error_response_owned(status: u16, message: String) -> Response {
+    Response::json(
+        status,
+        Json::object([("error", Json::Str(message))]).encode(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_paths_parse_strictly() {
+        assert_eq!(parse_job_path("/v1/jobs/7"), Some((7, false)));
+        assert_eq!(parse_job_path("/v1/jobs/7/result"), Some((7, true)));
+        assert_eq!(parse_job_path("/v1/jobs/"), None);
+        assert_eq!(parse_job_path("/v1/jobs/abc"), None);
+        assert_eq!(parse_job_path("/v1/jobs/7/logs"), None);
+        assert_eq!(parse_job_path("/v2/jobs/7"), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! Round-trip property: `format_workload` / `parse_workload` reach a
+//! fixed point after one hop.
+//!
+//! For every shipped workload and a fuzzed population of random ones,
+//! `parse(format(w))` must reproduce `w`'s structure, and
+//! `format(parse(format(w)))` must equal `format(w)` byte-for-byte —
+//! the spec text is a stable identity once a workload has passed
+//! through it. (The one lossy field is the reference mix, formatted as
+//! whole percentages; the fuzzer generates percent-valued mixes so
+//! equality is exact, and the fixed-point half of the property holds
+//! regardless.)
+
+use spur_trace::process::Schedule;
+use spur_trace::spec::{format_workload, parse_workload};
+use spur_trace::stream::RefMix;
+use spur_trace::workloads::{devmachine, mp_workers, slc, workload1, DevHost, Workload};
+use spur_types::rng::SmallRng;
+
+/// The property: one format→parse hop preserves structure, and a
+/// second format is byte-identical to the first.
+fn assert_fixed_point(workload: &Workload, what: &str) {
+    let text = format_workload(workload);
+    let reparsed = parse_workload(&text)
+        .unwrap_or_else(|e| panic!("{what}: formatted spec must parse, got {e}\n---\n{text}"));
+    assert_eq!(
+        workload.name(),
+        reparsed.name(),
+        "{what}: name must survive"
+    );
+    assert_eq!(
+        workload.processes(),
+        reparsed.processes(),
+        "{what}: processes must survive the round trip"
+    );
+    assert_eq!(
+        workload.shared_region().map(|r| r.pages),
+        reparsed.shared_region().map(|r| r.pages),
+        "{what}: shared region must survive"
+    );
+    let text2 = format_workload(&reparsed);
+    assert_eq!(
+        text, text2,
+        "{what}: format∘parse must be a fixed point on formatted text"
+    );
+}
+
+#[test]
+fn every_shipped_workload_round_trips() {
+    assert_fixed_point(&slc(), "SLC");
+    assert_fixed_point(&workload1(), "WORKLOAD1");
+    for (n, shared) in [(1, 64), (2, 128), (4, 256), (8, 512)] {
+        assert_fixed_point(&mp_workers(n, shared), "MP-WORKERS");
+    }
+    for host in DevHost::table_3_5() {
+        assert_fixed_point(&devmachine(&host), host.name);
+    }
+}
+
+/// One random workload, entirely derived from `seed`.
+fn random_workload(seed: u64) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_procs = rng.random_range(1usize..=4);
+    let shared_pages = if rng.random::<bool>() {
+        rng.random_range(16u64..=256)
+    } else {
+        0
+    };
+    let mut specs = Vec::new();
+    for i in 0..n_procs {
+        let mut p = spur_trace::ProcessSpec::new(
+            &format!("fuzz{i}"),
+            rng.random_range(1u64..=128),
+            rng.random_range(1u64..=1024),
+            rng.random_range(1u64..=32),
+            rng.random_range(1u64..=512),
+        );
+        p.weight = rng.random_range(1u32..=5);
+        if rng.random::<bool>() {
+            p.schedule = Schedule::Periodic {
+                active: rng.random_range(10_000u64..=5_000_000),
+                idle: rng.random_range(0u64..=5_000_000),
+                offset: rng.random_range(0u64..=1_000_000),
+            };
+        }
+        let b = &mut p.behavior;
+        if rng.random::<bool>() {
+            // Percent-valued mixes (summing to 100) survive the whole-
+            // percent formatting exactly.
+            let ifetch = rng.random_range(20u32..=60);
+            let read = rng.random_range(10u32..=100 - ifetch - 5);
+            b.mix = RefMix::new(ifetch, read, 100 - ifetch - read);
+        }
+        b.code_hot_pages = rng.random_range(1usize..=12);
+        b.heap_hot_pages = rng.random_range(1usize..=64);
+        b.stack_hot_pages = rng.random_range(1usize..=8);
+        b.file_hot_pages = rng.random_range(1usize..=16);
+        b.shared_hot_pages = rng.random_range(1usize..=32);
+        b.phase_len = rng.random_range(10_000u64..=2_000_000);
+        b.phase_shift_frac = rng.random::<f64>();
+        b.zipf_theta = 0.5 + rng.random::<f64>() * 0.6;
+        b.seq_prob = rng.random::<f64>();
+        // Keep heap + stack within the validity budget (their sum must
+        // leave room for file data).
+        b.heap_frac = rng.random::<f64>() * 0.6;
+        b.stack_frac = rng.random::<f64>() * 0.3;
+        b.read_before_write = rng.random::<f64>() * 0.5;
+        b.alloc_write_frac = rng.random::<f64>() * 0.5;
+        b.cold_read_frac = rng.random::<f64>() * 0.01;
+        b.old_page_write_frac = rng.random::<f64>() * 0.01;
+        b.rw_read_frac = rng.random::<f64>() * 0.2;
+        b.seq_prob = rng.random::<f64>();
+        b.read_burst = rng.random_range(1u32..=64);
+        b.write_burst = rng.random_range(1u32..=64);
+        if shared_pages > 0 {
+            b.shared_frac = rng.random::<f64>() * 0.3;
+        }
+        specs.push(p);
+    }
+    Workload::build_with_shared(&format!("FUZZ-{seed}"), specs, shared_pages)
+        .expect("fuzzed parameters are within validity bounds")
+}
+
+#[test]
+fn random_workloads_round_trip_across_seeds() {
+    // 200 seeds cover every directive combination many times over
+    // (schedules on/off, shared regions on/off, custom mixes, full-
+    // precision floats in every fraction field).
+    for seed in 0..200 {
+        assert_fixed_point(&random_workload(seed), &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn fixed_point_survives_comment_and_whitespace_noise() {
+    // Decorating a formatted spec with comments and blank lines must
+    // not change what it parses to.
+    let text = format_workload(&slc());
+    let noisy: String = text
+        .lines()
+        .map(|line| format!("\n  {line}   # noise\n"))
+        .collect();
+    let a = parse_workload(&text).unwrap();
+    let b = parse_workload(&noisy).unwrap();
+    assert_eq!(a.processes(), b.processes());
+    assert_eq!(format_workload(&a), format_workload(&b));
+}
