@@ -286,6 +286,17 @@ impl SpurSystem {
         Ok(())
     }
 
+    /// Registers a single region directly, bypassing workload
+    /// construction — the hook the differential fuzzer uses to drive
+    /// the simulator over arbitrary synthetic page maps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates region-overlap errors.
+    pub fn register_region(&mut self, start: Vpn, pages: u64, kind: PageKind) -> Result<()> {
+        self.vm.register_region(start, pages, kind)
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &SimConfig {
         &self.config
@@ -342,6 +353,29 @@ impl SpurSystem {
         let totals = self.obs_totals();
         let refs = self.refs;
         self.obs.take().map(|o| o.finish(refs, &totals))
+    }
+
+    /// Total trace events emitted so far (including any that fell off
+    /// the ring), or `None` with observability off. A lockstep checker
+    /// diffs this across one [`SpurSystem::reference`] call to size its
+    /// [`SpurSystem::obs_tail`] read.
+    pub fn obs_emitted_total(&self) -> Option<u64> {
+        self.obs.as_ref().map(|o| o.recorder.emitted_total())
+    }
+
+    /// The `k` most recent retained trace events, oldest first. Empty
+    /// with observability off.
+    pub fn obs_tail(&self, k: usize) -> Vec<SimEvent> {
+        self.obs
+            .as_ref()
+            .map(|o| o.recorder.tail(k))
+            .unwrap_or_default()
+    }
+
+    /// The trace ring's capacity, or `None` with observability off —
+    /// the most [`SpurSystem::obs_tail`] can return for one step.
+    pub fn obs_trace_capacity(&self) -> Option<usize> {
+        self.obs.as_ref().map(|o| o.recorder.capacity())
     }
 
     /// Running totals for the epoch series, one per

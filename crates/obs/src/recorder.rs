@@ -82,6 +82,36 @@ impl TraceRecorder {
         self.dropped
     }
 
+    /// The ring's capacity: the most recent events a reader can pull
+    /// back with [`TraceRecorder::tail`].
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The `k` most recent retained events, oldest first.
+    ///
+    /// This is the lockstep-subscriber read: a checker snapshots
+    /// [`TraceRecorder::emitted_total`] before and after one simulated
+    /// step and pulls exactly the delta back, without cloning the whole
+    /// ring. `k` beyond the retained count is clamped; asking for more
+    /// than [`TraceRecorder::capacity`] events therefore silently
+    /// under-reads, so lockstep callers must size the ring for their
+    /// largest step.
+    pub fn tail(&self, k: usize) -> Vec<SimEvent> {
+        let n = self.ring.len();
+        let k = k.min(n);
+        if n < self.capacity {
+            return self.ring[n - k..].to_vec();
+        }
+        // Wrapped: chronological order starts at `head`; the last `k`
+        // events start `k` slots before it, modulo the ring.
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            out.push(self.ring[(self.head + self.capacity - k + i) % self.capacity]);
+        }
+        out
+    }
+
     /// Retained events, oldest first (unwrapping the ring).
     pub fn events(&self) -> Vec<SimEvent> {
         if self.ring.len() < self.capacity {
@@ -176,6 +206,44 @@ mod tests {
         assert_eq!(r.emitted(EventKind::DirtyFault), 2);
         assert_eq!(r.emitted(EventKind::SoftFault), 1);
         assert_eq!(r.emitted(EventKind::PageIn), 0);
+    }
+
+    #[test]
+    fn tail_reads_the_delta_without_wrap() {
+        let mut r = TraceRecorder::new(8);
+        for c in 0..5 {
+            r.emit(ev(EventKind::ReadMiss, c));
+        }
+        let got: Vec<u64> = r.tail(2).iter().map(|e| e.cycle).collect();
+        assert_eq!(got, vec![3, 4]);
+        assert_eq!(r.tail(0), vec![]);
+        let all: Vec<u64> = r.tail(99).iter().map(|e| e.cycle).collect();
+        assert_eq!(all, vec![0, 1, 2, 3, 4], "over-asking clamps");
+    }
+
+    #[test]
+    fn tail_reads_across_the_wrap_point() {
+        let mut r = TraceRecorder::new(4);
+        for c in 0..10 {
+            r.emit(ev(EventKind::PageOut, c));
+        }
+        let got: Vec<u64> = r.tail(3).iter().map(|e| e.cycle).collect();
+        assert_eq!(got, vec![7, 8, 9]);
+        assert_eq!(r.tail(4).len(), 4);
+        assert_eq!(r.tail(9).len(), 4, "only capacity events are retained");
+        assert_eq!(r.capacity(), 4);
+    }
+
+    #[test]
+    fn tail_matches_events_suffix_at_every_fill_level() {
+        let mut r = TraceRecorder::new(6);
+        for c in 0..20 {
+            r.emit(ev(EventKind::DaemonScan, c));
+            for k in 0..=r.len() {
+                let suffix = r.events()[r.len() - k..].to_vec();
+                assert_eq!(r.tail(k), suffix, "after {} emits, k={}", c + 1, k);
+            }
+        }
     }
 
     #[test]

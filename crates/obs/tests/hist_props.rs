@@ -1,0 +1,179 @@
+//! Property tests for [`Histogram`] `quantile` and `merge`: invariants
+//! checked over many seeded random sample sets, plus the edge cases a
+//! log-bucketed sketch gets wrong first — empty, single-sample,
+//! saturated top bucket, and merges of disjoint ranges.
+//!
+//! The generator is a local xorshift so the test depends on nothing
+//! outside `std` and reruns identically.
+
+use spur_obs::hist::{bucket_index, bucket_range};
+use spur_obs::Histogram;
+
+/// Minimal deterministic PRNG (xorshift64*).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A value whose magnitude spans many buckets (bit-width first, then
+    /// bits), so small and huge samples are both common.
+    fn value(&mut self) -> u64 {
+        let bits = self.next() % 64;
+        self.next() >> bits
+    }
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles_and_merges_as_identity() {
+    let empty = Histogram::new("empty");
+    assert!(empty.is_empty());
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(empty.quantile(q), None);
+    }
+    assert_eq!(empty.min(), None);
+    assert_eq!(empty.max(), None);
+    assert_eq!(empty.mean(), None);
+
+    // Merging an empty histogram changes nothing — including min/max,
+    // which a naive merge would clobber with the empty sentinels.
+    let mut h = Histogram::new("h");
+    h.record(17);
+    let before = (h.count(), h.sum(), h.min(), h.max(), h.quantile(0.5));
+    h.merge(&empty);
+    assert_eq!(
+        (h.count(), h.sum(), h.min(), h.max(), h.quantile(0.5)),
+        before
+    );
+
+    // And merging *into* an empty histogram adopts the other side
+    // exactly.
+    let mut fresh = Histogram::new("fresh");
+    fresh.merge(&h);
+    assert_eq!(fresh.count(), 1);
+    assert_eq!(fresh.min(), Some(17));
+    assert_eq!(fresh.max(), Some(17));
+    assert_eq!(fresh.quantile(0.5), Some(17));
+}
+
+#[test]
+fn single_sample_answers_every_quantile_with_that_value() {
+    for value in [0u64, 1, 2, 3, 1023, 1 << 40, u64::MAX] {
+        let mut h = Histogram::new("one");
+        h.record(value);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(value), "value {value} q {q}");
+        }
+    }
+}
+
+#[test]
+fn saturated_top_bucket_keeps_quantiles_inside_the_observed_range() {
+    // u64::MAX lands in the open-topped bucket 64; interpolation across
+    // its enormous width must stay clamped to real observations.
+    let mut h = Histogram::new("top");
+    for _ in 0..1000 {
+        h.record(u64::MAX);
+    }
+    h.record(u64::MAX - 1);
+    for q in [0.0, 0.5, 0.999, 1.0] {
+        let v = h.quantile(q).unwrap();
+        assert!(v >= u64::MAX - 1, "q {q} -> {v}");
+    }
+    assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    // Sum saturates rather than wrapping.
+    assert_eq!(h.sum(), u64::MAX);
+    assert_eq!(bucket_index(u64::MAX), 64);
+    assert_eq!(bucket_range(64).1, u64::MAX);
+}
+
+#[test]
+fn quantiles_are_bounded_monotone_and_hit_min_max_at_the_ends() {
+    for seed in 1..=20u64 {
+        let mut rng = Rng(seed);
+        let mut h = Histogram::new("rand");
+        let n = 1 + (rng.next() % 500) as usize;
+        for _ in 0..n {
+            h.record(rng.value());
+        }
+        let (min, max) = (h.min().unwrap(), h.max().unwrap());
+        assert_eq!(h.quantile(0.0), Some(min), "seed {seed}");
+        assert_eq!(h.quantile(1.0), Some(max), "seed {seed}");
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let q = f64::from(i) / 100.0;
+            let v = h.quantile(q).unwrap();
+            assert!((min..=max).contains(&v), "seed {seed} q {q} -> {v}");
+            assert!(v >= prev, "seed {seed}: quantile not monotone at q {q}");
+            prev = v;
+        }
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-3.0), Some(min));
+        assert_eq!(h.quantile(7.5), Some(max));
+    }
+}
+
+#[test]
+fn merge_equals_recording_the_union() {
+    for seed in 1..=20u64 {
+        let mut rng = Rng(seed ^ 0xdead_beef);
+        let mut a = Histogram::new("a");
+        let mut b = Histogram::new("b");
+        let mut union = Histogram::new("union");
+        for i in 0..(1 + rng.next() % 400) {
+            let v = rng.value();
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            union.record(v);
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.count(), union.count(), "seed {seed}");
+        assert_eq!(merged.sum(), union.sum(), "seed {seed}");
+        assert_eq!(merged.min(), union.min(), "seed {seed}");
+        assert_eq!(merged.max(), union.max(), "seed {seed}");
+        assert_eq!(
+            merged.nonzero_buckets(),
+            union.nonzero_buckets(),
+            "seed {seed}"
+        );
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            assert_eq!(merged.quantile(q), union.quantile(q), "seed {seed} q {q}");
+        }
+        assert_eq!(merged.name(), "a", "merge keeps the receiver's name");
+    }
+}
+
+#[test]
+fn merge_of_disjoint_ranges_widens_to_both_ends() {
+    // Low histogram: all samples in [0, 100]; high: in [2^40, 2^40+100].
+    let mut low = Histogram::new("low");
+    let mut high = Histogram::new("high");
+    for i in 0..=100u64 {
+        low.record(i);
+        high.record((1 << 40) + i);
+    }
+    let mut merged = low.clone();
+    merged.merge(&high);
+    assert_eq!(merged.count(), 202);
+    assert_eq!(merged.min(), Some(0));
+    assert_eq!(merged.max(), Some((1 << 40) + 100));
+    assert_eq!(merged.sum(), low.sum() + high.sum());
+    // The median falls in the gap; whatever the sketch answers must be
+    // bounded by the halves' extremes, and the outer quantiles must
+    // come from the right half.
+    let p50 = merged.quantile(0.5).unwrap();
+    assert!((0..=(1 << 40) + 100).contains(&p50));
+    assert!(merged.quantile(0.01).unwrap() <= 100);
+    assert!(merged.quantile(0.99).unwrap() >= 1 << 40);
+}

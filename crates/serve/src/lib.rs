@@ -42,4 +42,4 @@ pub use api::{parse_job_spec, JobSpec};
 pub use client::{get, http_request, post_json, HttpResponse};
 pub use metrics::ServeMetrics;
 pub use queue::{BoundedQueue, PushError};
-pub use server::{DrainSummary, ServeConfig, Server};
+pub use server::{ChaosConfig, DrainSummary, ServeConfig, Server};

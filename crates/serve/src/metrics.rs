@@ -28,6 +28,8 @@ pub struct ServeMetrics {
     pub jobs_completed: AtomicU64,
     /// Jobs that ran and failed (error or caught panic).
     pub jobs_failed: AtomicU64,
+    /// Panicked job runs that were re-queued for another attempt.
+    pub jobs_retried: AtomicU64,
     latency: Mutex<Latency>,
 }
 
@@ -55,6 +57,7 @@ impl ServeMetrics {
             jobs_rejected: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
+            jobs_retried: AtomicU64::new(0),
             latency: Mutex::new(Latency {
                 queue_ms: Histogram::new("queue_wait_ms"),
                 run_ms: Histogram::new("job_run_ms"),
@@ -118,6 +121,12 @@ impl ServeMetrics {
             "spur_serve_jobs_failed_total",
             "Jobs that ran and failed (error or caught panic).",
             self.jobs_failed.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "spur_serve_jobs_retried_total",
+            "Panicked job runs re-queued for another attempt.",
+            self.jobs_retried.load(Ordering::Relaxed),
         );
         render_gauge(
             &mut out,

@@ -19,7 +19,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use spur_harness::{job_artifact_json, run_one, write_run, Job, Json, RunReport};
+use spur_harness::fault::{arm, roll, FaultPlan};
+use spur_harness::{job_artifact_json, run_one, write_run, FailureKind, Job, Json, RunReport};
 
 use crate::api::parse_job_spec;
 use crate::http::{read_request, write_response, ReadError, Request, Response};
@@ -49,6 +50,31 @@ pub struct ServeConfig {
     /// as a single-job run (`write_run`), so served artifacts can be
     /// validated on disk by the same tooling as CLI sweeps.
     pub results_dir: Option<PathBuf>,
+    /// How many times a job whose worker *panicked* is re-queued and
+    /// re-run before being recorded as failed. Jobs are rebuilt from
+    /// the original request bytes, so a retried job's artifact is
+    /// byte-identical to an undisturbed run. Zero (the default)
+    /// preserves the original fail-fast behavior; `Err` results are
+    /// never retried (they are deterministic).
+    pub panic_retries: u32,
+    /// Deterministic fault injection for chaos testing. `None` (the
+    /// default) injects nothing.
+    pub chaos: Option<ChaosConfig>,
+}
+
+/// Seeded fault-injection knobs, all decided deterministically from
+/// `(seed, site)` — see [`spur_harness::fault`]. Rates are parts per
+/// million.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed for every injection decision.
+    pub seed: u64,
+    /// Rate of injected worker panics (fired at most once per job, so
+    /// a retry models a transient fault).
+    pub worker_panic_ppm: u64,
+    /// Rate of responses dropped before writing (the client sees a
+    /// truncated connection; server state must stay consistent).
+    pub drop_response_ppm: u64,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +90,8 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(10),
             max_body_bytes: 1024 * 1024,
             results_dir: None,
+            panic_retries: 0,
+            chaos: None,
         }
     }
 }
@@ -99,9 +127,14 @@ struct JobRecord {
     wall_ms: Option<u64>,
 }
 
+/// A queued submission holds the validated *request bytes*, not a
+/// built job: the worker rebuilds the job at pop time (and again on
+/// each retry). Jobs are pure functions of their spec, so a rebuild
+/// after an injected panic reproduces the artifact byte-for-byte.
 struct QueuedJob {
     id: u64,
-    job: Job<()>,
+    key: String,
+    body: Vec<u8>,
     enqueued: Instant,
 }
 
@@ -115,6 +148,10 @@ struct Shared {
     local_addr: SocketAddr,
     shutdown_flag: Mutex<bool>,
     shutdown_signal: Condvar,
+    /// Worker-panic injection plan, present when chaos is configured.
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// Connection counter feeding the drop-response injection site.
+    connections: AtomicU64,
 }
 
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -155,6 +192,10 @@ impl Server {
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        let fault_plan = cfg
+            .chaos
+            .filter(|c| c.worker_panic_ppm > 0)
+            .map(|c| Arc::new(FaultPlan::new(c.seed, c.worker_panic_ppm)));
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_bound),
             jobs: Mutex::new(HashMap::new()),
@@ -164,6 +205,8 @@ impl Server {
             local_addr,
             shutdown_flag: Mutex::new(false),
             shutdown_signal: Condvar::new(),
+            fault_plan,
+            connections: AtomicU64::new(0),
             cfg,
         });
 
@@ -244,6 +287,18 @@ impl Server {
     }
 }
 
+/// Rebuilds a queued submission's job from its stored request bytes.
+/// The bytes were validated at submit time, so a parse failure here is
+/// a bug — it degrades to a job that records the error.
+fn rebuild_job(queued: &QueuedJob) -> Job<()> {
+    match parse_job_spec(&queued.body) {
+        Ok(spec) => spec.build(),
+        Err(message) => Job::new(queued.key.clone(), move || {
+            Err(format!("stored request no longer parses: {message}"))
+        }),
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     while let Some(queued) = shared.queue.pop() {
         let queue_ms = queued.enqueued.elapsed().as_millis() as u64;
@@ -251,7 +306,28 @@ fn worker_loop(shared: &Shared) {
             record.state = JobState::Running;
         }
 
-        let completed = run_one(queued.job);
+        // Run, retrying panics (injected or real) up to the configured
+        // budget. The injection site keys on the job id, so whether a
+        // given job is hit does not depend on worker scheduling; the
+        // plan's once-semantics make the retry succeed.
+        let fault_key = format!("worker/{}", queued.id);
+        let mut attempts = 0u32;
+        let completed = loop {
+            let mut job = rebuild_job(&queued);
+            if let Some(plan) = &shared.fault_plan {
+                job = arm(plan, job, &fault_key);
+            }
+            let completed = run_one(job);
+            let panicked = completed
+                .failure()
+                .is_some_and(|f| f.kind == FailureKind::Panic);
+            if panicked && attempts < shared.cfg.panic_retries {
+                attempts += 1;
+                shared.metrics.jobs_retried.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            break completed;
+        };
         let ok = completed.outcome.is_ok();
         let run_ms = completed.wall.as_millis() as u64;
         let error = completed
@@ -334,6 +410,19 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             .http_client_errors
             .fetch_add(1, Ordering::Relaxed);
     }
+    // Chaos: drop the connection without answering. All server-side
+    // effects of the request (queueing, records, metrics) are already
+    // committed — exactly the window a crashed proxy would expose.
+    if let Some(chaos) = &shared.cfg.chaos {
+        let n = shared.connections.fetch_add(1, Ordering::Relaxed);
+        if roll(
+            chaos.seed ^ 0x5e1e_c7ed,
+            &format!("resp/{n}"),
+            chaos.drop_response_ppm,
+        ) {
+            return;
+        }
+    }
     let _ = write_response(&mut stream, &response);
 }
 
@@ -410,7 +499,6 @@ fn submit(shared: &Shared, request: &Request) -> Response {
         Err(message) => return error_response_owned(400, message),
     };
     let key = spec.key();
-    let job = spec.build();
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
     lock_unpoisoned(&shared.jobs).insert(
         id,
@@ -424,7 +512,8 @@ fn submit(shared: &Shared, request: &Request) -> Response {
     );
     match shared.queue.try_push(QueuedJob {
         id,
-        job,
+        key: key.clone(),
+        body: request.body.clone(),
         enqueued: Instant::now(),
     }) {
         Ok(depth) => {

@@ -1,0 +1,203 @@
+//! Chaos tests: seeded deterministic fault injection against a live
+//! server. Injected worker panics must be retried into byte-identical
+//! artifacts (or cleanly failed when there is no retry budget), and
+//! client-side pathology — truncated requests, silent clients, dropped
+//! responses — must never wedge or corrupt the service.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use spur_obs::validate::{get_field, parse};
+use spur_serve::client::{get, post_json};
+use spur_serve::{ChaosConfig, ServeConfig, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+const SPEC: &str = r#"{"experiment":"refbit","workload":"SLC","mem_mb":5,"policy":"MISS",
+    "scale":{"refs":20000,"seed":1989,"reps":1},"obs":{"epoch":10000}}"#;
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_bound: 8,
+        accept_threads: 2,
+        read_timeout: TIMEOUT,
+        write_timeout: TIMEOUT,
+        ..ServeConfig::default()
+    }
+}
+
+fn submit(addr: &str, body: &str) -> u64 {
+    let resp = post_json(addr, "/v1/jobs", body, TIMEOUT).unwrap();
+    assert_eq!(resp.status, 202, "submit failed: {}", resp.text());
+    let doc = parse(&resp.text()).unwrap();
+    match get_field(&doc, "id") {
+        Some(spur_harness::Json::UInt(id)) => *id,
+        other => panic!("202 body without id: {other:?}"),
+    }
+}
+
+fn await_done(addr: &str, id: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = get(addr, &format!("/v1/jobs/{id}"), TIMEOUT).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let doc = parse(&resp.text()).unwrap();
+        let status = match get_field(&doc, "status") {
+            Some(spur_harness::Json::Str(s)) => s.clone(),
+            other => panic!("status body without status: {other:?}"),
+        };
+        match status.as_str() {
+            "done" | "failed" => return status,
+            _ if Instant::now() > deadline => panic!("job {id} stuck in {status}"),
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+#[test]
+fn injected_panic_is_retried_into_a_byte_identical_artifact() {
+    // Chaos server: every job's worker panics once, one retry allowed.
+    let chaotic = Server::start(ServeConfig {
+        panic_retries: 1,
+        chaos: Some(ChaosConfig {
+            seed: 11,
+            worker_panic_ppm: 1_000_000,
+            drop_response_ppm: 0,
+        }),
+        ..test_config()
+    })
+    .unwrap();
+    let chaotic_addr = chaotic.addr().to_string();
+    let id = submit(&chaotic_addr, SPEC);
+    assert_eq!(await_done(&chaotic_addr, id), "done");
+    let disturbed = get(&chaotic_addr, &format!("/v1/jobs/{id}/result"), TIMEOUT).unwrap();
+    assert_eq!(disturbed.status, 200);
+
+    // The retry actually happened (not a no-op chaos config).
+    let metrics = get(&chaotic_addr, "/metrics", TIMEOUT).unwrap();
+    let text = String::from_utf8(metrics.body.clone()).unwrap();
+    assert!(
+        text.contains("spur_serve_jobs_retried_total 1\n"),
+        "expected exactly one retry:\n{text}"
+    );
+    assert!(
+        text.contains("spur_serve_jobs_completed_total 1\n"),
+        "{text}"
+    );
+    assert!(text.contains("spur_serve_jobs_failed_total 0\n"), "{text}");
+    chaotic.shutdown();
+
+    // Undisturbed server, same spec: the artifacts must match
+    // byte-for-byte — jobs are pure functions of their request bytes.
+    let calm = Server::start(test_config()).unwrap();
+    let calm_addr = calm.addr().to_string();
+    let id = submit(&calm_addr, SPEC);
+    assert_eq!(await_done(&calm_addr, id), "done");
+    let undisturbed = get(&calm_addr, &format!("/v1/jobs/{id}/result"), TIMEOUT).unwrap();
+    calm.shutdown();
+    assert_eq!(
+        disturbed.body, undisturbed.body,
+        "a retried job's artifact must be byte-identical to an undisturbed run"
+    );
+}
+
+#[test]
+fn injected_panic_without_retry_budget_fails_cleanly() {
+    let server = Server::start(ServeConfig {
+        panic_retries: 0,
+        chaos: Some(ChaosConfig {
+            seed: 7,
+            worker_panic_ppm: 1_000_000,
+            drop_response_ppm: 0,
+        }),
+        ..test_config()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    let id = submit(&addr, SPEC);
+    assert_eq!(await_done(&addr, id), "failed");
+    let status = get(&addr, &format!("/v1/jobs/{id}"), TIMEOUT).unwrap();
+    let text = status.text();
+    assert!(
+        text.contains("injected fault"),
+        "failure must carry the injected panic message: {text}"
+    );
+    // The artifact endpoint serves the failure document, and the server
+    // is still healthy — the panic was contained to the one job.
+    let result = get(&addr, &format!("/v1/jobs/{id}/result"), TIMEOUT).unwrap();
+    assert_eq!(result.status, 200);
+    assert!(result.text().contains("\"failed\""), "{}", result.text());
+    let health = get(&addr, "/healthz", TIMEOUT).unwrap();
+    assert_eq!(health.status, 200);
+
+    let summary = server.shutdown();
+    assert_eq!(summary.failed, 1);
+    assert_eq!(summary.completed, 0);
+}
+
+#[test]
+fn truncated_and_silent_clients_do_not_wedge_the_server() {
+    let server = Server::start(ServeConfig {
+        read_timeout: Duration::from_millis(200),
+        ..test_config()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    // A request cut off mid-headers.
+    let mut truncated = TcpStream::connect(&addr).unwrap();
+    truncated
+        .write_all(b"POST /v1/jobs HTTP/1.1\r\ncontent-le")
+        .unwrap();
+    drop(truncated);
+
+    // A client that connects and never says anything (holds an
+    // acceptor until the read timeout fires).
+    let silent = TcpStream::connect(&addr).unwrap();
+
+    // A request whose declared body never arrives.
+    let mut short_body = TcpStream::connect(&addr).unwrap();
+    short_body
+        .write_all(b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 999\r\n\r\n{\"exp")
+        .unwrap();
+
+    // The server must shrug all three off and keep serving.
+    let id = submit(&addr, SPEC);
+    assert_eq!(await_done(&addr, id), "done");
+    drop(silent);
+    drop(short_body);
+
+    let summary = server.shutdown();
+    assert_eq!(summary.completed, 1);
+    assert_eq!(summary.failed, 0);
+}
+
+#[test]
+fn dropped_responses_do_not_lose_committed_work() {
+    // Every response is dropped before writing: clients see broken
+    // connections, but queued work still runs to completion.
+    let server = Server::start(ServeConfig {
+        chaos: Some(ChaosConfig {
+            seed: 3,
+            worker_panic_ppm: 0,
+            drop_response_ppm: 1_000_000,
+        }),
+        ..test_config()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    let resp = post_json(&addr, "/v1/jobs", SPEC, TIMEOUT);
+    assert!(resp.is_err(), "the response must have been dropped");
+
+    // The submission was committed before the drop; the drain (which
+    // finishes the backlog before exiting) proves it ran.
+    let summary = server.shutdown();
+    assert_eq!(summary.completed, 1, "{summary:?}");
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.unstarted, 0);
+}

@@ -1,0 +1,106 @@
+//! Bounded-queue admission under real contention: with workers parked
+//! at zero, N parallel submitters racing a capacity-8 queue must get
+//! exactly 8 accepts and N−8 sheds — no lost submissions, no duplicate
+//! ids, and every 429 carrying `Retry-After`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use spur_obs::validate::{get_field, parse};
+use spur_serve::client::post_json;
+use spur_serve::{ServeConfig, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+const SPEC: &str = r#"{"experiment":"refbit","workload":"SLC","mem_mb":5,"policy":"MISS",
+    "scale":{"refs":20000,"seed":1989,"reps":1}}"#;
+
+#[test]
+fn racing_submitters_get_exactly_capacity_accepts_and_the_rest_shed() {
+    const SUBMITTERS: usize = 32;
+    const CAPACITY: usize = 8;
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        // Zero workers: nothing drains the queue, so admission is a
+        // pure race for the 8 slots.
+        workers: 0,
+        queue_bound: CAPACITY,
+        accept_threads: 8,
+        read_timeout: TIMEOUT,
+        write_timeout: TIMEOUT,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    let barrier = Arc::new(Barrier::new(SUBMITTERS));
+    let other_status = Arc::new(AtomicU64::new(0));
+    let mut accepted_ids = Vec::new();
+    let mut shed = 0u64;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SUBMITTERS)
+            .map(|_| {
+                let addr = addr.clone();
+                let barrier = Arc::clone(&barrier);
+                let other_status = Arc::clone(&other_status);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let resp = post_json(&addr, "/v1/jobs", SPEC, TIMEOUT).unwrap();
+                    match resp.status {
+                        202 => {
+                            let doc = parse(&resp.text()).unwrap();
+                            let id = match get_field(&doc, "id") {
+                                Some(spur_harness::Json::UInt(id)) => *id,
+                                other => panic!("202 without id: {other:?}"),
+                            };
+                            Some(id)
+                        }
+                        429 => {
+                            assert_eq!(
+                                resp.header("retry-after"),
+                                Some("1"),
+                                "429 must tell the client when to retry"
+                            );
+                            None
+                        }
+                        other => {
+                            other_status.store(u64::from(other), Ordering::Relaxed);
+                            None
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join().unwrap() {
+                Some(id) => accepted_ids.push(id),
+                None => shed += 1,
+            }
+        }
+    });
+
+    assert_eq!(
+        other_status.load(Ordering::Relaxed),
+        0,
+        "every response must be 202 or 429"
+    );
+    assert_eq!(
+        accepted_ids.len(),
+        CAPACITY,
+        "exactly the queue bound admitted"
+    );
+    assert_eq!(shed as usize, SUBMITTERS - CAPACITY);
+
+    accepted_ids.sort_unstable();
+    accepted_ids.dedup();
+    assert_eq!(accepted_ids.len(), CAPACITY, "no duplicate job ids");
+
+    let summary = server.shutdown();
+    assert_eq!(summary.unstarted, CAPACITY as u64, "{summary:?}");
+    assert_eq!(summary.rejected, (SUBMITTERS - CAPACITY) as u64);
+    assert_eq!(summary.completed, 0);
+    assert_eq!(summary.failed, 0);
+}

@@ -1,0 +1,51 @@
+//! Golden-file test for the `/metrics` Prometheus exposition.
+//!
+//! The rendered text is an external contract: scrape configs, alert
+//! rules, and dashboards key on these exact series names, label
+//! spellings, and HELP/TYPE lines. Any drift must show up as a failing
+//! diff against `tests/golden/metrics.prom`, reviewed like an API
+//! change. To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p spur-serve --test metrics_golden
+//! ```
+
+use std::sync::atomic::Ordering;
+
+use spur_serve::ServeMetrics;
+
+/// A fixed, fully deterministic metrics state covering every series:
+/// counters at distinct values, both histograms populated (including a
+/// zero and a large sample so bucket edges are exercised), one retry,
+/// and a non-empty queue.
+fn canned_metrics() -> ServeMetrics {
+    let m = ServeMetrics::new();
+    m.http_requests.store(12, Ordering::Relaxed);
+    m.http_client_errors.store(2, Ordering::Relaxed);
+    m.jobs_submitted.store(5, Ordering::Relaxed);
+    m.jobs_rejected.store(1, Ordering::Relaxed);
+    m.jobs_retried.store(1, Ordering::Relaxed);
+    m.observe_job(0, 40, true);
+    m.observe_job(3, 55, true);
+    m.observe_job(7, 61, true);
+    m.observe_job(2, 9_000, false);
+    m
+}
+
+#[test]
+fn metrics_exposition_matches_the_golden_file() {
+    let rendered = canned_metrics().render_prometheus(2, 64, false);
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("tests/golden/metrics.prom missing — run with UPDATE_GOLDEN=1 to create it");
+    assert!(
+        rendered == golden,
+        "/metrics drifted from the golden exposition.\n\
+         If intentional, regenerate with UPDATE_GOLDEN=1 and review the diff.\n\
+         --- golden ---\n{golden}\n--- rendered ---\n{rendered}"
+    );
+}

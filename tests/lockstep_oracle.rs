@@ -1,0 +1,103 @@
+//! Differential oracle integration tests: the independently written
+//! `spur-check` oracle locksteps real simulations across the shipped
+//! workloads and the full policy space, plus fuzzer determinism and the
+//! checker's own mutation self-test.
+//!
+//! These runs are sized for a debug build; the exhaustive release-mode
+//! matrix (every workload × 5 dirty × 3 ref policies at 30k refs) is
+//! `spur-fuzz --matrix` in the CI `check-smoke` job.
+
+use spur_check::{run_case, FuzzCase, FuzzOutcome, Lockstep};
+use spur_core::{DirtyPolicy, SimConfig};
+use spur_trace::workloads::{mp_workers, slc, workload1, Workload};
+use spur_types::MemSize;
+use spur_vm::policy::RefPolicy;
+
+/// Locksteps `workload` for `refs` references; panics with the full
+/// divergence report on the first disagreement.
+fn lockstep(workload: &Workload, config: SimConfig, seed: u64, refs: u64) {
+    let mut lock = Lockstep::new(config).unwrap();
+    lock.load_workload(workload).unwrap();
+    let mut gen = workload.generator(seed);
+    let n = lock
+        .run(&mut gen, refs)
+        .unwrap_or_else(|d| panic!("{} diverged:\n{d}", workload.name()));
+    assert_eq!(n, refs, "{}: generator ran dry", workload.name());
+}
+
+#[test]
+fn every_dirty_policy_locksteps_on_workload1_and_slc() {
+    for workload in [workload1(), slc()] {
+        for dirty in DirtyPolicy::ALL {
+            let config = SimConfig {
+                mem: MemSize::new(5),
+                dirty,
+                ..SimConfig::default()
+            };
+            lockstep(&workload, config, 7, 20_000);
+        }
+    }
+}
+
+#[test]
+fn every_ref_policy_locksteps_on_slc_under_spur() {
+    for ref_policy in RefPolicy::ALL {
+        let config = SimConfig {
+            mem: MemSize::new(5),
+            dirty: DirtyPolicy::Spur,
+            ref_policy,
+            ..SimConfig::default()
+        };
+        lockstep(&slc(), config, 11, 20_000);
+    }
+}
+
+#[test]
+fn multiprocessor_coherency_locksteps() {
+    // Four CPUs sharing pages: the oracle must track Berkeley ownership
+    // (snoop invalidations, exclusive downgrades) across cache images.
+    let workload = mp_workers(4, 128);
+    for dirty in [DirtyPolicy::Min, DirtyPolicy::Spur, DirtyPolicy::Flush] {
+        let config = SimConfig {
+            mem: MemSize::new(5),
+            dirty,
+            cpus: 4,
+            ..SimConfig::default()
+        };
+        lockstep(&workload, config, 13, 20_000);
+    }
+}
+
+#[test]
+fn fuzz_cases_are_deterministic_and_pass_differentially() {
+    for seed in 0..20u64 {
+        let a = FuzzCase::generate(seed);
+        let b = FuzzCase::generate(seed);
+        assert_eq!(a, b, "generation must be a pure function of the seed");
+        match run_case(&a) {
+            FuzzOutcome::Pass { .. } => {}
+            FuzzOutcome::Fail {
+                failing_index,
+                divergence,
+            } => panic!("fuzz seed {seed} diverged at ref {failing_index}:\n{divergence}"),
+        }
+    }
+}
+
+#[test]
+fn an_injected_divergence_is_caught_and_shrunk_small() {
+    // The checker's own falsifiability proof: a deliberately wrong
+    // oracle (SPUR dirty-bit refresh skipped) must be detected and the
+    // failure shrunk to a handful of references.
+    let report = spur_check::mutation_selftest().unwrap();
+    assert!(
+        report.shrunk.refs.len() <= 20,
+        "shrunk repro has {} refs",
+        report.shrunk.refs.len()
+    );
+    assert!(
+        report.divergence.to_string().contains("DirtyBitMiss"),
+        "the divergence must implicate the dirty-bit refresh:\n{}",
+        report.divergence
+    );
+}
