@@ -1,0 +1,141 @@
+//! The standing hot-path benchmark: a fixed workload driven through
+//! the full system, recording simulated references per wall-clock
+//! second and cycles per reference for the uniprocessor and for
+//! `MpSystem` at 1/2/4/8 CPUs.
+//!
+//! Writes the schema-versioned perf trajectory file (`BENCH_1.json` by
+//! default) that ROADMAP item 1 calls for: optimizations land with a
+//! before/after pair of these files. Cycles/ref is a pure function of
+//! the seed (the determinism the repo proves elsewhere); refs/sec is
+//! the one deliberately wall-clock number in the repo, so this file is
+//! regenerated, not diffed, by CI.
+//!
+//! ```text
+//! cargo run --release -p spur-bench --bin bench_quick -- [--refs N] [--out FILE]
+//! ```
+
+use std::time::Instant;
+
+use spur_core::{SimConfig, SpurSystem};
+use spur_harness::{Json, SCHEMA_VERSION};
+use spur_mp::{MpParams, MpSystem};
+use spur_trace::workloads::mp_workers;
+use spur_types::MemSize;
+
+const DEFAULT_REFS: u64 = 2_000_000;
+const SEED: u64 = 1989;
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+struct BenchRow {
+    system: &'static str,
+    cpus: usize,
+    refs: u64,
+    refs_per_sec: f64,
+    cycles_per_ref: f64,
+}
+
+impl BenchRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("system", Json::from(self.system)),
+            ("cpus", Json::from(self.cpus as u64)),
+            ("refs", Json::from(self.refs)),
+            ("refs_per_sec", Json::Float(self.refs_per_sec)),
+            ("cycles_per_ref", Json::Float(self.cycles_per_ref)),
+        ])
+    }
+}
+
+fn config(cpus: usize) -> SimConfig {
+    SimConfig {
+        mem: MemSize::MB8,
+        cpus,
+        ..SimConfig::default()
+    }
+}
+
+/// The fixed benchmark workload: eight workers so every CPU count in
+/// {1, 2, 4, 8} shards it evenly.
+fn bench_uniprocessor(refs: u64) -> Result<BenchRow, String> {
+    let workload = mp_workers(8, 256);
+    let mut sys = SpurSystem::new(config(1)).map_err(|e| e.to_string())?;
+    sys.load_workload(&workload).map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    sys.run(&mut workload.generator(SEED), refs)
+        .map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64();
+    Ok(BenchRow {
+        system: "SpurSystem",
+        cpus: 1,
+        refs: sys.refs(),
+        refs_per_sec: sys.refs() as f64 / secs.max(1e-9),
+        cycles_per_ref: sys.cycles().raw() as f64 / sys.refs().max(1) as f64,
+    })
+}
+
+fn bench_mp(cpus: usize, refs: u64) -> Result<BenchRow, String> {
+    let workload = mp_workers(8, 256);
+    let mut node = MpSystem::new(config(cpus), &workload, SEED, MpParams::default())?;
+    let start = Instant::now();
+    node.run(refs)?;
+    let secs = start.elapsed().as_secs_f64();
+    Ok(BenchRow {
+        system: "MpSystem",
+        cpus,
+        refs: node.refs(),
+        refs_per_sec: node.refs() as f64 / secs.max(1e-9),
+        cycles_per_ref: node.cycles().raw() as f64 / node.refs().max(1) as f64,
+    })
+}
+
+fn main() {
+    let refs = arg_value("--refs")
+        .map(|v| v.parse::<u64>().expect("--refs takes a number"))
+        .unwrap_or(DEFAULT_REFS);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_1.json".to_string());
+
+    println!("spur-bench quick: {refs} refs/system, seed {SEED}, workload MP-WORKERS(8, 256)");
+    let mut rows = Vec::new();
+    let runs: Vec<Result<BenchRow, String>> = std::iter::once(bench_uniprocessor(refs))
+        .chain([1usize, 2, 4, 8].into_iter().map(|c| bench_mp(c, refs)))
+        .collect();
+    for run in runs {
+        match run {
+            Ok(row) => {
+                println!(
+                    "  {:<10} cpus={}  {:>12.0} refs/sec  {:>7.3} cycles/ref",
+                    row.system, row.cpus, row.refs_per_sec, row.cycles_per_ref
+                );
+                rows.push(row);
+            }
+            Err(e) => {
+                eprintln!("bench_quick: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let doc = Json::object([
+        ("schema_version", Json::from(SCHEMA_VERSION)),
+        ("bench", Json::from("quick")),
+        ("workload", Json::from("MP-WORKERS(8, 256)")),
+        ("refs_per_run", Json::from(refs)),
+        ("seed", Json::from(SEED)),
+        (
+            "rows",
+            Json::array(rows.iter().map(BenchRow::to_json).collect::<Vec<_>>()),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out, doc.encode_pretty()) {
+        eprintln!("bench_quick: could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

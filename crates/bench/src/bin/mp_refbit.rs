@@ -1,24 +1,38 @@
-//! Extrapolation: reference-bit maintenance on a multiprocessor node.
+//! Measured: reference-bit maintenance on a multiprocessor node.
 //! The paper argues (Section 4.1) that REF's flush-every-cache cost makes
 //! true reference bits even less attractive on SPUR's intended 6-12 CPU
-//! configurations; this measures it.
+//! configurations; this runs the real N-cache node from `spur-mp` and
+//! prints the analytic extrapolation alongside it as a cross-check.
 
 use spur_bench::{print_header, scale_from_args};
-use spur_core::experiments::mp::{mp_sweep, render_mp};
+use spur_core::experiments::mp::{mp_model, render_mp_model};
+use spur_mp::{mp_sweep, render_mp};
 
 fn main() {
     let mut scale = scale_from_args();
     scale.refs = scale.refs.min(8_000_000);
     print_header("multiprocessor reference-bit sweep", &scale);
-    match mp_sweep(&scale, &[1, 2, 4, 8]) {
+    match mp_sweep(&scale, &[1, 2, 4, 8], &[256]) {
         Ok(rows) => {
             println!("{}", render_mp(&rows));
             println!("REF's daemon destroys cached blocks in EVERY cache per R-bit clear,");
             println!("so its flush bill scales with the processor count while MISS's");
-            println!("maintenance cost stays flat — the paper's multiprocessor argument.");
+            println!("maintenance cost stays flat — the paper's multiprocessor argument,");
+            println!("measured above on a real N-cache node with Berkeley ownership.");
         }
         Err(e) => {
             eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    match mp_model(&scale, &[1, 2, 4, 8]) {
+        Ok(rows) => {
+            println!();
+            println!("{}", render_mp_model(&rows));
+            println!("(cross-check: the pre-measurement analytic model, kept for contrast)");
+        }
+        Err(e) => {
+            eprintln!("model cross-check failed: {e}");
             std::process::exit(1);
         }
     }

@@ -33,6 +33,7 @@ use spur_check::{
     mutation_selftest, run_case_with, shrink, FuzzCase, FuzzOutcome, Lockstep, Mutation,
 };
 use spur_core::{DirtyPolicy, SimConfig};
+use spur_mp::MpScheduler;
 use spur_trace::workloads::{devmachine, mp_workers, slc, workload1, DevHost, Workload};
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;
@@ -176,6 +177,43 @@ fn matrix(refs_per_cell: u64) -> Result<u64, String> {
                         println!(
                             "matrix {:<12} {:<6} {:<6} FAIL",
                             workload.name(),
+                            dirty.to_string(),
+                            ref_policy.to_string()
+                        );
+                        println!("{d}");
+                    }
+                }
+            }
+        }
+    }
+    // The multiprocessor cells: the same differential check, but with
+    // the trace sharded across CPUs by the deterministic mp scheduler
+    // (per-CPU streams, epoch barriers) rather than one serial stream.
+    for cpus in [2usize, 4] {
+        let workload = mp_workers(cpus, 256);
+        for dirty in DirtyPolicy::ALL {
+            for ref_policy in RefPolicy::ALL {
+                combo += 1;
+                let config = SimConfig {
+                    mem: MemSize::new(5),
+                    dirty,
+                    ref_policy,
+                    cpus,
+                    ..SimConfig::default()
+                };
+                let mut lock = Lockstep::new(config)?;
+                lock.load_workload(&workload)?;
+                let mut sched = MpScheduler::new(&workload, cpus, 1989 + combo)?;
+                match lock.run(&mut sched, refs_per_cell) {
+                    Ok(n) => println!(
+                        "matrix-mp {cpus}cpu       {:<6} {:<6} ok  {n} refs",
+                        dirty.to_string(),
+                        ref_policy.to_string()
+                    ),
+                    Err(d) => {
+                        failures += 1;
+                        println!(
+                            "matrix-mp {cpus}cpu       {:<6} {:<6} FAIL",
                             dirty.to_string(),
                             ref_policy.to_string()
                         );

@@ -118,6 +118,84 @@ impl fmt::Display for BusOp {
     }
 }
 
+/// A snoop message delivered to one cache when a peer's transaction
+/// appears on the bus.
+///
+/// This is the coherence interface a cache exposes to *any* interconnect
+/// — the toy [`Bus`] here and the full `spur-mp` system both drive their
+/// peers' caches through [`VirtualCache::snoop`] rather than reaching
+/// into lines directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceMsg {
+    /// A peer issued [`BusOp::ReadShared`]: an owner must supply the
+    /// data and downgrade to [`CoherencyState::OwnedShared`].
+    ReadShared(BlockNum),
+    /// A peer issued [`BusOp::ReadForOwnership`]: any copy must be
+    /// invalidated; an owner supplies the data on the way out.
+    ReadForOwnership(BlockNum),
+    /// A peer already holding the block issued
+    /// [`BusOp::WriteForInvalidation`]: any copy must be invalidated.
+    WriteForInvalidation(BlockNum),
+}
+
+impl CoherenceMsg {
+    /// The block the message is about.
+    pub fn block(self) -> BlockNum {
+        match self {
+            CoherenceMsg::ReadShared(b)
+            | CoherenceMsg::ReadForOwnership(b)
+            | CoherenceMsg::WriteForInvalidation(b) => b,
+        }
+    }
+}
+
+/// What a cache did in response to a snooped [`CoherenceMsg`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnoopResponse {
+    /// The cache owned the block and supplied the data (instead of
+    /// memory).
+    pub supplied: bool,
+    /// The cache invalidated its copy.
+    pub invalidated: bool,
+}
+
+impl VirtualCache {
+    /// Applies one snooped coherence message, returning what this cache
+    /// did. A cache not holding the block does nothing.
+    ///
+    /// Invalidation through this interface never writes back: under
+    /// Berkeley ownership the requester receives the owner's data with
+    /// the transaction itself, so the dirty copy leaves the cache on
+    /// the bus, not through memory.
+    pub fn snoop(&mut self, msg: CoherenceMsg) -> SnoopResponse {
+        let mut resp = SnoopResponse::default();
+        let Some(idx) = self.find(msg.block()) else {
+            return resp;
+        };
+        let line = self.line_mut(idx);
+        match msg {
+            CoherenceMsg::ReadShared(_) => {
+                if line.state.is_owner() {
+                    line.state = CoherencyState::OwnedShared;
+                    resp.supplied = true;
+                }
+            }
+            CoherenceMsg::ReadForOwnership(_) => {
+                resp.supplied = line.state.is_owner();
+                line.valid = false;
+                line.state = CoherencyState::Invalid;
+                resp.invalidated = true;
+            }
+            CoherenceMsg::WriteForInvalidation(_) => {
+                line.valid = false;
+                line.state = CoherencyState::Invalid;
+                resp.invalidated = true;
+            }
+        }
+        resp
+    }
+}
+
 /// Per-bus traffic statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BusStats {
@@ -294,48 +372,29 @@ impl Bus {
     }
 
     fn snoop_read_shared(&mut self, requester: usize, block: BlockNum) {
-        for (i, cache) in self.caches.iter_mut().enumerate() {
-            if i == requester {
-                continue;
-            }
-            if let Some(idx) = cache.find(block) {
-                let line = cache.line_mut(idx);
-                if line.state.is_owner() {
-                    // Owner supplies the data and keeps ownership, now
-                    // shared.
-                    self.stats.owner_supplies += 1;
-                    line.state = CoherencyState::OwnedShared;
-                }
-            }
-        }
+        self.broadcast(requester, CoherenceMsg::ReadShared(block));
     }
 
     fn snoop_read_for_ownership(&mut self, requester: usize, block: BlockNum) {
-        for (i, cache) in self.caches.iter_mut().enumerate() {
-            if i == requester {
-                continue;
-            }
-            if let Some(idx) = cache.find(block) {
-                let line = cache.line_mut(idx);
-                if line.state.is_owner() {
-                    self.stats.owner_supplies += 1;
-                }
-                line.valid = false;
-                line.state = CoherencyState::Invalid;
-                self.stats.invalidations += 1;
-            }
-        }
+        self.broadcast(requester, CoherenceMsg::ReadForOwnership(block));
     }
 
     fn snoop_invalidate(&mut self, requester: usize, block: BlockNum) {
+        self.broadcast(requester, CoherenceMsg::WriteForInvalidation(block));
+    }
+
+    /// Delivers `msg` to every cache but the requester's, tallying what
+    /// the peers did.
+    fn broadcast(&mut self, requester: usize, msg: CoherenceMsg) {
         for (i, cache) in self.caches.iter_mut().enumerate() {
             if i == requester {
                 continue;
             }
-            if let Some(idx) = cache.find(block) {
-                let line = cache.line_mut(idx);
-                line.valid = false;
-                line.state = CoherencyState::Invalid;
+            let resp = cache.snoop(msg);
+            if resp.supplied {
+                self.stats.owner_supplies += 1;
+            }
+            if resp.invalidated {
                 self.stats.invalidations += 1;
             }
         }
@@ -478,5 +537,64 @@ mod tests {
     #[should_panic(expected = "at least one cache")]
     fn empty_bus_panics() {
         let _ = Bus::new(0);
+    }
+
+    #[test]
+    fn snoop_on_absent_block_does_nothing() {
+        let mut c = VirtualCache::prototype();
+        let b = GlobalAddr::new(0x2000).block();
+        assert_eq!(
+            c.snoop(CoherenceMsg::ReadShared(b)),
+            SnoopResponse::default()
+        );
+        assert_eq!(
+            c.snoop(CoherenceMsg::ReadForOwnership(b)),
+            SnoopResponse::default()
+        );
+    }
+
+    #[test]
+    fn snoop_read_shared_downgrades_only_owners() {
+        let a = GlobalAddr::new(0x2000);
+        let mut owner = VirtualCache::prototype();
+        owner.fill_for_write(a, RW, false);
+        let resp = owner.snoop(CoherenceMsg::ReadShared(a.block()));
+        assert!(resp.supplied && !resp.invalidated);
+        assert_eq!(
+            owner.line(owner.probe(a).index).state,
+            CoherencyState::OwnedShared
+        );
+
+        let mut sharer = VirtualCache::prototype();
+        sharer.fill_for_read(a, RW, false);
+        let resp = sharer.snoop(CoherenceMsg::ReadShared(a.block()));
+        assert_eq!(resp, SnoopResponse::default(), "UnOwned copy stays put");
+        assert!(sharer.probe(a).hit);
+    }
+
+    #[test]
+    fn snoop_read_for_ownership_invalidates_and_reports_supply() {
+        let a = GlobalAddr::new(0x2000);
+        let mut owner = VirtualCache::prototype();
+        owner.fill_for_write(a, RW, false);
+        let resp = owner.snoop(CoherenceMsg::ReadForOwnership(a.block()));
+        assert!(resp.supplied && resp.invalidated);
+        assert!(!owner.probe(a).hit);
+
+        let mut sharer = VirtualCache::prototype();
+        sharer.fill_for_read(a, RW, false);
+        let resp = sharer.snoop(CoherenceMsg::ReadForOwnership(a.block()));
+        assert!(!resp.supplied && resp.invalidated);
+        assert!(!sharer.probe(a).hit);
+    }
+
+    #[test]
+    fn snoop_write_invalidation_never_claims_supply() {
+        let a = GlobalAddr::new(0x2000);
+        let mut owner = VirtualCache::prototype();
+        owner.fill_for_write(a, RW, false);
+        let resp = owner.snoop(CoherenceMsg::WriteForInvalidation(a.block()));
+        assert!(!resp.supplied && resp.invalidated);
+        assert!(!owner.probe(a).hit);
     }
 }

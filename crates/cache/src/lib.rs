@@ -46,7 +46,7 @@ pub mod translate;
 
 pub use assoc::SetAssocCache;
 pub use cache::{EvictedBlock, FlushStats, ProbeResult, VirtualCache};
-pub use coherence::{Bus, BusOp, CoherencyState};
+pub use coherence::{Bus, BusOp, CoherenceMsg, CoherencyState, SnoopResponse};
 pub use counters::{CounterEvent, CounterMode, PerfCounters};
 pub use line::{CacheLine, LineIndex};
 pub use tlb::{Tlb, TlbEntry};

@@ -138,6 +138,7 @@ impl InCacheTranslator {
             cycle: cycle_base + cycles.raw(),
             page: vpn.index(),
             cost: 0,
+            cpu: 0,
         });
         counters.record(CounterEvent::SecondLevelFetch);
         cycles += Cycles::new(self.costs.pte_wired_fetch);
@@ -146,6 +147,7 @@ impl InCacheTranslator {
             cycle: cycle_base + cycles.raw(),
             page: vpn.index(),
             cost: self.costs.pte_wired_fetch,
+            cpu: 0,
         });
 
         let pte_page = pt.pte_page_vpn(vpn);

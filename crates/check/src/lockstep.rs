@@ -32,6 +32,8 @@ const LOCKSTEP_TRACE_CAPACITY: usize = 1 << 16;
 pub struct Divergence {
     /// 0-based index of the offending reference in the stream.
     pub ref_index: u64,
+    /// The CPU the offending reference ran on (pid-affinity mapping).
+    pub cpu: usize,
     /// The reference being processed when the models split.
     pub reference: TraceRef,
     /// What the oracle expected vs. what the system emitted.
@@ -48,8 +50,8 @@ impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "divergence at reference #{}: {}",
-            self.ref_index, self.reference
+            "divergence at reference #{} on cpu{}: {}",
+            self.ref_index, self.cpu, self.reference
         )?;
         writeln!(f, "  reason: {}", self.reason)?;
         writeln!(f, "  {}", self.context)?;
@@ -232,6 +234,7 @@ impl Lockstep {
         let cpu = r.pid.0 as usize % self.sys.config().cpus;
         Divergence {
             ref_index: self.ref_index,
+            cpu,
             reference: r,
             reason,
             at,

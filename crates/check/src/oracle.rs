@@ -210,6 +210,25 @@ impl<'a> Tape<'a> {
             ))),
         }
     }
+
+    /// Consumes one event that must be `(kind, page)` **on** `cpu` —
+    /// coherence events name the peer cache that reacted, and the
+    /// oracle knows exactly which peer that must be.
+    fn expect_on(&mut self, kind: EventKind, page: u64, cpu: u32) -> Result<(), OracleError> {
+        match self.peek() {
+            Some(ev) if ev.kind == kind && ev.page == page && ev.cpu == cpu => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(ev) => Err(self.err(format!(
+                "expected {kind:?} on page {page} cpu{cpu}, saw {:?} on page {} cpu{}",
+                ev.kind, ev.page, ev.cpu
+            ))),
+            None => Err(self.err(format!(
+                "expected {kind:?} on page {page} cpu{cpu}, but the event tape ended"
+            ))),
+        }
+    }
 }
 
 /// The independent state machine. Feed it every reference (in order)
@@ -391,12 +410,12 @@ impl Oracle {
 
         match kind {
             AccessKind::InstrFetch | AccessKind::Read => {
-                self.snoop_read(cpu, block);
+                self.snoop_read(cpu, block, page, tape)?;
                 let p = self.pages[&page];
                 self.caches[cpu].fill(block, p.prot, p.dirty, false);
             }
             AccessKind::Write => {
-                self.snoop_invalidate(cpu, block);
+                self.snoop_invalidate(cpu, block, page, tape)?;
                 self.write_miss(cpu, block, page, tape)?;
             }
         }
@@ -600,24 +619,59 @@ impl Oracle {
 
     // ----- coherency -------------------------------------------------
 
-    fn snoop_invalidate(&mut self, cpu: usize, block: u64) {
-        for (i, cache) in self.caches.iter_mut().enumerate() {
-            if i != cpu {
-                cache.invalidate(block);
-            }
+    /// A write's invalidating snoop: every peer copy dies, and the real
+    /// system must have emitted one `CoherenceInvalidate` per peer that
+    /// held the block, in ascending CPU order. Silent on a uniprocessor
+    /// (the real system never puts the transaction on the bus).
+    fn snoop_invalidate(
+        &mut self,
+        cpu: usize,
+        block: u64,
+        page: u64,
+        tape: &mut Tape<'_>,
+    ) -> Result<(), OracleError> {
+        if self.cfg.cpus == 1 {
+            return Ok(());
         }
-    }
-
-    fn snoop_read(&mut self, cpu: usize, block: u64) {
-        for (i, cache) in self.caches.iter_mut().enumerate() {
+        for i in 0..self.caches.len() {
             if i == cpu {
                 continue;
             }
-            if let Some(line) = cache.get_mut(block) {
-                // An owner supplies the data and downgrades to shared.
-                line.exclusive = false;
+            if self.caches[i].get(block).is_some() {
+                self.caches[i].invalidate(block);
+                tape.expect_on(EventKind::CoherenceInvalidate, page, i as u32)?;
             }
         }
+        Ok(())
+    }
+
+    /// A read's snoop: an owning peer supplies the data and downgrades
+    /// to shared ownership, announced as one `OwnershipTransfer` per
+    /// owner. Ownership is exactly "holds the block dirty" (Berkeley:
+    /// only modified blocks are owned), which is why `block_dirty` is
+    /// the predicate here.
+    fn snoop_read(
+        &mut self,
+        cpu: usize,
+        block: u64,
+        page: u64,
+        tape: &mut Tape<'_>,
+    ) -> Result<(), OracleError> {
+        if self.cfg.cpus == 1 {
+            return Ok(());
+        }
+        for i in 0..self.caches.len() {
+            if i == cpu {
+                continue;
+            }
+            if let Some(line) = self.caches[i].get_mut(block) {
+                if line.block_dirty {
+                    line.exclusive = false;
+                    tape.expect_on(EventKind::OwnershipTransfer, page, i as u32)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     // ----- dirty-bit machines ---------------------------------------
@@ -658,7 +712,7 @@ impl Oracle {
     ) -> Result<(), OracleError> {
         let line = self.caches[cpu].get(block).expect("caller probed a hit");
         if !line.exclusive {
-            self.snoop_invalidate(cpu, block);
+            self.snoop_invalidate(cpu, block, page, tape)?;
         }
 
         match self.cfg.dirty {
@@ -797,6 +851,7 @@ mod tests {
             cycle: 0,
             page,
             cost: 0,
+            cpu: 0,
         }
     }
 

@@ -26,7 +26,7 @@ pub use ablation::{
 };
 pub use crossover::{crossover_sweep, measure_crossover, CrossoverRow};
 pub use events::{measure_events, table_3_3, EventRow};
-pub use mp::{measure_mp, mp_sweep, MpRow};
+pub use mp::{mp_model, render_mp_model, MpModelRow, MP_MODEL_DAEMON_PERIOD};
 pub use overhead::{model_vs_measured, table_3_4, OverheadRow};
 pub use pageout::{table_3_5, PageoutRow};
 pub use refbit::{table_4_1, RefbitRow};

@@ -148,9 +148,13 @@ impl ObsReport {
     /// exact event counts, trace accounting, and histogram summaries
     /// with their non-empty buckets.
     pub fn metrics_json(&self) -> Json {
+        // The core (uniprocessor) kinds are always reported; coherence
+        // kinds appear only when they fired, so uniprocessor artifacts
+        // stay byte-identical to output predating the multiprocessor.
         let events = Json::object(
             EventKind::ALL
                 .iter()
+                .filter(|&&k| EventKind::CORE.contains(&k) || self.recorder.emitted(k) > 0)
                 .map(|&k| (k.name(), Json::from(self.recorder.emitted(k)))),
         );
         let histograms = Json::object(

@@ -8,13 +8,13 @@
 //! turns.
 
 use spur_cache::cache::VirtualCache;
-use spur_cache::coherence::CoherencyState;
+use spur_cache::coherence::{CoherenceMsg, CoherencyState};
 use spur_cache::counters::{CounterEvent, CounterMode, PerfCounters};
 use spur_cache::line::LineIndex;
 use spur_cache::translate::{InCacheTranslator, TranslationOutcome};
 use spur_mem::pagetable::PT_GLOBAL_SEGMENT;
 use spur_mem::pte::Pte;
-use spur_obs::{EventKind, Recorder, SimEvent};
+use spur_obs::{CpuTag, EventKind, Recorder, SimEvent};
 use spur_trace::layout::SegKind;
 use spur_trace::stream::TraceRef;
 use spur_trace::workloads::Workload;
@@ -199,6 +199,9 @@ pub struct SpurSystem {
     stale_at_fault_zfod: u64,
     /// Observability bundle (`None` keeps the uninstrumented paths).
     obs: Option<Box<SystemObs>>,
+    /// The CPU driving the reference in flight; trace events are
+    /// stamped with it. Always 0 on a uniprocessor.
+    cur_cpu: u32,
 }
 
 impl SpurSystem {
@@ -270,6 +273,7 @@ impl SpurSystem {
             stale_at_fault: 0,
             stale_at_fault_zfod: 0,
             obs: None,
+            cur_cpu: 0,
         })
     }
 
@@ -399,9 +403,17 @@ impl SpurSystem {
         ]
     }
 
-    /// Emits one trace event at the current simulated time.
-    /// Fault-category events also feed the fault distributions.
+    /// Emits one trace event at the current simulated time, stamped
+    /// with the CPU driving the reference in flight. Fault-category
+    /// events also feed the fault distributions.
     fn obs_emit(&mut self, kind: EventKind, page: u64, cost: u64) {
+        let cpu = self.cur_cpu;
+        self.obs_emit_on(kind, page, cost, cpu);
+    }
+
+    /// Emits one trace event attributed to an explicit CPU (coherence
+    /// events name the *peer* whose cache reacted, not the requester).
+    fn obs_emit_on(&mut self, kind: EventKind, page: u64, cost: u64, cpu: u32) {
         let cycle = self.cycles.raw();
         let refs = self.refs;
         if let Some(o) = self.obs.as_deref_mut() {
@@ -410,6 +422,7 @@ impl SpurSystem {
                 cycle,
                 page,
                 cost,
+                cpu,
             });
             if kind.category() == "fault" {
                 o.note_fault(refs, cost);
@@ -436,15 +449,19 @@ impl SpurSystem {
     /// Translates through the recorder when observability is on.
     fn translate_obs(&mut self, cpu: usize, addr: GlobalAddr) -> TranslationOutcome {
         let base = self.cycles.raw();
+        let cur = self.cur_cpu;
         match self.obs.as_deref_mut() {
-            Some(o) => self.translator.translate_traced(
-                addr,
-                &mut self.caches[cpu],
-                self.vm.page_table(),
-                &mut self.counters,
-                &mut o.recorder,
-                base,
-            ),
+            Some(o) => {
+                let mut tagged = CpuTag::new(&mut o.recorder, cur);
+                self.translator.translate_traced(
+                    addr,
+                    &mut self.caches[cpu],
+                    self.vm.page_table(),
+                    &mut self.counters,
+                    &mut tagged,
+                    base,
+                )
+            }
             None => self.translator.translate(
                 addr,
                 &mut self.caches[cpu],
@@ -459,14 +476,19 @@ impl SpurSystem {
     /// histograms for any pages it reclaimed.
     fn with_vm_ctx<R>(&mut self, f: impl FnOnce(&mut VmSystem, &mut VmCtx) -> R) -> R {
         let cycle_base = self.cycles.raw();
+        let cur = self.cur_cpu;
         let (out, paging, daemon, ref_flush, reclaimed) = {
+            let mut tagged;
             let mut ctx = match self.obs.as_deref_mut() {
-                Some(o) => VmCtx::with_recorder(
-                    &mut self.caches,
-                    &mut self.counters,
-                    &mut o.recorder,
-                    cycle_base,
-                ),
+                Some(o) => {
+                    tagged = CpuTag::new(&mut o.recorder, cur);
+                    VmCtx::with_recorder(
+                        &mut self.caches,
+                        &mut self.counters,
+                        &mut tagged,
+                        cycle_base,
+                    )
+                }
                 None => VmCtx::new(&mut self.caches, &mut self.counters),
             };
             let out = f(&mut self.vm, &mut ctx);
@@ -545,6 +567,7 @@ impl SpurSystem {
     /// exhausted.
     pub fn reference(&mut self, r: TraceRef) -> Result<()> {
         self.refs += 1;
+        self.cur_cpu = self.cpu_of(r.pid) as u32;
         if let Some(period) = self.config.daemon_period {
             if self.refs.is_multiple_of(period) {
                 self.daemon_clear_pass();
@@ -601,16 +624,19 @@ impl SpurSystem {
         if self.caches.len() == 1 {
             return;
         }
-        let block = addr.block();
+        let msg = CoherenceMsg::WriteForInvalidation(addr.block());
         for i in 0..self.caches.len() {
             if i == cpu {
                 continue;
             }
-            if let Some(idx) = self.caches[i].find(block) {
-                let line = self.caches[i].line_mut(idx);
-                line.valid = false;
-                line.state = CoherencyState::Invalid;
+            if self.caches[i].snoop(msg).invalidated {
                 self.counters.record(CounterEvent::Invalidation);
+                self.obs_emit_on(
+                    EventKind::CoherenceInvalidate,
+                    addr.vpn().index(),
+                    0,
+                    i as u32,
+                );
             }
         }
     }
@@ -621,17 +647,19 @@ impl SpurSystem {
         if self.caches.len() == 1 {
             return;
         }
-        let block = addr.block();
+        let msg = CoherenceMsg::ReadShared(addr.block());
         for i in 0..self.caches.len() {
             if i == cpu {
                 continue;
             }
-            if let Some(idx) = self.caches[i].find(block) {
-                let line = self.caches[i].line_mut(idx);
-                if line.state.is_owner() {
-                    line.state = CoherencyState::OwnedShared;
-                    self.counters.record(CounterEvent::OwnerSupply);
-                }
+            if self.caches[i].snoop(msg).supplied {
+                self.counters.record(CounterEvent::OwnerSupply);
+                self.obs_emit_on(
+                    EventKind::OwnershipTransfer,
+                    addr.vpn().index(),
+                    0,
+                    i as u32,
+                );
             }
         }
     }
@@ -1175,6 +1203,8 @@ mod tests {
             EventKind::DaemonScan => CounterEvent::DaemonScan,
             EventKind::SoftFault => CounterEvent::SoftFault,
             EventKind::PageFlush => CounterEvent::PageFlush,
+            EventKind::CoherenceInvalidate => CounterEvent::Invalidation,
+            EventKind::OwnershipTransfer => CounterEvent::OwnerSupply,
         }
     }
 

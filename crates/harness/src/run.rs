@@ -192,6 +192,15 @@ impl<T> RunReport<T> {
         &self.jobs
     }
 
+    /// Consumes the report, yielding every completed job (still in key
+    /// order) with ownership of the outcomes — for callers that move
+    /// state *through* jobs and need it back afterwards, like the
+    /// spur-mp scheduler threading its per-CPU trace generators across
+    /// epochs of the pool.
+    pub fn into_jobs(self) -> Vec<CompletedJob<T>> {
+        self.jobs
+    }
+
     /// Looks a job up by key.
     pub fn get(&self, key: &str) -> Option<&CompletedJob<T>> {
         self.jobs

@@ -1,0 +1,319 @@
+//! The measured multiprocessor experiment.
+//!
+//! Section 4.1's argument — a daemon maintaining true reference bits
+//! "must flush the page from all the caches", so the `REF` policy's
+//! maintenance bill grows with the processor count while `MISS`'s stays
+//! flat — could only be *argued* on the uniprocessor prototype, and was
+//! only *extrapolated* by `spur_core::experiments::mp`'s analytic
+//! model. This module measures it: `mp_workers(cpus, shared_pages)`
+//! sharded across a real [`MpSystem`], one private cache per CPU,
+//! Berkeley ownership on the shared region, sweeping policy × CPU
+//! count × sharing degree.
+
+use spur_cache::counters::CounterEvent;
+use spur_core::experiments::Scale;
+use spur_core::{DirtyPolicy, ObsParams, ObsReport, SimConfig};
+use spur_harness::{Job, JobOutput, Json};
+use spur_trace::workloads::mp_workers;
+use spur_types::MemSize;
+use spur_vm::policy::RefPolicy;
+
+use crate::system::{MpParams, MpSystem};
+
+/// References between periodic daemon clear passes in the measured
+/// sweep. `mp_workers` fits entirely in 8 MB, so without a periodic
+/// pass the pressure-driven daemon never runs and `REF`'s flush bill
+/// would be invisible. Shared with the analytic model's baseline in
+/// `spur_core::experiments::mp` so the cross-check compares like with
+/// like.
+pub const MP_DAEMON_PERIOD: u64 = spur_core::experiments::mp::MP_MODEL_DAEMON_PERIOD;
+
+/// One measured multiprocessor data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpRow {
+    /// Number of processors (and private caches).
+    pub cpus: usize,
+    /// Reference-bit policy.
+    pub policy: RefPolicy,
+    /// Pages in the workload's shared region (sharing degree).
+    pub shared_pages: u64,
+    /// References executed.
+    pub refs: u64,
+    /// Page-ins.
+    pub page_ins: u64,
+    /// Pages flushed by the daemon (once per daemon action).
+    pub page_flushes: u64,
+    /// Cache blocks destroyed by daemon page flushes, across all caches.
+    pub flush_writebacks: u64,
+    /// Peer-copy invalidations from write-sharing (coherence traffic).
+    pub invalidations: u64,
+    /// Blocks supplied by an owning peer cache (Berkeley
+    /// owner-supplies-data transfers).
+    pub owner_supplies: u64,
+    /// Modeled elapsed seconds.
+    pub elapsed_secs: f64,
+}
+
+impl MpRow {
+    /// The machine-readable artifact for this cell.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("cpus", Json::from(self.cpus as u64)),
+            ("policy", Json::from(self.policy.to_string())),
+            ("shared_pages", Json::from(self.shared_pages)),
+            ("refs", Json::from(self.refs)),
+            ("page_ins", Json::from(self.page_ins)),
+            ("page_flushes", Json::from(self.page_flushes)),
+            ("flush_writebacks", Json::from(self.flush_writebacks)),
+            ("invalidations", Json::from(self.invalidations)),
+            ("owner_supplies", Json::from(self.owner_supplies)),
+            ("elapsed_secs", Json::Float(self.elapsed_secs)),
+        ])
+    }
+}
+
+/// Runs `mp_workers(cpus, shared_pages)` under `policy` on a
+/// `cpus`-CPU node.
+///
+/// # Errors
+///
+/// Propagates simulator and scheduler errors.
+pub fn measure_mp(
+    cpus: usize,
+    policy: RefPolicy,
+    shared_pages: u64,
+    scale: &Scale,
+) -> Result<MpRow, String> {
+    measure_mp_obs(cpus, policy, shared_pages, scale, None).map(|(row, _)| row)
+}
+
+/// [`measure_mp`] with optional observability. Recording never
+/// perturbs the row.
+///
+/// # Errors
+///
+/// Propagates simulator and scheduler errors.
+pub fn measure_mp_obs(
+    cpus: usize,
+    policy: RefPolicy,
+    shared_pages: u64,
+    scale: &Scale,
+    obs: Option<ObsParams>,
+) -> Result<(MpRow, Option<ObsReport>), String> {
+    let workload = mp_workers(cpus, shared_pages);
+    let config = SimConfig {
+        mem: MemSize::MB8,
+        dirty: DirtyPolicy::Spur,
+        ref_policy: policy,
+        cpus,
+        // The workload fits in 8 MB, so the pressure-driven daemon
+        // would never run; a periodic clear pass is what makes the
+        // reference-bit *maintenance* bill visible — exactly the
+        // large-memory regime §4.1 argues about.
+        daemon_period: Some(MP_DAEMON_PERIOD),
+        ..SimConfig::default()
+    };
+    let mut node = MpSystem::new(config, &workload, scale.seed, MpParams::default())?;
+    if let Some(params) = obs {
+        node.enable_obs(params);
+    }
+    node.run(scale.refs)?;
+    node.check_invariants()?;
+    let sim = node.system();
+    let stats = sim.vm().stats();
+    let row = MpRow {
+        cpus,
+        policy,
+        shared_pages,
+        refs: node.refs(),
+        page_ins: stats.page_ins,
+        page_flushes: sim.counters().total(CounterEvent::PageFlush),
+        flush_writebacks: stats.flush_writebacks,
+        invalidations: sim.counters().total(CounterEvent::Invalidation),
+        owner_supplies: sim.counters().total(CounterEvent::OwnerSupply),
+        elapsed_secs: sim.events().elapsed_seconds(),
+    };
+    Ok((row, node.finish_obs()))
+}
+
+/// The stable cell key shared by `reproduce_mp`, the serving API, and
+/// the tests: `mp/04cpu/0256sh/REF`.
+pub fn mp_key(cpus: usize, shared_pages: u64, policy: RefPolicy) -> String {
+    format!("mp/{cpus:02}cpu/{shared_pages:04}sh/{policy}")
+}
+
+/// One multiprocessor cell as a harness job.
+pub fn mp_job(
+    key: String,
+    cpus: usize,
+    policy: RefPolicy,
+    shared_pages: u64,
+    scale: Scale,
+    obs: Option<ObsParams>,
+) -> Job<MpRow> {
+    Job::new(key, move || {
+        let (row, rep) = measure_mp_obs(cpus, policy, shared_pages, &scale, obs)?;
+        let artifact = row.to_json();
+        Ok(spur_core::jobs::attach_obs(
+            JobOutput::new(row, artifact),
+            rep,
+        ))
+    })
+}
+
+/// Sweeps policy × CPU count × sharing degree, serially, in row order.
+///
+/// # Errors
+///
+/// Propagates the first failing run.
+pub fn mp_sweep(
+    scale: &Scale,
+    cpu_counts: &[usize],
+    sharing: &[u64],
+) -> Result<Vec<MpRow>, String> {
+    let mut rows = Vec::new();
+    for &shared_pages in sharing {
+        for &cpus in cpu_counts {
+            for policy in [RefPolicy::Miss, RefPolicy::Ref] {
+                rows.push(measure_mp(cpus, policy, shared_pages, scale)?);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders a sweep as the standard table.
+pub fn render_mp(rows: &[MpRow]) -> String {
+    let mut t = spur_core::report::Table::new(
+        "Multiprocessor reference-bit maintenance (measured on MpSystem)",
+    );
+    t.headers(&[
+        "CPUs",
+        "Policy",
+        "Shared pages",
+        "Page-Ins",
+        "Daemon flushes",
+        "Flush writebacks",
+        "Invalidations",
+        "Owner supplies",
+        "Elapsed(s)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.cpus.to_string(),
+            r.policy.to_string(),
+            r.shared_pages.to_string(),
+            r.page_ins.to_string(),
+            r.page_flushes.to_string(),
+            r.flush_writebacks.to_string(),
+            r.invalidations.to_string(),
+            r.owner_supplies.to_string(),
+            format!("{:.1}", r.elapsed_secs),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            refs: 400_000,
+            seed: 21,
+            reps: 1,
+            dev_refs_per_hour: 0,
+        }
+    }
+
+    #[test]
+    fn uniprocessor_has_no_coherence_traffic() {
+        let row = measure_mp(1, RefPolicy::Miss, 256, &tiny()).unwrap();
+        assert_eq!(row.invalidations, 0);
+        assert_eq!(row.owner_supplies, 0);
+    }
+
+    #[test]
+    fn sharing_generates_coherence_traffic() {
+        let row = measure_mp(4, RefPolicy::Miss, 256, &tiny()).unwrap();
+        assert!(
+            row.invalidations > 0,
+            "shared writes must invalidate peer copies"
+        );
+        assert!(
+            row.owner_supplies > 0,
+            "reads of remotely-dirty blocks must be owner-supplied"
+        );
+    }
+
+    #[test]
+    fn measured_table_keeps_the_qualitative_shape() {
+        // The old extrapolated table's shape, now measured: REF's
+        // total flush bill (daemon actions and the cache blocks they
+        // destroy) grows with the CPU count — more caches hold copies
+        // the daemon must flush — while MISS does no daemon flushing
+        // at all and stays flat at zero.
+        let scale = tiny();
+        let ref1 = measure_mp(1, RefPolicy::Ref, 256, &scale).unwrap();
+        let ref4 = measure_mp(4, RefPolicy::Ref, 256, &scale).unwrap();
+        let miss1 = measure_mp(1, RefPolicy::Miss, 256, &scale).unwrap();
+        let miss4 = measure_mp(4, RefPolicy::Miss, 256, &scale).unwrap();
+        assert!(ref1.page_flushes > 0, "REF must exercise the daemon");
+        assert!(
+            ref4.page_flushes > ref1.page_flushes,
+            "REF daemon actions grow with CPUs: {} -> {}",
+            ref1.page_flushes,
+            ref4.page_flushes
+        );
+        assert!(
+            ref4.flush_writebacks > ref1.flush_writebacks,
+            "REF flush bill grows with CPUs: {} -> {}",
+            ref1.flush_writebacks,
+            ref4.flush_writebacks
+        );
+        assert_eq!(miss1.flush_writebacks, 0, "MISS never daemon-flushes");
+        assert_eq!(miss4.flush_writebacks, 0, "MISS stays flat");
+    }
+
+    #[test]
+    fn measured_growth_agrees_with_the_analytic_model() {
+        // The analytic extrapolation kept in spur-core is now a
+        // cross-check: both must predict the same *direction* for the
+        // total REF flush bill as CPUs grow. (The model's total at n
+        // CPUs is its fixed baseline flush count times the predicted
+        // per-flush damage, so growth in per-flush damage is growth in
+        // the bill.)
+        use spur_core::experiments::mp::{mp_model, MpModelRow};
+        let scale = tiny();
+        let rows = mp_model(&scale, &[1, 4]).unwrap();
+        let model_ref: Vec<_> = rows.iter().filter(|r| r.policy == RefPolicy::Ref).collect();
+        assert_eq!(model_ref.len(), 2);
+        let model_bill = |r: &MpModelRow| r.base_page_flushes as f64 * r.flush_writebacks_per_flush;
+        let model_grows = model_bill(model_ref[1]) > model_bill(model_ref[0]);
+        let ref1 = measure_mp(1, RefPolicy::Ref, 256, &scale).unwrap();
+        let ref4 = measure_mp(4, RefPolicy::Ref, 256, &scale).unwrap();
+        let measured_grows = ref4.flush_writebacks > ref1.flush_writebacks;
+        assert!(model_grows, "the model must predict growth");
+        assert_eq!(
+            model_grows, measured_grows,
+            "model and measurement must agree on the direction"
+        );
+        // And MISS: both say flat zero.
+        let model_miss: Vec<_> = rows
+            .iter()
+            .filter(|r| r.policy == RefPolicy::Miss)
+            .collect();
+        for r in model_miss {
+            assert_eq!(r.flush_writebacks_per_flush, 0.0);
+        }
+        let miss4 = measure_mp(4, RefPolicy::Miss, 256, &scale).unwrap();
+        assert_eq!(miss4.flush_writebacks, 0);
+    }
+
+    #[test]
+    fn keys_are_stable() {
+        assert_eq!(mp_key(4, 256, RefPolicy::Ref), "mp/04cpu/0256sh/REF");
+        assert_eq!(mp_key(1, 64, RefPolicy::Miss), "mp/01cpu/0064sh/MISS");
+    }
+}

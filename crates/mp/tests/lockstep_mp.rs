@@ -1,0 +1,79 @@
+//! The multiprocessor differential matrix: `MpScheduler` drives the
+//! real N-cache node and the multi-CPU oracle in lockstep across
+//! policy × CPU count × sharing degree. Zero divergences, or the test
+//! prints the dump (which names the CPU) and fails.
+//!
+//! Debug builds keep the per-cell budget modest; the full-scale matrix
+//! runs in release through `spur-fuzz --matrix`.
+
+use spur_check::Lockstep;
+use spur_core::{DirtyPolicy, SimConfig};
+use spur_mp::MpScheduler;
+use spur_trace::workloads::mp_workers;
+use spur_types::MemSize;
+use spur_vm::policy::RefPolicy;
+
+const REFS_PER_CELL: u64 = 12_000;
+
+#[test]
+fn mp_system_matches_the_oracle_across_the_matrix() {
+    let mut cells = 0;
+    for cpus in [2usize, 4] {
+        for dirty in [DirtyPolicy::Spur, DirtyPolicy::Flush] {
+            for ref_policy in [RefPolicy::Miss, RefPolicy::Ref] {
+                for shared_pages in [64u64, 1024] {
+                    let workload = mp_workers(cpus, shared_pages);
+                    let mut lock = Lockstep::new(SimConfig {
+                        mem: MemSize::new(5),
+                        dirty,
+                        ref_policy,
+                        cpus,
+                        ..SimConfig::default()
+                    })
+                    .expect("valid config");
+                    lock.load_workload(&workload).expect("workload loads");
+                    let mut sched = MpScheduler::new(&workload, cpus, 1989 + cells)
+                        .expect("schedulable workload");
+                    match lock.run(&mut sched, REFS_PER_CELL) {
+                        Ok(n) => assert_eq!(
+                            n, REFS_PER_CELL,
+                            "scheduler must sustain the full cell budget"
+                        ),
+                        Err(d) => panic!(
+                            "divergence in cell cpus={cpus} {dirty} {ref_policy} \
+                             shared={shared_pages}:\n{d}"
+                        ),
+                    }
+                    cells += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(cells, 16, "the whole matrix must run");
+}
+
+#[test]
+fn divergence_dumps_name_the_cpu() {
+    // Sanity-check the reporting path itself: a deliberately broken
+    // oracle must produce a dump that names the CPU. (The mutation
+    // makes the oracle demand a write-back for clean pageouts; a tiny
+    // 2 MB node paging a four-CPU workload exposes it quickly.)
+    use spur_check::Mutation;
+    let cpus = 4;
+    let workload = mp_workers(cpus, 256);
+    let mut lock = Lockstep::new(SimConfig {
+        mem: MemSize::new(2),
+        ref_policy: RefPolicy::Ref,
+        cpus,
+        ..SimConfig::default()
+    })
+    .expect("valid config")
+    .with_mutation(Mutation::parse("pageout-always"));
+    lock.load_workload(&workload).expect("workload loads");
+    let mut sched = MpScheduler::new(&workload, cpus, 7).expect("schedulable workload");
+    let d = lock
+        .run(&mut sched, 200_000)
+        .expect_err("a broken oracle must diverge");
+    let dump = d.to_string();
+    assert!(dump.contains("cpu"), "the dump must name the CPU: {dump}");
+}

@@ -43,12 +43,46 @@ pub enum EventKind {
     SoftFault,
     /// A page's blocks were flushed from the cache.
     PageFlush,
+    /// A bus write invalidated a peer cache's copy of a block.
+    CoherenceInvalidate,
+    /// An owning cache supplied a block to a reading peer and
+    /// downgraded to shared ownership.
+    OwnershipTransfer,
 }
 
 impl EventKind {
     /// Every kind, in declaration order. `as usize` on a kind indexes
     /// this slice (and the per-kind count arrays built on it).
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 18] = [
+        EventKind::IFetchMiss,
+        EventKind::ReadMiss,
+        EventKind::WriteMiss,
+        EventKind::PteCacheMiss,
+        EventKind::SecondLevelFetch,
+        EventKind::DirtyFault,
+        EventKind::ExcessFault,
+        EventKind::DirtyBitMiss,
+        EventKind::RefFault,
+        EventKind::ProtFault,
+        EventKind::ZeroFill,
+        EventKind::PageIn,
+        EventKind::PageOut,
+        EventKind::DaemonScan,
+        EventKind::SoftFault,
+        EventKind::PageFlush,
+        EventKind::CoherenceInvalidate,
+        EventKind::OwnershipTransfer,
+    ];
+
+    /// Number of kinds (the length of [`EventKind::ALL`]).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The original uniprocessor kinds, in declaration order. Metrics
+    /// artifacts always report these; the coherence kinds that follow
+    /// them in [`EventKind::ALL`] only appear when they actually fired,
+    /// which keeps uniprocessor artifacts byte-identical to runs
+    /// predating the multiprocessor work.
+    pub const CORE: [EventKind; 16] = [
         EventKind::IFetchMiss,
         EventKind::ReadMiss,
         EventKind::WriteMiss,
@@ -66,9 +100,6 @@ impl EventKind {
         EventKind::SoftFault,
         EventKind::PageFlush,
     ];
-
-    /// Number of kinds (the length of [`EventKind::ALL`]).
-    pub const COUNT: usize = Self::ALL.len();
 
     /// Stable name, matching the `CounterEvent` variant it reconciles
     /// against. Used as the Chrome-trace event name.
@@ -90,6 +121,8 @@ impl EventKind {
             EventKind::DaemonScan => "DaemonScan",
             EventKind::SoftFault => "SoftFault",
             EventKind::PageFlush => "PageFlush",
+            EventKind::CoherenceInvalidate => "CoherenceInvalidate",
+            EventKind::OwnershipTransfer => "OwnershipTransfer",
         }
     }
 
@@ -111,6 +144,7 @@ impl EventKind {
             | EventKind::DaemonScan
             | EventKind::SoftFault
             | EventKind::PageFlush => "vm",
+            EventKind::CoherenceInvalidate | EventKind::OwnershipTransfer => "coherence",
         }
     }
 }
@@ -130,6 +164,10 @@ pub struct SimEvent {
     pub page: u64,
     /// Cycles the event cost (0 for zero-cost bookkeeping events).
     pub cost: u64,
+    /// The simulated CPU the event happened on (0 on a uniprocessor).
+    /// For coherence events this is the *peer* CPU whose cache was
+    /// invalidated or supplied the data, not the requester.
+    pub cpu: u32,
 }
 
 #[cfg(test)]
@@ -156,6 +194,14 @@ mod tests {
     fn every_kind_has_a_category() {
         for kind in EventKind::ALL {
             assert!(!kind.category().is_empty());
+        }
+    }
+
+    #[test]
+    fn core_is_the_uniprocessor_prefix_of_all() {
+        assert_eq!(&EventKind::ALL[..EventKind::CORE.len()], &EventKind::CORE);
+        for kind in &EventKind::ALL[EventKind::CORE.len()..] {
+            assert_eq!(kind.category(), "coherence");
         }
     }
 }

@@ -42,6 +42,9 @@ pub fn chrome_trace(recorder: &TraceRecorder, pid: u64, tid: u64) -> Json {
 }
 
 fn trace_event(e: &SimEvent, pid: u64, tid: u64) -> Json {
+    // Each simulated CPU gets its own thread track by offsetting the
+    // caller's base tid; uniprocessor events carry cpu 0, so their
+    // documents are byte-identical to pre-multiprocessor output.
     Json::object([
         ("name", Json::from(e.kind.name())),
         ("cat", Json::from(e.kind.category())),
@@ -49,7 +52,7 @@ fn trace_event(e: &SimEvent, pid: u64, tid: u64) -> Json {
         ("ts", Json::from(e.cycle.saturating_sub(e.cost))),
         ("dur", Json::from(e.cost.max(1))),
         ("pid", Json::from(pid)),
-        ("tid", Json::from(tid)),
+        ("tid", Json::from(tid + e.cpu as u64)),
         ("args", Json::object([("page", Json::from(e.page))])),
     ])
 }
@@ -116,12 +119,14 @@ mod tests {
             cycle: 500,
             page: 42,
             cost: 300,
+            cpu: 0,
         });
         r.emit(SimEvent {
             kind: EventKind::DaemonScan,
             cycle: 900,
             page: 43,
             cost: 0,
+            cpu: 0,
         });
         let doc = chrome_trace(&r, 1, 1);
         let parsed = parse(&doc.encode_pretty()).expect("valid JSON");
@@ -153,11 +158,35 @@ mod tests {
             cycle: 10,
             page: 0,
             cost: 0,
+            cpu: 0,
         });
         let doc = chrome_trace(&r, 0, 0);
         let encoded = doc.encode();
         assert!(encoded.contains("\"dur\":1"), "zero cost clamps to dur 1");
         assert!(encoded.contains("\"ts\":10"));
+    }
+
+    #[test]
+    fn events_land_on_per_cpu_thread_tracks() {
+        let mut r = TraceRecorder::new(4);
+        for cpu in [0u32, 3] {
+            r.emit(SimEvent {
+                kind: EventKind::CoherenceInvalidate,
+                cycle: 100,
+                page: 7,
+                cost: 0,
+                cpu,
+            });
+        }
+        let encoded = chrome_trace(&r, 1, 10).encode();
+        assert!(
+            encoded.contains("\"tid\":10"),
+            "cpu 0 stays on the base tid"
+        );
+        assert!(
+            encoded.contains("\"tid\":13"),
+            "cpu 3 is offset from the base tid"
+        );
     }
 
     #[test]

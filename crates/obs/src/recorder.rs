@@ -27,6 +27,42 @@ pub struct NoopRecorder;
 
 impl Recorder for NoopRecorder {}
 
+/// A recorder adapter that stamps every event with a CPU number before
+/// forwarding it.
+///
+/// Emitters below `spur-core` (cache translation, the VM layer) don't
+/// know which simulated CPU is driving them; the system wraps its
+/// recorder in a `CpuTag` for the duration of a reference so every
+/// event they emit lands on the right per-CPU track.
+pub struct CpuTag<'a> {
+    inner: &'a mut dyn Recorder,
+    cpu: u32,
+}
+
+impl std::fmt::Debug for CpuTag<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuTag").field("cpu", &self.cpu).finish()
+    }
+}
+
+impl<'a> CpuTag<'a> {
+    /// Wraps `inner`, stamping forwarded events with `cpu`.
+    pub fn new(inner: &'a mut dyn Recorder, cpu: u32) -> Self {
+        CpuTag { inner, cpu }
+    }
+}
+
+impl Recorder for CpuTag<'_> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn emit(&mut self, mut event: SimEvent) {
+        event.cpu = self.cpu;
+        self.inner.emit(event);
+    }
+}
+
 /// A recorder backed by a bounded ring buffer.
 ///
 /// Two books are kept separately:
@@ -162,7 +198,21 @@ mod tests {
             cycle,
             page: 7,
             cost: 10,
+            cpu: 0,
         }
+    }
+
+    #[test]
+    fn cpu_tag_stamps_and_delegates() {
+        let mut inner = TraceRecorder::new(4);
+        {
+            let mut tagged = CpuTag::new(&mut inner, 3);
+            assert!(tagged.enabled());
+            tagged.emit(ev(EventKind::PageIn, 5));
+        }
+        assert_eq!(inner.events()[0].cpu, 3);
+        let mut noop = NoopRecorder;
+        assert!(!CpuTag::new(&mut noop, 1).enabled());
     }
 
     #[test]

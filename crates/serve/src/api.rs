@@ -47,6 +47,9 @@ pub const MAX_REPS: u32 = 16;
 /// 4 GB is beyond any sensible cell).
 pub const MAX_MEM_MB: u64 = 4096;
 
+/// Guardrail on the mp cell's sharing degree.
+pub const MAX_SHARED_PAGES: u64 = 8192;
+
 /// Which experiment family a submission runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kind {
@@ -54,6 +57,14 @@ enum Kind {
     Refbit(RefPolicy),
     /// A Table 3.3 cell (event frequencies).
     Events,
+    /// A measured multiprocessor cell (`spur-mp` sweep). The workload
+    /// and memory size are derived from the cell parameters, exactly
+    /// as `reproduce_mp` derives them.
+    Mp {
+        policy: RefPolicy,
+        cpus: usize,
+        shared_pages: u64,
+    },
 }
 
 /// A validated submission, ready to compile into a keyed [`Job`].
@@ -76,6 +87,11 @@ impl JobSpec {
         match self.kind {
             Kind::Refbit(policy) => format!("table_4_1/{name}/{mb}MB/{policy}"),
             Kind::Events => format!("table_3_3/{name}/{mb}MB"),
+            Kind::Mp {
+                policy,
+                cpus,
+                shared_pages,
+            } => spur_mp::mp_key(cpus, shared_pages, policy),
         }
     }
 
@@ -104,6 +120,11 @@ impl JobSpec {
                 self.overrides,
             )
             .map(|_| ()),
+            Kind::Mp {
+                policy,
+                cpus,
+                shared_pages,
+            } => spur_mp::mp_job(key, cpus, policy, shared_pages, self.scale, self.obs).map(|_| ()),
         }
     }
 }
@@ -128,12 +149,60 @@ pub fn parse_job_spec(body: &[u8]) -> Result<JobSpec, String> {
             Kind::Refbit(policy)
         }
         "events" => Kind::Events,
+        "mp" => {
+            let policy = match get_field(&doc, "policy") {
+                None => RefPolicy::Miss,
+                Some(v) => as_str(v, "policy")?
+                    .parse::<RefPolicy>()
+                    .map_err(|e| e.to_string())?,
+            };
+            let cpus = opt_u64(&doc, "cpus")?.unwrap_or(2);
+            if cpus == 0 || cpus > 12 {
+                return Err(format!("cpus must be in 1..=12, got {cpus}"));
+            }
+            let shared_pages = opt_u64(&doc, "shared_pages")?.unwrap_or(256);
+            if shared_pages == 0 || shared_pages > MAX_SHARED_PAGES {
+                return Err(format!(
+                    "shared_pages must be in 1..={MAX_SHARED_PAGES}, got {shared_pages}"
+                ));
+            }
+            Kind::Mp {
+                policy,
+                cpus: cpus as usize,
+                shared_pages,
+            }
+        }
         other => {
             return Err(format!(
-                "unknown experiment {other:?} (expected refbit|events)"
+                "unknown experiment {other:?} (expected refbit|events|mp)"
             ))
         }
     };
+
+    let scale = parse_scale(&doc)?;
+    let obs = parse_obs(&doc)?;
+
+    if let Kind::Mp {
+        cpus, shared_pages, ..
+    } = kind
+    {
+        // The mp cell derives its workload (`mp_workers`) and memory
+        // size itself, exactly as `reproduce_mp` does — accepting a
+        // workload here would break the shared-key determinism story.
+        for field in ["workload", "workload_spec", "mem_mb", "overrides"] {
+            if get_field(&doc, field).is_some() {
+                return Err(format!("{field} is not accepted for experiment \"mp\""));
+            }
+        }
+        return Ok(JobSpec {
+            kind,
+            workload: spur_trace::workloads::mp_workers(cpus, shared_pages),
+            mem: MemSize::MB8,
+            scale,
+            obs,
+            overrides: SimOverrides::default(),
+        });
+    }
 
     let workload = parse_workload_field(&doc)?;
 
@@ -143,8 +212,6 @@ pub fn parse_job_spec(body: &[u8]) -> Result<JobSpec, String> {
     }
     let mem = MemSize::new(mem_mb as u32);
 
-    let scale = parse_scale(&doc)?;
-    let obs = parse_obs(&doc)?;
     let overrides = parse_overrides(&doc)?;
 
     Ok(JobSpec {
@@ -372,6 +439,88 @@ mod tests {
         .encode();
         let s = parse_job_spec(body.as_bytes()).unwrap();
         assert_eq!(s.key(), "table_3_3/SLC/5MB");
+    }
+
+    #[test]
+    fn minimal_mp_submission_gets_sweep_key_and_defaults() {
+        let s = spec(r#"{"experiment":"mp"}"#).unwrap();
+        assert_eq!(s.key(), "mp/02cpu/0256sh/MISS");
+        assert_eq!(s.scale, Scale::quick());
+    }
+
+    #[test]
+    fn full_mp_submission_round_trips() {
+        let s = spec(
+            r#"{"experiment":"mp","policy":"ref","cpus":4,"shared_pages":1024,
+                "scale":{"refs":30000},"obs":false}"#,
+        )
+        .unwrap();
+        assert_eq!(s.key(), "mp/04cpu/1024sh/REF");
+        assert_eq!(s.scale.refs, 30000);
+        assert!(s.obs.is_none());
+    }
+
+    #[test]
+    fn mp_built_job_matches_the_shared_builder_byte_for_byte() {
+        let scale = Scale {
+            refs: 30_000,
+            seed: 1989,
+            reps: 1,
+            dev_refs_per_hour: 120_000,
+        };
+        let s = spec(
+            r#"{"experiment":"mp","cpus":2,"shared_pages":256,
+                "scale":{"refs":30000,"seed":1989,"reps":1},"obs":false}"#,
+        )
+        .unwrap();
+        let via_api = run_one(s.build());
+        let direct = run_one(spur_mp::mp_job(
+            "mp/02cpu/0256sh/MISS".into(),
+            2,
+            RefPolicy::Miss,
+            256,
+            scale,
+            None,
+        ));
+        assert_eq!(
+            job_artifact_json(&via_api).encode_pretty(),
+            job_artifact_json(&direct).encode_pretty(),
+        );
+    }
+
+    #[test]
+    fn mp_rejections_are_messages_not_panics() {
+        for (body, needle) in [
+            (r#"{"experiment":"mp","cpus":0}"#, "cpus must be"),
+            (r#"{"experiment":"mp","cpus":13}"#, "cpus must be"),
+            (
+                r#"{"experiment":"mp","shared_pages":0}"#,
+                "shared_pages must be",
+            ),
+            (
+                r#"{"experiment":"mp","shared_pages":100000}"#,
+                "shared_pages must be",
+            ),
+            (
+                r#"{"experiment":"mp","workload":"SLC"}"#,
+                "not accepted for experiment",
+            ),
+            (
+                r#"{"experiment":"mp","mem_mb":8}"#,
+                "not accepted for experiment",
+            ),
+            (
+                r#"{"experiment":"mp","overrides":{"cpus":2}}"#,
+                "not accepted for experiment",
+            ),
+            (r#"{"experiment":"mp","policy":"lru"}"#, "policy"),
+        ] {
+            let err = spec(body).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{body:?}: error {err:?} should mention {needle:?}"
+            );
+        }
     }
 
     #[test]

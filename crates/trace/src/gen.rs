@@ -477,10 +477,34 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     /// Creates a generator for `workload` with a deterministic `seed`.
     pub fn new(workload: &Workload, seed: u64) -> Self {
-        let procs: Vec<ProcState> = (0..workload.processes().len())
-            .map(|i| ProcState::new(workload, i))
+        let all: Vec<usize> = (0..workload.processes().len()).collect();
+        Self::with_processes(workload, &all, seed)
+    }
+
+    /// Creates a generator running only the processes named by
+    /// `indices` (indices into `workload.processes()`, in the order
+    /// given). With every index present this is exactly
+    /// [`TraceGenerator::new`] — a multiprocessor shard holding all
+    /// processes degenerates to the uniprocessor stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or names a process out of range.
+    pub fn with_processes(workload: &Workload, indices: &[usize], seed: u64) -> Self {
+        assert!(
+            !indices.is_empty(),
+            "a generator needs at least one process"
+        );
+        let procs: Vec<ProcState> = indices
+            .iter()
+            .map(|&i| {
+                assert!(
+                    i < workload.processes().len(),
+                    "process index {i} out of range"
+                );
+                ProcState::new(workload, i)
+            })
             .collect();
-        assert!(!procs.is_empty(), "workload has no processes");
         let quantum = QUANTUM * procs[0].weight as u64;
         TraceGenerator {
             rng: SmallRng::seed_from_u64(seed ^ 0x5f0e_a7c3_9b1d_2468),
@@ -636,6 +660,32 @@ mod tests {
             early,
             seen.len()
         );
+    }
+
+    #[test]
+    fn process_subset_keeps_pids_and_full_set_matches_new() {
+        let w = crate::workloads::mp_workers(4, 64);
+        let full: Vec<_> = TraceGenerator::new(&w, 9).take(20_000).collect();
+        let all: Vec<usize> = (0..w.processes().len()).collect();
+        let same: Vec<_> = TraceGenerator::with_processes(&w, &all, 9)
+            .take(20_000)
+            .collect();
+        assert_eq!(full, same, "full subset must equal the plain generator");
+
+        // A shard holding processes {1, 3} only ever issues their pids.
+        let shard: Vec<_> = TraceGenerator::with_processes(&w, &[1, 3], 9)
+            .take(20_000)
+            .collect();
+        assert!(shard.iter().all(|r| r.pid == Pid(1) || r.pid == Pid(3)));
+        assert!(shard.iter().any(|r| r.pid == Pid(1)));
+        assert!(shard.iter().any(|r| r.pid == Pid(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_subset_panics() {
+        let w = slc();
+        let _ = TraceGenerator::with_processes(&w, &[], 1);
     }
 
     #[test]

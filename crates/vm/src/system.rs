@@ -191,6 +191,7 @@ impl<'a> VmCtx<'a> {
                 cycle,
                 page: page.index(),
                 cost,
+                cpu: 0,
             });
         }
     }

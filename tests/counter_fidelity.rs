@@ -76,6 +76,8 @@ fn counter_for(kind: EventKind) -> CounterEvent {
         EventKind::DaemonScan => CounterEvent::DaemonScan,
         EventKind::SoftFault => CounterEvent::SoftFault,
         EventKind::PageFlush => CounterEvent::PageFlush,
+        EventKind::CoherenceInvalidate => CounterEvent::Invalidation,
+        EventKind::OwnershipTransfer => CounterEvent::OwnerSupply,
     }
 }
 
