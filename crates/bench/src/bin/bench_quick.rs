@@ -3,27 +3,45 @@
 //! second and cycles per reference for the uniprocessor and for
 //! `MpSystem` at 1/2/4/8 CPUs.
 //!
-//! Writes the schema-versioned perf trajectory file (`BENCH_1.json` by
+//! Writes the schema-versioned perf trajectory file (`BENCH_2.json` by
 //! default) that ROADMAP item 1 calls for: optimizations land with a
 //! before/after pair of these files. Cycles/ref is a pure function of
 //! the seed (the determinism the repo proves elsewhere); refs/sec is
 //! the one deliberately wall-clock number in the repo, so this file is
 //! regenerated, not diffed, by CI.
 //!
+//! Methodology (BENCH_2 schema): every configuration gets one untimed
+//! warm-up run, then `--runs N` timed runs in *interleaved* order
+//! (round 1 runs every config once, then round 2, ...) so slow drifts
+//! in machine load hit all rows equally instead of whichever config
+//! happened to run last. The reported refs/sec is the **median** of
+//! the N samples; the JSON records the methodology (`"runs"`,
+//! `"aggregation"`) plus every raw sample per row so outliers stay
+//! visible. This replaced the BENCH_1 single-shot protocol, whose
+//! fixed run order made `MpSystem --cpus 1` read ~12% faster than
+//! `SpurSystem` on an identical instruction stream.
+//!
 //! ```text
-//! cargo run --release -p spur-bench --bin bench_quick -- [--refs N] [--out FILE]
+//! cargo run --release -p spur-bench --bin bench_quick -- \
+//!     [--refs N] [--runs N] [--out FILE] [--quick]
 //! ```
 
 use std::time::Instant;
 
 use spur_core::{SimConfig, SpurSystem};
-use spur_harness::{Json, SCHEMA_VERSION};
+use spur_harness::Json;
 use spur_mp::{MpParams, MpSystem};
 use spur_trace::workloads::mp_workers;
 use spur_types::MemSize;
 
 const DEFAULT_REFS: u64 = 2_000_000;
+const DEFAULT_RUNS: usize = 5;
+const QUICK_REFS: u64 = 200_000;
+const QUICK_RUNS: usize = 3;
 const SEED: u64 = 1989;
+/// Bench file schema: 3 = interleaved median-of-N (BENCH_2), 2 = the
+/// retired single-shot BENCH_1 protocol.
+const BENCH_SCHEMA_VERSION: u64 = 3;
 
 fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -33,27 +51,67 @@ fn arg_value(flag: &str) -> Option<String> {
         .cloned()
 }
 
-struct BenchRow {
-    system: &'static str,
-    cpus: usize,
-    refs: u64,
-    refs_per_sec: f64,
-    cycles_per_ref: f64,
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
 }
 
-impl BenchRow {
-    fn to_json(&self) -> Json {
-        Json::object([
-            ("system", Json::from(self.system)),
-            ("cpus", Json::from(self.cpus as u64)),
-            ("refs", Json::from(self.refs)),
-            ("refs_per_sec", Json::Float(self.refs_per_sec)),
-            ("cycles_per_ref", Json::Float(self.cycles_per_ref)),
-        ])
+/// One benchmark configuration: a named system shape to time.
+#[derive(Clone, Copy)]
+enum Config {
+    Uni,
+    Mp(usize),
+}
+
+impl Config {
+    fn system(self) -> &'static str {
+        match self {
+            Config::Uni => "SpurSystem",
+            Config::Mp(_) => "MpSystem",
+        }
+    }
+
+    fn cpus(self) -> usize {
+        match self {
+            Config::Uni => 1,
+            Config::Mp(c) => c,
+        }
+    }
+
+    /// Run the configuration once; returns (elapsed seconds, refs
+    /// simulated, cycles accumulated, snoop-filter entries at exit).
+    fn run_once(self, refs: u64) -> Result<(f64, u64, u64, u64), String> {
+        let workload = mp_workers(8, 256);
+        match self {
+            Config::Uni => {
+                let mut sys = SpurSystem::new(sim_config(1)).map_err(|e| e.to_string())?;
+                sys.load_workload(&workload).map_err(|e| e.to_string())?;
+                let start = Instant::now();
+                sys.run(&mut workload.generator(SEED), refs)
+                    .map_err(|e| e.to_string())?;
+                Ok((
+                    start.elapsed().as_secs_f64(),
+                    sys.refs(),
+                    sys.cycles().raw(),
+                    sys.snoop_filter_entries() as u64,
+                ))
+            }
+            Config::Mp(cpus) => {
+                let mut node =
+                    MpSystem::new(sim_config(cpus), &workload, SEED, MpParams::default())?;
+                let start = Instant::now();
+                node.run(refs)?;
+                Ok((
+                    start.elapsed().as_secs_f64(),
+                    node.refs(),
+                    node.cycles().raw(),
+                    node.system().snoop_filter_entries() as u64,
+                ))
+            }
+        }
     }
 }
 
-fn config(cpus: usize) -> SimConfig {
+fn sim_config(cpus: usize) -> SimConfig {
     SimConfig {
         mem: MemSize::MB8,
         cpus,
@@ -61,72 +119,143 @@ fn config(cpus: usize) -> SimConfig {
     }
 }
 
-/// The fixed benchmark workload: eight workers so every CPU count in
-/// {1, 2, 4, 8} shards it evenly.
-fn bench_uniprocessor(refs: u64) -> Result<BenchRow, String> {
-    let workload = mp_workers(8, 256);
-    let mut sys = SpurSystem::new(config(1)).map_err(|e| e.to_string())?;
-    sys.load_workload(&workload).map_err(|e| e.to_string())?;
-    let start = Instant::now();
-    sys.run(&mut workload.generator(SEED), refs)
-        .map_err(|e| e.to_string())?;
-    let secs = start.elapsed().as_secs_f64();
-    Ok(BenchRow {
-        system: "SpurSystem",
-        cpus: 1,
-        refs: sys.refs(),
-        refs_per_sec: sys.refs() as f64 / secs.max(1e-9),
-        cycles_per_ref: sys.cycles().raw() as f64 / sys.refs().max(1) as f64,
-    })
+struct BenchRow {
+    config: Config,
+    refs: u64,
+    cycles_per_ref: f64,
+    /// Snoop-filter directory size when the run finished. Deterministic
+    /// (a pure function of the seed, like cycles), and bounded by total
+    /// cache lines plus a small stale residue — CI gates on it because
+    /// an unbounded directory was the root cause of the ISSUE 7 scaling
+    /// collapse (OPTIMIZATION_LOG entry 8).
+    snoop_filter_entries: u64,
+    /// refs/sec of each timed run, in run order.
+    samples: Vec<f64>,
 }
 
-fn bench_mp(cpus: usize, refs: u64) -> Result<BenchRow, String> {
-    let workload = mp_workers(8, 256);
-    let mut node = MpSystem::new(config(cpus), &workload, SEED, MpParams::default())?;
-    let start = Instant::now();
-    node.run(refs)?;
-    let secs = start.elapsed().as_secs_f64();
-    Ok(BenchRow {
-        system: "MpSystem",
-        cpus,
-        refs: node.refs(),
-        refs_per_sec: node.refs() as f64 / secs.max(1e-9),
-        cycles_per_ref: node.cycles().raw() as f64 / node.refs().max(1) as f64,
-    })
+impl BenchRow {
+    /// Median of the timed samples: the headline refs/sec.
+    fn median(&self) -> f64 {
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let n = s.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n % 2 == 1 {
+            s[n / 2]
+        } else {
+            (s[n / 2 - 1] + s[n / 2]) / 2.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("system", Json::from(self.config.system())),
+            ("cpus", Json::from(self.config.cpus() as u64)),
+            ("refs", Json::from(self.refs)),
+            ("refs_per_sec", Json::Float(self.median())),
+            ("cycles_per_ref", Json::Float(self.cycles_per_ref)),
+            (
+                "snoop_filter_entries",
+                Json::from(self.snoop_filter_entries),
+            ),
+            (
+                "samples_refs_per_sec",
+                Json::array(
+                    self.samples
+                        .iter()
+                        .map(|&s| Json::Float(s))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+    }
 }
 
 fn main() {
+    let quick = has_flag("--quick");
     let refs = arg_value("--refs")
         .map(|v| v.parse::<u64>().expect("--refs takes a number"))
-        .unwrap_or(DEFAULT_REFS);
-    let out = arg_value("--out").unwrap_or_else(|| "BENCH_1.json".to_string());
+        .unwrap_or(if quick { QUICK_REFS } else { DEFAULT_REFS });
+    let runs = arg_value("--runs")
+        .map(|v| v.parse::<usize>().expect("--runs takes a number"))
+        .unwrap_or(if quick { QUICK_RUNS } else { DEFAULT_RUNS })
+        .max(1);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_2.json".to_string());
 
-    println!("spur-bench quick: {refs} refs/system, seed {SEED}, workload MP-WORKERS(8, 256)");
-    let mut rows = Vec::new();
-    let runs: Vec<Result<BenchRow, String>> = std::iter::once(bench_uniprocessor(refs))
-        .chain([1usize, 2, 4, 8].into_iter().map(|c| bench_mp(c, refs)))
-        .collect();
-    for run in runs {
-        match run {
-            Ok(row) => {
-                println!(
-                    "  {:<10} cpus={}  {:>12.0} refs/sec  {:>7.3} cycles/ref",
-                    row.system, row.cpus, row.refs_per_sec, row.cycles_per_ref
-                );
-                rows.push(row);
-            }
+    let configs = [
+        Config::Uni,
+        Config::Mp(1),
+        Config::Mp(2),
+        Config::Mp(4),
+        Config::Mp(8),
+    ];
+
+    println!(
+        "spur-bench quick: {refs} refs/run, {runs} timed runs/config (median), \
+         seed {SEED}, workload MP-WORKERS(8, 256)"
+    );
+
+    // Warm-up: one untimed pass per config, in order, so page tables,
+    // the allocator, and the frequency governor settle before any
+    // timed sample is taken.
+    let mut rows: Vec<BenchRow> = Vec::new();
+    for &config in &configs {
+        match config.run_once(refs) {
+            Ok((_, total_refs, cycles, dir_entries)) => rows.push(BenchRow {
+                config,
+                refs: total_refs,
+                cycles_per_ref: cycles as f64 / total_refs.max(1) as f64,
+                snoop_filter_entries: dir_entries,
+                samples: Vec::with_capacity(runs),
+            }),
             Err(e) => {
-                eprintln!("bench_quick: {e}");
+                eprintln!("bench_quick: warm-up: {e}");
                 std::process::exit(1);
             }
         }
     }
 
+    // Timed runs, interleaved: round r times every config once.
+    for round in 0..runs {
+        for row in rows.iter_mut() {
+            match row.config.run_once(refs) {
+                Ok((secs, total_refs, _, _)) => {
+                    row.samples.push(total_refs as f64 / secs.max(1e-9));
+                }
+                Err(e) => {
+                    eprintln!("bench_quick: round {round}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    for row in &rows {
+        let lo = row.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = row.samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "  {:<10} cpus={}  {:>12.0} refs/sec (median of {}, min {:.0} max {:.0})  {:>7.3} cycles/ref",
+            row.config.system(),
+            row.config.cpus(),
+            row.median(),
+            row.samples.len(),
+            lo,
+            hi,
+            row.cycles_per_ref
+        );
+    }
+
     let doc = Json::object([
-        ("schema_version", Json::from(SCHEMA_VERSION)),
+        ("schema_version", Json::from(BENCH_SCHEMA_VERSION)),
         ("bench", Json::from("quick")),
         ("workload", Json::from("MP-WORKERS(8, 256)")),
         ("refs_per_run", Json::from(refs)),
+        ("runs", Json::from(runs as u64)),
+        ("aggregation", Json::from("median")),
+        ("warmup_runs", Json::from(1u64)),
+        ("run_order", Json::from("interleaved")),
         ("seed", Json::from(SEED)),
         (
             "rows",

@@ -1,0 +1,205 @@
+//! Split-timing profiler: attributes wall time per component so an
+//! optimization entry can name its suspect before changing code.
+//!
+//! Sections, in order: the trace generator alone; the simulator alone
+//! on a pre-generated uniprocessor stream; `MpSystem` end-to-end at
+//! 1/2/4/8 CPUs; the simulator alone on pre-generated *sharded*
+//! streams (with the snoop-filter size, the entry-8 leak detector);
+//! the 4-CPU sharded stream replayed into a 1-cache system (isolates
+//! stream-order cost from N-cache bookkeeping); observability
+//! off/unbatched/batched; and the scheduler alone. Every number in
+//! OPTIMIZATION_LOG.md's component tables comes from here.
+//!
+//! ```text
+//! cargo run --release -p spur-bench --bin prof_split -- [REFS]
+//! ```
+
+use std::time::Instant;
+
+use spur_core::{SimConfig, SpurSystem};
+use spur_mp::{MpParams, MpSystem};
+use spur_trace::workloads::mp_workers;
+use spur_trace::TraceGenerator;
+use spur_types::MemSize;
+
+fn config(cpus: usize) -> SimConfig {
+    SimConfig {
+        mem: MemSize::MB8,
+        cpus,
+        ..SimConfig::default()
+    }
+}
+
+fn main() {
+    let refs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let w = mp_workers(8, 256);
+
+    // 1. Generator alone.
+    let start = Instant::now();
+    let mut g = TraceGenerator::new(&w, 1989);
+    let mut n = 0u64;
+    for r in g.by_ref().take(refs as usize) {
+        std::hint::black_box(r);
+        n += 1;
+    }
+    let gen_secs = start.elapsed().as_secs_f64();
+    println!(
+        "gen-only           : {:>12.0} refs/sec ({:.1} ns/ref)",
+        n as f64 / gen_secs,
+        gen_secs * 1e9 / n as f64
+    );
+
+    // 2. Pre-generated refs -> sim only (uniprocessor).
+    let pre: Vec<_> = w.generator(1989).take(refs as usize).collect();
+    let mut sys = SpurSystem::new(config(1)).unwrap();
+    sys.load_workload(&w).unwrap();
+    let start = Instant::now();
+    let mut it = pre.iter().copied();
+    sys.run(&mut it, refs).unwrap();
+    let sim_secs = start.elapsed().as_secs_f64();
+    println!(
+        "sim-only (1 cpu)   : {:>12.0} refs/sec ({:.1} ns/ref)  misses={} ({:.2}%)",
+        refs as f64 / sim_secs,
+        sim_secs * 1e9 / refs as f64,
+        sys.misses(),
+        100.0 * sys.misses() as f64 / refs as f64
+    );
+    use spur_cache::counters::CounterEvent as CE;
+    let c = sys.counters();
+    println!(
+        "  writes={} whits~ bus_wi={} inval={} rdsh={} rdown={} fills={} pte_miss={} dirty_faults={} page_faults={} daemon_scans={} soft={}",
+        c.total(CE::Write),
+        c.total(CE::BusWriteInvalidate),
+        c.total(CE::Invalidation),
+        c.total(CE::BusReadShared),
+        c.total(CE::BusReadForOwnership),
+        c.total(CE::Fill),
+        c.total(CE::PteCacheMiss),
+        c.total(CE::DirtyFault),
+        sys.vm().stats().page_faults,
+        c.total(CE::DaemonScan),
+        c.total(CE::SoftFault),
+    );
+
+    // 3. MpSystem at several CPU counts, and sim-only with the mp stream.
+    for cpus in [1usize, 2, 4, 8] {
+        let mut node = MpSystem::new(config(cpus), &w, 1989, MpParams::default()).unwrap();
+        let start = Instant::now();
+        node.run(refs).unwrap();
+        let secs = start.elapsed().as_secs_f64();
+        let c = node.system().counters();
+        println!(
+            "mp full ({} cpus)   : {:>12.0} refs/sec  misses={} ({:.2}%) bus_wi={} inval={} supply={}",
+            cpus,
+            refs as f64 / secs,
+            node.system().misses(),
+            100.0 * node.system().misses() as f64 / refs as f64,
+            c.total(CE::BusWriteInvalidate),
+            c.total(CE::Invalidation),
+            c.total(CE::OwnerSupply),
+        );
+    }
+
+    // 4. mp sim-only: pre-generate the sharded stream, then run.
+    for cpus in [4usize, 8] {
+        let pre: Vec<_> = spur_mp::MpScheduler::new(&w, cpus, 1989)
+            .unwrap()
+            .take(refs as usize)
+            .collect();
+        let mut sys = SpurSystem::new(config(cpus)).unwrap();
+        sys.load_workload(&w).unwrap();
+        let start = Instant::now();
+        let mut it = pre.iter().copied();
+        sys.run(&mut it, refs).unwrap();
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "mp sim-only ({}cpu) : {:>12.0} refs/sec ({:.1} ns/ref)  dir_entries={}",
+            cpus,
+            refs as f64 / secs,
+            secs * 1e9 / refs as f64,
+            sys.snoop_filter_entries()
+        );
+        println!(
+            "    evictions={} fills={}",
+            sys.counters().total(CE::Eviction),
+            sys.counters().total(CE::Fill)
+        );
+    }
+
+    // 5. Attribution: the 4-cpu sharded stream into a 1-cache system.
+    // Separates stream-order cost from N-cache footprint/bookkeeping.
+    {
+        let pre: Vec<_> = spur_mp::MpScheduler::new(&w, 4, 1989)
+            .unwrap()
+            .take(refs as usize)
+            .collect();
+        let mut sys = SpurSystem::new(config(1)).unwrap();
+        sys.load_workload(&w).unwrap();
+        let start = Instant::now();
+        let mut it = pre.iter().copied();
+        sys.run(&mut it, refs).unwrap();
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "mp4-stream, 1-cache: {:>12.0} refs/sec ({:.1} ns/ref)  misses={} ({:.2}%)",
+            refs as f64 / secs,
+            secs * 1e9 / refs as f64,
+            sys.misses(),
+            100.0 * sys.misses() as f64 / refs as f64
+        );
+    }
+
+    // 6. Obs overhead: off vs unbatched vs batched event emission.
+    for (label, obs) in [
+        ("off", None),
+        ("batch=1", Some(1)),
+        ("batch=4096", Some(4096)),
+    ] {
+        let mut samples = Vec::new();
+        for _ in 0..3 {
+            let mut sys = SpurSystem::new(config(1)).unwrap();
+            sys.load_workload(&w).unwrap();
+            if let Some(batch) = obs {
+                sys.enable_obs(spur_core::ObsParams {
+                    batch,
+                    ..spur_core::ObsParams::default()
+                });
+            }
+            let mut gen = w.generator(1989);
+            let start = Instant::now();
+            sys.run(&mut gen, refs).unwrap();
+            samples.push(start.elapsed().as_secs_f64());
+            std::hint::black_box(sys.finish_obs());
+        }
+        samples.sort_by(f64::total_cmp);
+        let secs = samples[1];
+        println!(
+            "obs {:>10}     : {:>12.0} refs/sec ({:.1} ns/ref, median of 3)",
+            label,
+            refs as f64 / secs,
+            secs * 1e9 / refs as f64
+        );
+    }
+
+    // 7. mp sched-only: drive the scheduler without the simulator.
+    for cpus in [1usize, 8] {
+        let start = Instant::now();
+        let mut n = 0u64;
+        for r in spur_mp::MpScheduler::new(&w, cpus, 1989)
+            .unwrap()
+            .take(refs as usize)
+        {
+            std::hint::black_box(r);
+            n += 1;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "mp sched-only ({}c) : {:>12.0} refs/sec ({:.1} ns/ref)",
+            cpus,
+            n as f64 / secs,
+            secs * 1e9 / n as f64
+        );
+    }
+}

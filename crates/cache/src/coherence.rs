@@ -152,6 +152,10 @@ impl CoherenceMsg {
 /// What a cache did in response to a snooped [`CoherenceMsg`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SnoopResponse {
+    /// The cache held the block at all (its tag matched). `false`
+    /// means the snoop was a complete no-op — the signal a snoop
+    /// filter uses to retire a stale presence bit.
+    pub matched: bool,
     /// The cache owned the block and supplied the data (instead of
     /// memory).
     pub supplied: bool,
@@ -172,6 +176,7 @@ impl VirtualCache {
         let Some(idx) = self.find(msg.block()) else {
             return resp;
         };
+        resp.matched = true;
         let line = self.line_mut(idx);
         match msg {
             CoherenceMsg::ReadShared(_) => {
@@ -568,7 +573,10 @@ mod tests {
         let mut sharer = VirtualCache::prototype();
         sharer.fill_for_read(a, RW, false);
         let resp = sharer.snoop(CoherenceMsg::ReadShared(a.block()));
-        assert_eq!(resp, SnoopResponse::default(), "UnOwned copy stays put");
+        assert!(
+            resp.matched && !resp.supplied && !resp.invalidated,
+            "UnOwned copy stays put"
+        );
         assert!(sharer.probe(a).hit);
     }
 

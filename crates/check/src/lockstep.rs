@@ -100,6 +100,10 @@ impl Lockstep {
         sys.enable_obs(spur_core::ObsParams {
             epoch: None,
             trace_capacity: LOCKSTEP_TRACE_CAPACITY,
+            // The checker drains the event delta after every single
+            // reference, so batching buys nothing here — emit straight
+            // into the ring.
+            batch: 1,
         });
         let oracle = Oracle::new(OracleConfig {
             dirty: config.dirty,

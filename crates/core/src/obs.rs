@@ -18,11 +18,12 @@
 //!
 //! [`SpurSystem`]: crate::system::SpurSystem
 
-use std::collections::HashMap;
-
 use spur_harness::Json;
+use spur_types::FastMap;
+
 use spur_obs::{
-    chrome_trace, histogram_json, series_json, EpochSeries, EventKind, Histogram, TraceRecorder,
+    chrome_trace, histogram_json, series_json, EpochSeries, EventBuf, EventKind, Histogram,
+    TraceRecorder,
 };
 
 /// The counter columns sampled into every epoch row, in order.
@@ -50,6 +51,17 @@ pub struct ObsParams {
     /// Trace ring capacity in events. Per-kind counts keep exact totals
     /// even after the ring wraps.
     pub trace_capacity: usize,
+    /// Events buffered before an automatic flush into the trace ring.
+    /// Emission order is preserved exactly and every reader
+    /// (`obs_tail`, `obs_emitted_total`, `finish_obs`) flushes first,
+    /// so batching is never visible in results — only in speed. `1`
+    /// disables batching (each event lands in the ring immediately).
+    pub batch: usize,
+}
+
+impl ObsParams {
+    /// Default flush batch: one scheduler epoch's worth of references.
+    pub const DEFAULT_BATCH: usize = 4096;
 }
 
 impl Default for ObsParams {
@@ -57,6 +69,7 @@ impl Default for ObsParams {
         ObsParams {
             epoch: None,
             trace_capacity: TraceRecorder::DEFAULT_CAPACITY,
+            batch: Self::DEFAULT_BATCH,
         }
     }
 }
@@ -65,12 +78,17 @@ impl Default for ObsParams {
 #[derive(Debug)]
 pub(crate) struct SystemObs {
     pub(crate) recorder: TraceRecorder,
+    /// Pending events not yet drained into the ring; see
+    /// [`ObsParams::batch`].
+    pub(crate) buf: EventBuf,
+    /// Buffered events that trigger an automatic flush (≥ 1).
+    pub(crate) batch: usize,
     pub(crate) series: Option<EpochSeries>,
     pub(crate) fault_gap: Histogram,
     pub(crate) fault_cost: Histogram,
     pub(crate) residency_writes: Histogram,
     /// Writes absorbed by each currently resident page.
-    pub(crate) page_writes: HashMap<u64, u64>,
+    pub(crate) page_writes: FastMap<u64, u64>,
     /// Reference index of the most recent fault-category event.
     pub(crate) last_fault_ref: Option<u64>,
 }
@@ -79,15 +97,22 @@ impl SystemObs {
     pub(crate) fn new(params: ObsParams) -> Self {
         SystemObs {
             recorder: TraceRecorder::new(params.trace_capacity),
+            buf: EventBuf::default(),
+            batch: params.batch.max(1),
             series: params.epoch.map(|n| {
                 EpochSeries::new(n, EPOCH_COLUMNS.iter().map(|c| c.to_string()).collect())
             }),
             fault_gap: Histogram::new("inter_fault_refs"),
             fault_cost: Histogram::new("fault_cost_cycles"),
             residency_writes: Histogram::new("writes_per_residency"),
-            page_writes: HashMap::new(),
+            page_writes: FastMap::default(),
             last_fault_ref: None,
         }
+    }
+
+    /// Drains every buffered event into the trace ring, oldest first.
+    pub(crate) fn flush_events(&mut self) {
+        self.buf.flush_into(&mut self.recorder);
     }
 
     /// Notes fault-distribution samples for a fault-category event.
@@ -110,6 +135,7 @@ impl SystemObs {
     /// Finalizes the bundle into a report: flushes the partial epoch and
     /// closes the histograms for pages still resident at end of run.
     pub(crate) fn finish(mut self, end_ref: u64, totals: &[u64]) -> ObsReport {
+        self.flush_events();
         if let Some(series) = self.series.as_mut() {
             series.flush(end_ref, totals);
         }

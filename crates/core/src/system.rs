@@ -10,16 +10,16 @@
 use spur_cache::cache::VirtualCache;
 use spur_cache::coherence::{CoherenceMsg, CoherencyState};
 use spur_cache::counters::{CounterEvent, CounterMode, PerfCounters};
-use spur_cache::line::LineIndex;
+use spur_cache::line::{CacheLine, LineIndex};
 use spur_cache::translate::{InCacheTranslator, TranslationOutcome};
 use spur_mem::pagetable::PT_GLOBAL_SEGMENT;
 use spur_mem::pte::Pte;
-use spur_obs::{CpuTag, EventKind, Recorder, SimEvent};
+use spur_obs::{EventKind, SimEvent};
 use spur_trace::layout::SegKind;
 use spur_trace::stream::TraceRef;
 use spur_trace::workloads::Workload;
 use spur_types::{
-    AccessKind, CostParams, Cycles, Error, GlobalAddr, MemSize, Protection, Result, Vpn,
+    AccessKind, CostParams, Cycles, Error, FastMap, GlobalAddr, MemSize, Protection, Result, Vpn,
 };
 use spur_vm::policy::RefPolicy;
 use spur_vm::region::PageKind;
@@ -172,6 +172,14 @@ fn page_kind(kind: SegKind) -> PageKind {
     }
 }
 
+/// Per-policy write-hit handler; see [`SpurSystem::write_hit`].
+///
+/// Returns whether the write proceeds (marking the line dirty and
+/// owned); `false` means the policy absorbed or aborted the write
+/// (protection violation, or a FLUSH refill that already finished the
+/// job).
+type WriteHitFn = fn(&mut SpurSystem, usize, LineIndex, GlobalAddr, CacheLine) -> Result<bool>;
+
 /// The uniprocessor full-system simulator.
 #[derive(Debug)]
 pub struct SpurSystem {
@@ -189,7 +197,7 @@ pub struct SpurSystem {
     zfod_faults: u64,
     /// Necessary-fault attribution: (page kind, residency-was-zero-fill)
     /// → count. Diagnostic surface for workload tuning and tests.
-    fault_breakdown: HashMap<(PageKind, bool), u64>,
+    fault_breakdown: FastMap<(PageKind, bool), u64>,
     /// Excess-fault / dirty-bit-miss attribution by page kind.
     excess_breakdown: HashMap<PageKind, u64>,
     /// Diagnostic: cumulative count of clean blocks already cached at the
@@ -197,11 +205,23 @@ pub struct SpurSystem {
     stale_at_fault: u64,
     /// The same count, restricted to faults on zero-filled residencies.
     stale_at_fault_zfod: u64,
+    /// Write-hit handler for the configured dirty policy, resolved at
+    /// construction (see [`SpurSystem::write_hit_handler`]).
+    write_hit_fn: WriteHitFn,
     /// Observability bundle (`None` keeps the uninstrumented paths).
     obs: Option<Box<SystemObs>>,
     /// The CPU driving the reference in flight; trace events are
     /// stamped with it. Always 0 on a uniprocessor.
     cur_cpu: u32,
+    /// Multiprocessor snoop filter: block index → over-approximate
+    /// mask of caches that may hold the block. Bits are set on data
+    /// fills and retired lazily when a snoop probe finds the line gone
+    /// (evicted, flushed, or invalidated since). A snoop broadcast
+    /// only probes caches whose bit is set — non-holders were no-ops
+    /// anyway, so counters and the event stream are bit-identical to
+    /// the full O(cpus) broadcast. Empty (and unmaintained) on a
+    /// uniprocessor.
+    block_dir: FastMap<u64, u16>,
 }
 
 impl SpurSystem {
@@ -268,13 +288,28 @@ impl SpurSystem {
             whit: 0,
             wmiss: 0,
             zfod_faults: 0,
-            fault_breakdown: HashMap::new(),
+            fault_breakdown: FastMap::default(),
             excess_breakdown: HashMap::new(),
             stale_at_fault: 0,
             stale_at_fault_zfod: 0,
             obs: None,
             cur_cpu: 0,
+            block_dir: FastMap::default(),
+            write_hit_fn: Self::write_hit_handler(config.dirty),
         })
+    }
+
+    /// Resolves the dirty policy's write-hit handler once, at
+    /// construction — the per-write path pays one indirect call instead
+    /// of re-matching the policy enum on every write hit.
+    fn write_hit_handler(policy: DirtyPolicy) -> WriteHitFn {
+        match policy {
+            DirtyPolicy::Min => Self::write_hit_min,
+            DirtyPolicy::Spur => Self::write_hit_spur,
+            DirtyPolicy::Fault => Self::write_hit_fault,
+            DirtyPolicy::Flush => Self::write_hit_flush,
+            DirtyPolicy::Write => Self::write_hit_write,
+        }
     }
 
     /// Registers every region of `workload` with the VM system.
@@ -314,6 +349,12 @@ impl SpurSystem {
     /// Total cache misses.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Blocks currently tracked by the snoop filter (diagnostic;
+    /// always 0 on a uniprocessor, bounded by total cache lines).
+    pub fn snoop_filter_entries(&self) -> usize {
+        self.block_dir.len()
     }
 
     /// Modeled elapsed time.
@@ -362,17 +403,25 @@ impl SpurSystem {
     /// Total trace events emitted so far (including any that fell off
     /// the ring), or `None` with observability off. A lockstep checker
     /// diffs this across one [`SpurSystem::reference`] call to size its
-    /// [`SpurSystem::obs_tail`] read.
-    pub fn obs_emitted_total(&self) -> Option<u64> {
-        self.obs.as_ref().map(|o| o.recorder.emitted_total())
+    /// [`SpurSystem::obs_tail`] read. Flushes the pending event batch
+    /// first, so the total is always current.
+    pub fn obs_emitted_total(&mut self) -> Option<u64> {
+        self.obs.as_deref_mut().map(|o| {
+            o.flush_events();
+            o.recorder.emitted_total()
+        })
     }
 
     /// The `k` most recent retained trace events, oldest first. Empty
-    /// with observability off.
-    pub fn obs_tail(&self, k: usize) -> Vec<SimEvent> {
+    /// with observability off. Flushes the pending event batch first,
+    /// so the tail is always current.
+    pub fn obs_tail(&mut self, k: usize) -> Vec<SimEvent> {
         self.obs
-            .as_ref()
-            .map(|o| o.recorder.tail(k))
+            .as_deref_mut()
+            .map(|o| {
+                o.flush_events();
+                o.recorder.tail(k)
+            })
             .unwrap_or_default()
     }
 
@@ -413,26 +462,38 @@ impl SpurSystem {
 
     /// Emits one trace event attributed to an explicit CPU (coherence
     /// events name the *peer* whose cache reacted, not the requester).
+    ///
+    /// The obs-off check is the first instruction — an uninstrumented
+    /// run pays one branch here, nothing else. Events land in the
+    /// per-epoch batch buffer, not the ring; fault distributions are
+    /// noted eagerly because they sample the reference index at
+    /// emission time.
+    #[inline]
     fn obs_emit_on(&mut self, kind: EventKind, page: u64, cost: u64, cpu: u32) {
-        let cycle = self.cycles.raw();
-        let refs = self.refs;
-        if let Some(o) = self.obs.as_deref_mut() {
-            o.recorder.emit(SimEvent {
-                kind,
-                cycle,
-                page,
-                cost,
-                cpu,
-            });
-            if kind.category() == "fault" {
-                o.note_fault(refs, cost);
-            }
+        let Some(o) = self.obs.as_deref_mut() else {
+            return;
+        };
+        o.buf.push(SimEvent {
+            kind,
+            cycle: self.cycles.raw(),
+            page,
+            cost,
+            cpu,
+        });
+        if kind.category() == "fault" {
+            o.note_fault(self.refs, cost);
         }
     }
 
     /// Samples an epoch row when the reference count crosses a
-    /// boundary.
+    /// boundary, and flushes the event batch when it reaches one
+    /// epoch's worth.
     fn obs_tick(&mut self) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            if o.buf.len() >= o.batch {
+                o.flush_events();
+            }
+        }
         let due = self
             .obs
             .as_ref()
@@ -452,13 +513,13 @@ impl SpurSystem {
         let cur = self.cur_cpu;
         match self.obs.as_deref_mut() {
             Some(o) => {
-                let mut tagged = CpuTag::new(&mut o.recorder, cur);
+                o.buf.cpu = cur;
                 self.translator.translate_traced(
                     addr,
                     &mut self.caches[cpu],
                     self.vm.page_table(),
                     &mut self.counters,
-                    &mut tagged,
+                    &mut o.buf,
                     base,
                 )
             }
@@ -478,14 +539,13 @@ impl SpurSystem {
         let cycle_base = self.cycles.raw();
         let cur = self.cur_cpu;
         let (out, paging, daemon, ref_flush, reclaimed) = {
-            let mut tagged;
             let mut ctx = match self.obs.as_deref_mut() {
                 Some(o) => {
-                    tagged = CpuTag::new(&mut o.recorder, cur);
+                    o.buf.cpu = cur;
                     VmCtx::with_recorder(
                         &mut self.caches,
                         &mut self.counters,
-                        &mut tagged,
+                        &mut o.buf,
                         cycle_base,
                     )
                 }
@@ -537,8 +597,16 @@ impl SpurSystem {
 
     /// Which CPU a process runs on (static assignment, like Sprite's
     /// processor affinity on SPUR).
+    #[inline]
     pub fn cpu_of(&self, pid: spur_trace::stream::Pid) -> usize {
-        pid.0 as usize % self.caches.len()
+        // CPU counts are powers of two on every configuration we model;
+        // masking avoids a hardware divide on the per-reference path.
+        let n = self.caches.len();
+        if n.is_power_of_two() {
+            pid.0 as usize & (n - 1)
+        } else {
+            pid.0 as usize % n
+        }
     }
 
     /// Executes references from `gen` until `limit` references have run
@@ -567,7 +635,8 @@ impl SpurSystem {
     /// exhausted.
     pub fn reference(&mut self, r: TraceRef) -> Result<()> {
         self.refs += 1;
-        self.cur_cpu = self.cpu_of(r.pid) as u32;
+        let cpu = self.cpu_of(r.pid);
+        self.cur_cpu = cpu as u32;
         if let Some(period) = self.config.daemon_period {
             if self.refs.is_multiple_of(period) {
                 self.daemon_clear_pass();
@@ -586,7 +655,6 @@ impl SpurSystem {
             }
         }
 
-        let cpu = self.cpu_of(r.pid);
         let probe = self.caches[cpu].probe(r.addr);
         if probe.hit {
             if r.kind.is_write() {
@@ -617,18 +685,55 @@ impl SpurSystem {
         Ok(())
     }
 
+    /// Records a data fill in the snoop filter (multiprocessor only).
+    /// PTE-block fills don't register: no data snoop ever targets a
+    /// page-table address, so tracking them would only grow the map.
+    #[inline]
+    fn dir_note_fill(&mut self, cpu: usize, addr: GlobalAddr) {
+        if self.caches.len() > 1 {
+            *self.block_dir.entry(addr.block().index()).or_default() |= 1 << cpu;
+        }
+    }
+
+    /// Clears a displaced block's presence bit. Without this the filter
+    /// only ever grows (fills register, evictions don't unregister) and
+    /// ends up orders of magnitude past the live-line bound, so every
+    /// probe walks a cold multi-megabyte map. Stale bits left by the
+    /// rare paths that bypass this (VM page flushes, a PTE fill
+    /// displacing a data block) stay sound — a snoop on a non-holder is
+    /// a no-op — and get reclaimed when the block refills or a snoop
+    /// discovers the mismatch.
+    #[inline]
+    fn dir_note_evict(&mut self, cpu: usize, block: spur_types::BlockNum) {
+        if self.caches.len() > 1 {
+            if let Some(mask) = self.block_dir.get_mut(&block.index()) {
+                *mask &= !(1u16 << cpu);
+                if *mask == 0 {
+                    self.block_dir.remove(&block.index());
+                }
+            }
+        }
+    }
+
     /// Snoop for a write by `cpu`: invalidate every other cache's copy of
     /// the block (Berkeley `WriteForInvalidation` / the invalidating half
-    /// of `ReadForOwnership`).
+    /// of `ReadForOwnership`). Only caches named by the snoop filter are
+    /// probed, in ascending CPU order — the order and outcome of the
+    /// full broadcast.
     fn snoop_invalidate(&mut self, cpu: usize, addr: GlobalAddr) {
         if self.caches.len() == 1 {
             return;
         }
+        let key = addr.block().index();
+        let Some(&dir_mask) = self.block_dir.get(&key) else {
+            return;
+        };
         let msg = CoherenceMsg::WriteForInvalidation(addr.block());
-        for i in 0..self.caches.len() {
-            if i == cpu {
-                continue;
-            }
+        let mut mask = dir_mask;
+        let mut peers = dir_mask & !(1u16 << cpu);
+        while peers != 0 {
+            let i = peers.trailing_zeros() as usize;
+            peers &= peers - 1;
             if self.caches[i].snoop(msg).invalidated {
                 self.counters.record(CounterEvent::Invalidation);
                 self.obs_emit_on(
@@ -638,21 +743,35 @@ impl SpurSystem {
                     i as u32,
                 );
             }
+            // Invalidated or stale: either way the line is gone.
+            mask &= !(1u16 << i);
+        }
+        if mask == 0 {
+            self.block_dir.remove(&key);
+        } else if mask != dir_mask {
+            self.block_dir.insert(key, mask);
         }
     }
 
     /// Snoop for a read by `cpu`: a dirty owner elsewhere supplies the
-    /// data and downgrades to shared ownership.
+    /// data and downgrades to shared ownership. Filtered like
+    /// [`SpurSystem::snoop_invalidate`].
     fn snoop_read(&mut self, cpu: usize, addr: GlobalAddr) {
         if self.caches.len() == 1 {
             return;
         }
+        let key = addr.block().index();
+        let Some(&dir_mask) = self.block_dir.get(&key) else {
+            return;
+        };
         let msg = CoherenceMsg::ReadShared(addr.block());
-        for i in 0..self.caches.len() {
-            if i == cpu {
-                continue;
-            }
-            if self.caches[i].snoop(msg).supplied {
+        let mut mask = dir_mask;
+        let mut peers = dir_mask & !(1u16 << cpu);
+        while peers != 0 {
+            let i = peers.trailing_zeros() as usize;
+            peers &= peers - 1;
+            let resp = self.caches[i].snoop(msg);
+            if resp.supplied {
                 self.counters.record(CounterEvent::OwnerSupply);
                 self.obs_emit_on(
                     EventKind::OwnershipTransfer,
@@ -661,13 +780,22 @@ impl SpurSystem {
                     i as u32,
                 );
             }
+            if !resp.matched {
+                // Stale bit: the copy was evicted or flushed since.
+                mask &= !(1u16 << i);
+            }
+        }
+        if mask == 0 {
+            self.block_dir.remove(&key);
+        } else if mask != dir_mask {
+            self.block_dir.insert(key, mask);
         }
     }
 
-    /// Write hit: the dirty-bit policy's fast path.
+    /// Write hit: the dirty-bit policy's fast path. The policy-specific
+    /// work is dispatched through the handler resolved at construction
+    /// ([`SpurSystem::write_hit_handler`]).
     fn write_hit(&mut self, cpu: usize, index: LineIndex, addr: GlobalAddr) -> Result<()> {
-        let vpn = addr.vpn();
-        let costs = self.config.costs;
         let line = *self.caches[cpu].line(index);
         if line.state != CoherencyState::OwnedExclusive {
             self.counters.record(CounterEvent::BusWriteInvalidate);
@@ -681,92 +809,153 @@ impl SpurSystem {
             self.whit += 1;
         }
 
-        match self.config.dirty {
-            DirtyPolicy::Min => {
-                if !self.vm.pte(vpn).dirty() && !self.necessary_fault(vpn, costs.t_ds)? {
-                    return Ok(());
-                }
-            }
-            DirtyPolicy::Spur => {
-                if !line.page_dirty {
-                    if self.vm.pte(vpn).dirty() {
-                        // Stale cached copy: refresh with a dirty-bit miss.
-                        self.counters.record(CounterEvent::DirtyBitMiss);
-                        self.charge(CycleCategory::DirtyBit, costs.t_dm);
-                        self.obs_emit(EventKind::DirtyBitMiss, vpn.index(), costs.t_dm);
-                        if let Some(k) = self.vm.kind_of(vpn) {
-                            *self.excess_breakdown.entry(k).or_insert(0) += 1;
-                        }
-                    } else if !self.necessary_fault(vpn, costs.t_ds + costs.t_dm)? {
-                        // First write to the page faults; a true
-                        // protection violation aborts the write.
-                        return Ok(());
-                    }
-                    self.caches[cpu].line_mut(index).page_dirty = true;
-                }
-            }
-            DirtyPolicy::Fault => {
-                if !line.prot.permits(AccessKind::Write) {
-                    let pte = self.vm.pte(vpn);
-                    if pte.protection().permits(AccessKind::Write) {
-                        // The PTE was already upgraded by a fault on some
-                        // other block of this page: an excess fault.
-                        self.counters.record(CounterEvent::ExcessFault);
-                        self.charge(CycleCategory::DirtyBit, costs.t_ds);
-                        self.obs_emit(EventKind::ExcessFault, vpn.index(), costs.t_ds);
-                        if let Some(k) = self.vm.kind_of(vpn) {
-                            *self.excess_breakdown.entry(k).or_insert(0) += 1;
-                        }
-                        self.caches[cpu].line_mut(index).prot = pte.protection();
-                    } else if self.emulation_fault(vpn)? {
-                        self.caches[cpu].line_mut(index).prot = Protection::ReadWrite;
-                    } else {
-                        return Ok(());
-                    }
-                }
-            }
-            DirtyPolicy::Flush => {
-                if !line.prot.permits(AccessKind::Write) {
-                    let pte = self.vm.pte(vpn);
-                    if pte.protection().permits(AccessKind::Write) {
-                        // Unreachable in steady state (the flush removed
-                        // stale lines), but handle it as FAULT would.
-                        self.counters.record(CounterEvent::ExcessFault);
-                        self.charge(CycleCategory::DirtyBit, costs.t_ds);
-                        self.obs_emit(EventKind::ExcessFault, vpn.index(), costs.t_ds);
-                        self.caches[cpu].line_mut(index).prot = pte.protection();
-                    } else {
-                        if !self.emulation_fault(vpn)? {
-                            return Ok(());
-                        }
-                        // Flush the page so no stale lines remain; our own
-                        // line goes too, so refill it for the write.
-                        let stats = self.caches[cpu].flush_page_tag_checked(vpn);
-                        self.counters.record(CounterEvent::PageFlush);
-                        self.counters
-                            .record_n(CounterEvent::Writeback, stats.written_back);
-                        self.charge(CycleCategory::DirtyBit, costs.t_flush);
-                        self.obs_emit(EventKind::PageFlush, vpn.index(), costs.t_flush);
-                        self.fill_for_write(cpu, addr, Protection::ReadWrite, true);
-                        return Ok(());
-                    }
-                }
-            }
-            DirtyPolicy::Write => {
-                if !line.block_dirty {
-                    // First write to this block: check the PTE dirty bit.
-                    self.charge(CycleCategory::DirtyBit, costs.t_dc);
-                    if !self.vm.pte(vpn).dirty() && !self.necessary_fault(vpn, costs.t_ds)? {
-                        return Ok(());
-                    }
-                }
-            }
+        let handler = self.write_hit_fn;
+        if !handler(self, cpu, index, addr, line)? {
+            return Ok(());
         }
 
         let line = self.caches[cpu].line_mut(index);
         line.block_dirty = true;
         line.state = CoherencyState::OwnedExclusive;
         Ok(())
+    }
+
+    /// MIN write hit: only the unavoidable first-write-per-page fault.
+    fn write_hit_min(
+        &mut self,
+        _cpu: usize,
+        _index: LineIndex,
+        addr: GlobalAddr,
+        _line: CacheLine,
+    ) -> Result<bool> {
+        let vpn = addr.vpn();
+        let t_ds = self.config.costs.t_ds;
+        if !self.vm.pte(vpn).dirty() && !self.necessary_fault(vpn, t_ds)? {
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// SPUR write hit: check the cached page-dirty copy; refresh a stale
+    /// copy with a dirty-bit miss.
+    fn write_hit_spur(
+        &mut self,
+        cpu: usize,
+        index: LineIndex,
+        addr: GlobalAddr,
+        line: CacheLine,
+    ) -> Result<bool> {
+        let vpn = addr.vpn();
+        let costs = self.config.costs;
+        if !line.page_dirty {
+            if self.vm.pte(vpn).dirty() {
+                // Stale cached copy: refresh with a dirty-bit miss.
+                self.counters.record(CounterEvent::DirtyBitMiss);
+                self.charge(CycleCategory::DirtyBit, costs.t_dm);
+                self.obs_emit(EventKind::DirtyBitMiss, vpn.index(), costs.t_dm);
+                if let Some(k) = self.vm.kind_of(vpn) {
+                    *self.excess_breakdown.entry(k).or_insert(0) += 1;
+                }
+            } else if !self.necessary_fault(vpn, costs.t_ds + costs.t_dm)? {
+                // First write to the page faults; a true
+                // protection violation aborts the write.
+                return Ok(false);
+            }
+            self.caches[cpu].line_mut(index).page_dirty = true;
+        }
+        Ok(true)
+    }
+
+    /// FAULT write hit: emulate dirty bits with protection; stale cached
+    /// protection causes an excess fault.
+    fn write_hit_fault(
+        &mut self,
+        cpu: usize,
+        index: LineIndex,
+        addr: GlobalAddr,
+        line: CacheLine,
+    ) -> Result<bool> {
+        let vpn = addr.vpn();
+        let costs = self.config.costs;
+        if !line.prot.permits(AccessKind::Write) {
+            let pte = self.vm.pte(vpn);
+            if pte.protection().permits(AccessKind::Write) {
+                // The PTE was already upgraded by a fault on some
+                // other block of this page: an excess fault.
+                self.counters.record(CounterEvent::ExcessFault);
+                self.charge(CycleCategory::DirtyBit, costs.t_ds);
+                self.obs_emit(EventKind::ExcessFault, vpn.index(), costs.t_ds);
+                if let Some(k) = self.vm.kind_of(vpn) {
+                    *self.excess_breakdown.entry(k).or_insert(0) += 1;
+                }
+                self.caches[cpu].line_mut(index).prot = pte.protection();
+            } else if self.emulation_fault(vpn)? {
+                self.caches[cpu].line_mut(index).prot = Protection::ReadWrite;
+            } else {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// FLUSH write hit: like FAULT, but the handler flushes the page
+    /// from the cache so no stale protection remains.
+    fn write_hit_flush(
+        &mut self,
+        cpu: usize,
+        index: LineIndex,
+        addr: GlobalAddr,
+        line: CacheLine,
+    ) -> Result<bool> {
+        let vpn = addr.vpn();
+        let costs = self.config.costs;
+        if !line.prot.permits(AccessKind::Write) {
+            let pte = self.vm.pte(vpn);
+            if pte.protection().permits(AccessKind::Write) {
+                // Unreachable in steady state (the flush removed
+                // stale lines), but handle it as FAULT would.
+                self.counters.record(CounterEvent::ExcessFault);
+                self.charge(CycleCategory::DirtyBit, costs.t_ds);
+                self.obs_emit(EventKind::ExcessFault, vpn.index(), costs.t_ds);
+                self.caches[cpu].line_mut(index).prot = pte.protection();
+            } else {
+                if !self.emulation_fault(vpn)? {
+                    return Ok(false);
+                }
+                // Flush the page so no stale lines remain; our own
+                // line goes too, so refill it for the write.
+                let stats = self.caches[cpu].flush_page_tag_checked(vpn);
+                self.counters.record(CounterEvent::PageFlush);
+                self.counters
+                    .record_n(CounterEvent::Writeback, stats.written_back);
+                self.charge(CycleCategory::DirtyBit, costs.t_flush);
+                self.obs_emit(EventKind::PageFlush, vpn.index(), costs.t_flush);
+                self.fill_for_write(cpu, addr, Protection::ReadWrite, true);
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// WRITE write hit: check the PTE dirty bit on the first write to
+    /// each cache block.
+    fn write_hit_write(
+        &mut self,
+        _cpu: usize,
+        _index: LineIndex,
+        addr: GlobalAddr,
+        line: CacheLine,
+    ) -> Result<bool> {
+        let vpn = addr.vpn();
+        let costs = self.config.costs;
+        if !line.block_dirty {
+            // First write to this block: check the PTE dirty bit.
+            self.charge(CycleCategory::DirtyBit, costs.t_dc);
+            if !self.vm.pte(vpn).dirty() && !self.necessary_fault(vpn, costs.t_ds)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     /// Cache miss: translate, fault the page in if needed, check the
@@ -931,7 +1120,9 @@ impl SpurSystem {
     fn fill_for_read(&mut self, cpu: usize, addr: GlobalAddr, prot: Protection, page_dirty: bool) {
         self.charge(CycleCategory::MissService, self.config.costs.block_fill);
         self.counters.record(CounterEvent::Fill);
+        self.dir_note_fill(cpu, addr);
         if let Some(ev) = self.caches[cpu].fill_for_read(addr, prot, page_dirty) {
+            self.dir_note_evict(cpu, ev.block);
             self.counters.record(CounterEvent::Eviction);
             if ev.block_dirty {
                 self.counters.record(CounterEvent::Writeback);
@@ -946,7 +1137,9 @@ impl SpurSystem {
     fn fill_for_write(&mut self, cpu: usize, addr: GlobalAddr, prot: Protection, page_dirty: bool) {
         self.charge(CycleCategory::MissService, self.config.costs.block_fill);
         self.counters.record(CounterEvent::Fill);
+        self.dir_note_fill(cpu, addr);
         if let Some(ev) = self.caches[cpu].fill_for_write(addr, prot, page_dirty) {
+            self.dir_note_evict(cpu, ev.block);
             self.counters.record(CounterEvent::Eviction);
             if ev.block_dirty {
                 self.counters.record(CounterEvent::Writeback);
@@ -959,7 +1152,7 @@ impl SpurSystem {
     }
 
     /// Necessary-fault attribution: (page kind, was-zero-fill) → count.
-    pub fn fault_breakdown(&self) -> &HashMap<(PageKind, bool), u64> {
+    pub fn fault_breakdown(&self) -> &FastMap<(PageKind, bool), u64> {
         &self.fault_breakdown
     }
 

@@ -16,9 +16,7 @@
 //! the OS updates) and exposes the *address geometry* the cache needs: the
 //! global virtual address of any PTE and the inverse mapping.
 
-use std::collections::HashMap;
-
-use spur_types::{Error, GlobalAddr, Pfn, Result, Vpn, PAGE_SHIFT, PAGE_SIZE};
+use spur_types::{Error, FastMap, GlobalAddr, Pfn, Result, Vpn, PAGE_SHIFT, PAGE_SIZE};
 
 use crate::phys::PhysMemory;
 use crate::pte::Pte;
@@ -48,11 +46,70 @@ pub const PTES_PER_PAGE: u64 = PAGE_SIZE / PTE_SIZE;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    /// Logical first-level contents. Missing entries read as
-    /// [`Pte::INVALID`].
-    ptes: HashMap<Vpn, Pte>,
+    /// Logical first-level contents, stored one page-table page (1024
+    /// PTEs) per dense leaf, keyed by `vpn >> LEAF_SHIFT`. Missing
+    /// entries read as [`Pte::INVALID`]. The leaf layout mirrors the
+    /// machine's own geometry — a leaf *is* a page of the first-level
+    /// table — and turns the translation path's PTE read into one
+    /// small-map hash plus an array index instead of a per-VPN hash
+    /// over every entry.
+    leaves: FastMap<u64, Box<PteLeaf>>,
+    /// Explicitly present first-level entries (maintains `len`).
+    entries: usize,
     /// Second level: page of the first-level table → wired frame.
-    second_level: HashMap<Vpn, Pfn>,
+    second_level: FastMap<Vpn, Pfn>,
+}
+
+/// Base-2 logarithm of [`PTES_PER_PAGE`]: the split between leaf key
+/// and slot index.
+const LEAF_SHIFT: u32 = PTES_PER_PAGE.trailing_zeros();
+const LEAF_SIZE: usize = PTES_PER_PAGE as usize;
+const LEAF_MASK: u64 = PTES_PER_PAGE - 1;
+
+/// One page of the first-level table: a dense PTE array plus a
+/// presence bitmap distinguishing explicit entries (including
+/// explicitly inserted invalid ones) from the implicit invalid
+/// default. Absent slots always hold [`Pte::INVALID`], so the read
+/// path never consults the bitmap.
+#[derive(Clone)]
+struct PteLeaf {
+    ptes: [Pte; LEAF_SIZE],
+    present: [u64; LEAF_SIZE / 64],
+}
+
+impl PteLeaf {
+    fn new() -> Box<Self> {
+        Box::new(PteLeaf {
+            ptes: [Pte::INVALID; LEAF_SIZE],
+            present: [0; LEAF_SIZE / 64],
+        })
+    }
+
+    #[inline]
+    fn is_present(&self, slot: usize) -> bool {
+        self.present[slot / 64] >> (slot % 64) & 1 != 0
+    }
+
+    fn mark(&mut self, slot: usize) {
+        self.present[slot / 64] |= 1 << (slot % 64);
+    }
+
+    fn clear(&mut self, slot: usize) {
+        self.present[slot / 64] &= !(1 << (slot % 64));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.present.iter().all(|&w| w == 0)
+    }
+}
+
+impl std::fmt::Debug for PteLeaf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let present: u32 = self.present.iter().map(|w| w.count_ones()).sum();
+        f.debug_struct("PteLeaf")
+            .field("present", &present)
+            .finish()
+    }
 }
 
 impl PageTable {
@@ -90,41 +147,87 @@ impl PageTable {
     }
 
     /// Reads the PTE for `vpn`; absent entries read as invalid.
+    #[inline]
     pub fn pte(&self, vpn: Vpn) -> Pte {
-        self.ptes.get(&vpn).copied().unwrap_or(Pte::INVALID)
+        match self.leaves.get(&(vpn.index() >> LEAF_SHIFT)) {
+            Some(leaf) => leaf.ptes[(vpn.index() & LEAF_MASK) as usize],
+            None => Pte::INVALID,
+        }
     }
 
     /// Inserts or replaces the PTE for `vpn`, returning the previous entry.
     pub fn insert(&mut self, vpn: Vpn, pte: Pte) -> Pte {
-        self.ptes.insert(vpn, pte).unwrap_or(Pte::INVALID)
+        let leaf = self
+            .leaves
+            .entry(vpn.index() >> LEAF_SHIFT)
+            .or_insert_with(PteLeaf::new);
+        let slot = (vpn.index() & LEAF_MASK) as usize;
+        let prev = if leaf.is_present(slot) {
+            leaf.ptes[slot]
+        } else {
+            leaf.mark(slot);
+            self.entries += 1;
+            Pte::INVALID
+        };
+        leaf.ptes[slot] = pte;
+        prev
     }
 
     /// Applies `f` to the PTE for `vpn` in place (creating an invalid entry
     /// to mutate if none exists) and returns the updated value.
     pub fn update<F: FnOnce(&mut Pte)>(&mut self, vpn: Vpn, f: F) -> Pte {
-        let entry = self.ptes.entry(vpn).or_insert(Pte::INVALID);
-        f(entry);
-        *entry
+        let leaf = self
+            .leaves
+            .entry(vpn.index() >> LEAF_SHIFT)
+            .or_insert_with(PteLeaf::new);
+        let slot = (vpn.index() & LEAF_MASK) as usize;
+        if !leaf.is_present(slot) {
+            leaf.mark(slot);
+            self.entries += 1;
+        }
+        f(&mut leaf.ptes[slot]);
+        leaf.ptes[slot]
     }
 
     /// Removes the PTE for `vpn`, returning it if present.
     pub fn remove(&mut self, vpn: Vpn) -> Option<Pte> {
-        self.ptes.remove(&vpn)
+        let key = vpn.index() >> LEAF_SHIFT;
+        let leaf = self.leaves.get_mut(&key)?;
+        let slot = (vpn.index() & LEAF_MASK) as usize;
+        if !leaf.is_present(slot) {
+            return None;
+        }
+        let prev = std::mem::replace(&mut leaf.ptes[slot], Pte::INVALID);
+        leaf.clear(slot);
+        self.entries -= 1;
+        if leaf.is_empty() {
+            self.leaves.remove(&key);
+        }
+        Some(prev)
     }
 
     /// Number of (explicitly present) first-level entries.
     pub fn len(&self) -> usize {
-        self.ptes.len()
+        self.entries
     }
 
     /// Whether the table has no explicit entries.
     pub fn is_empty(&self) -> bool {
-        self.ptes.is_empty()
+        self.entries == 0
     }
 
     /// Iterates over `(vpn, pte)` pairs for explicit entries.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
-        self.ptes.iter().map(|(v, p)| (*v, *p))
+        self.leaves.iter().flat_map(|(&base, leaf)| {
+            (0..LEAF_SIZE)
+                .filter(move |&slot| leaf.is_present(slot))
+                .map(move |slot| {
+                    (
+                        Vpn::new((base << LEAF_SHIFT) + slot as u64),
+                        leaf.ptes[slot],
+                    )
+                })
+        })
     }
 
     /// Ensures the second-level mapping for the page-table page that holds
@@ -244,6 +347,31 @@ mod tests {
         let removed = pt.remove(vpn).unwrap();
         assert!(removed.dirty());
         assert!(!pt.pte(vpn).valid());
+    }
+
+    #[test]
+    fn explicit_invalid_entries_are_tracked() {
+        let mut pt = PageTable::new();
+        let vpn = Vpn::new(2048);
+        pt.insert(vpn, Pte::INVALID);
+        assert_eq!(pt.len(), 1, "an explicitly inserted invalid PTE counts");
+        assert!(!pt.pte(vpn).valid());
+        assert_eq!(pt.iter().count(), 1);
+        assert_eq!(pt.remove(vpn), Some(Pte::INVALID));
+        assert_eq!(pt.len(), 0);
+        assert_eq!(pt.remove(vpn), None, "second remove finds nothing");
+        // Entries one leaf apart don't interfere.
+        pt.insert(
+            Vpn::new(5),
+            Pte::resident(Pfn::new(1), Protection::ReadOnly),
+        );
+        pt.insert(
+            Vpn::new(5 + PTES_PER_PAGE),
+            Pte::resident(Pfn::new(2), Protection::ReadOnly),
+        );
+        assert_eq!(pt.len(), 2);
+        assert_eq!(pt.pte(Vpn::new(5)).pfn(), Pfn::new(1));
+        assert_eq!(pt.pte(Vpn::new(5 + PTES_PER_PAGE)).pfn(), Pfn::new(2));
     }
 
     #[test]

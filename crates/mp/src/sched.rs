@@ -27,8 +27,6 @@
 //!    simulator counter and event — is byte-reproducible regardless of
 //!    host thread count.
 
-use std::collections::VecDeque;
-
 use spur_harness::{run_jobs, Job, JobOutput, Json};
 use spur_trace::stream::TraceRef;
 use spur_trace::workloads::Workload;
@@ -59,7 +57,20 @@ pub struct MpScheduler {
     shards: Vec<TraceGenerator>,
     epoch: u64,
     workers: usize,
-    buf: VecDeque<TraceRef>,
+    /// The committed interleave for the current epoch (multi-worker
+    /// path only), drained by cursor. Reused across epochs so
+    /// steady-state generation is allocation-free.
+    buf: Vec<TraceRef>,
+    pos: usize,
+    /// Per-shard "returned None this epoch" marks (reused).
+    done: Vec<bool>,
+    /// Direct-pull cursor state (single-worker path): next shard to
+    /// pull, row within the epoch, and whether the current round /
+    /// epoch produced anything.
+    col: usize,
+    row: u64,
+    row_produced: bool,
+    epoch_produced: bool,
     exhausted: bool,
     issued: u64,
 }
@@ -116,7 +127,13 @@ impl MpScheduler {
             shards,
             epoch,
             workers: workers.max(1),
-            buf: VecDeque::new(),
+            buf: Vec::new(),
+            pos: 0,
+            done: vec![false; cpus],
+            col: 0,
+            row: 0,
+            row_produced: false,
+            epoch_produced: false,
             exhausted: false,
             issued: 0,
         })
@@ -132,10 +149,67 @@ impl MpScheduler {
         self.issued
     }
 
-    /// Generates one epoch: every shard's slice in parallel on the
-    /// harness pool (the `run_jobs` return is the barrier), then a
-    /// serial round-robin commit into the buffer.
+    /// Single-worker path: pull the next reference straight off the
+    /// shards in commit order — ref `k` of CPU 0, ref `k` of CPU 1, …
+    /// — with no intermediate buffer at all. Each shard is an
+    /// independent generator, so pumping them interleaved yields the
+    /// same per-shard sequences as slicing an epoch first and then
+    /// committing round-robin (pinned by
+    /// `stream_is_independent_of_worker_count`).
+    ///
+    /// Epoch semantics are preserved exactly: a shard that returns
+    /// `None` sits out the rest of the epoch (its slice ended) and is
+    /// re-polled at the next epoch boundary; the stream ends when a
+    /// whole epoch produces nothing.
+    fn next_direct(&mut self) -> Option<TraceRef> {
+        loop {
+            if self.col == self.shards.len() {
+                self.col = 0;
+                self.row += 1;
+                if self.row == self.epoch || !self.row_produced {
+                    // Epoch over — full, or every shard went idle.
+                    if !self.epoch_produced {
+                        self.exhausted = true;
+                        return None;
+                    }
+                    self.row = 0;
+                    self.done.iter_mut().for_each(|d| *d = false);
+                    self.epoch_produced = false;
+                }
+                self.row_produced = false;
+            }
+            let c = self.col;
+            self.col += 1;
+            if self.done[c] {
+                continue;
+            }
+            match self.shards[c].next() {
+                Some(r) => {
+                    self.row_produced = true;
+                    self.epoch_produced = true;
+                    return Some(r);
+                }
+                None => self.done[c] = true,
+            }
+        }
+    }
+
+    /// Multi-worker path: refills the commit buffer one epoch at a
+    /// time.
     fn fill_epoch(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+        self.fill_pooled();
+        if self.buf.is_empty() {
+            self.exhausted = true;
+        }
+    }
+
+    /// Multi-worker epoch: every shard's slice in parallel on the
+    /// harness pool, then a serial round-robin commit. Key order ==
+    /// CPU order (two-digit keys), however many workers ran, so the
+    /// commit is deterministic by construction.
+    fn fill_pooled(&mut self) {
         let epoch = self.epoch as usize;
         let gens = std::mem::take(&mut self.shards);
         let jobs: Vec<Job<(Vec<TraceRef>, TraceGenerator)>> = gens
@@ -148,9 +222,7 @@ impl MpScheduler {
                 })
             })
             .collect();
-        // Key order == CPU order (two-digit keys), however many workers
-        // ran: the commit below is deterministic by construction.
-        let mut slices: Vec<Vec<TraceRef>> = Vec::with_capacity(epoch);
+        let mut slices: Vec<Vec<TraceRef>> = Vec::with_capacity(jobs.len());
         for done in run_jobs(jobs, self.workers).into_jobs() {
             let key = done.key;
             let out = done
@@ -160,14 +232,10 @@ impl MpScheduler {
             self.shards.push(out.value.1);
         }
         let longest = slices.iter().map(Vec::len).max().unwrap_or(0);
-        if longest == 0 {
-            self.exhausted = true;
-            return;
-        }
         for k in 0..longest {
             for slice in &slices {
                 if let Some(&r) = slice.get(k) {
-                    self.buf.push_back(r);
+                    self.buf.push(r);
                 }
             }
         }
@@ -178,14 +246,24 @@ impl Iterator for MpScheduler {
     type Item = TraceRef;
 
     fn next(&mut self) -> Option<TraceRef> {
-        while self.buf.is_empty() {
+        if self.workers <= 1 {
+            if self.exhausted {
+                return None;
+            }
+            let r = self.next_direct()?;
+            self.issued += 1;
+            return Some(r);
+        }
+        while self.pos == self.buf.len() {
             if self.exhausted {
                 return None;
             }
             self.fill_epoch();
         }
+        let r = self.buf[self.pos];
+        self.pos += 1;
         self.issued += 1;
-        self.buf.pop_front()
+        Some(r)
     }
 }
 

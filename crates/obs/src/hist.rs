@@ -107,18 +107,20 @@ impl Histogram {
         self.counts[i]
     }
 
-    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) of the
-    /// recorded samples, or `None` if the histogram is empty.
+    /// Estimates the `q`-quantile of the recorded samples, or `None` if
+    /// the histogram is empty or `q` is not a real fraction — NaN and
+    /// anything outside `[0, 1]` are caller errors, not quantiles, and
+    /// silently clamping them would dress up a bogus request as the
+    /// observed min or max.
     ///
     /// The estimate interpolates linearly inside the bucket holding the
     /// target rank and is clamped to the observed `[min, max]`, so a
     /// histogram of identical samples returns that exact value and
     /// `quantile(1.0)` always returns the true maximum.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.total == 0 {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
         // Target rank in 1..=total: the smallest rank covering fraction q.
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0u64;
@@ -312,9 +314,19 @@ mod tests {
         assert_eq!(h.quantile(0.0), Some(0));
         assert_eq!(h.quantile(0.5), Some(0));
         assert_eq!(h.quantile(1.0), Some(u64::MAX));
-        // Out-of-range q clamps instead of panicking.
-        assert_eq!(h.quantile(-1.0), Some(0));
-        assert_eq!(h.quantile(2.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantile_rejects_nan_and_out_of_range_q() {
+        let mut h = Histogram::new("t");
+        h.record(5);
+        h.record(50);
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        // The boundaries themselves are valid.
+        assert_eq!(h.quantile(0.0), Some(5));
+        assert_eq!(h.quantile(1.0), Some(50));
     }
 
     #[test]

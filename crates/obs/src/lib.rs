@@ -44,4 +44,4 @@ pub use epoch::EpochSeries;
 pub use event::{EventKind, SimEvent};
 pub use export::{chrome_trace, histogram_json, series_json};
 pub use hist::Histogram;
-pub use recorder::{CpuTag, NoopRecorder, Recorder, TraceRecorder};
+pub use recorder::{CpuTag, EventBuf, NoopRecorder, Recorder, TraceRecorder};

@@ -113,9 +113,10 @@ fn quantiles_are_bounded_monotone_and_hit_min_max_at_the_ends() {
             assert!(v >= prev, "seed {seed}: quantile not monotone at q {q}");
             prev = v;
         }
-        // Out-of-range q clamps instead of panicking.
-        assert_eq!(h.quantile(-3.0), Some(min));
-        assert_eq!(h.quantile(7.5), Some(max));
+        // A q that is not a fraction is a caller error, not a quantile.
+        assert_eq!(h.quantile(-3.0), None);
+        assert_eq!(h.quantile(7.5), None);
+        assert_eq!(h.quantile(f64::NAN), None);
     }
 }
 

@@ -86,10 +86,16 @@ impl Zipf {
 /// The list orders pages by heat: rank 0 is hottest. Newly promoted pages
 /// enter near the front (they are hot *because* they were just touched);
 /// the page they displace falls off the back.
+/// Storage is a ring: rank `i` lives at physical slot `(head + i) % len`,
+/// so a promotion is one overwrite and a head decrement rather than an
+/// O(capacity) shift — promotions run on every cold reference, and the
+/// generator has to outrun five simulated caches.
 #[derive(Debug, Clone)]
 pub struct HotSet {
-    /// Page indices (within some segment), hottest first.
+    /// Page indices (within some segment); rank order starts at `head`.
     pages: Vec<u64>,
+    /// Physical slot of the hottest page (rank 0).
+    head: usize,
     zipf: Zipf,
 }
 
@@ -104,7 +110,29 @@ impl HotSet {
         assert!(capacity > 0, "hot set needs capacity");
         HotSet {
             pages: (0..capacity as u64).map(|i| first_page + i).collect(),
+            head: 0,
             zipf: Zipf::new(capacity, theta),
+        }
+    }
+
+    /// Physical slot of rank `rank`.
+    #[inline]
+    fn slot(&self, rank: usize) -> usize {
+        let i = self.head + rank;
+        if i >= self.pages.len() {
+            i - self.pages.len()
+        } else {
+            i
+        }
+    }
+
+    /// Rotates storage so rank order is physical order (`head == 0`).
+    /// Only the rare reshaping paths need this; the per-reference paths
+    /// work through [`HotSet::slot`].
+    fn normalize(&mut self) {
+        if self.head != 0 {
+            self.pages.rotate_left(self.head);
+            self.head = 0;
         }
     }
 
@@ -120,26 +148,33 @@ impl HotSet {
 
     /// Samples a hot page with Zipf-ranked popularity.
     pub fn sample(&self, rng: &mut SmallRng) -> u64 {
-        self.pages[self.zipf.sample(rng)]
+        self.pages[self.slot(self.zipf.sample(rng))]
     }
 
     /// Samples a hot page uniformly (no rank skew) — used for rare
     /// one-off touches that should not concentrate on the hottest pages.
     pub fn sample_uniform(&self, rng: &mut SmallRng) -> u64 {
-        self.pages[rng.random_range(0..self.pages.len())]
+        self.pages[self.slot(rng.random_range(0..self.pages.len()))]
     }
 
-    /// Promotes `page` to rank `front` (default hot position 0), evicting
-    /// the coldest page. Returns the evicted page.
+    /// Promotes `page` to rank 0, evicting the coldest page. Returns the
+    /// evicted page.
     pub fn promote(&mut self, page: u64) -> u64 {
-        let evicted = self.pages.pop().expect("hot set is never empty");
-        self.pages.insert(0, page);
-        evicted
+        // The coldest slot (rank len-1) is exactly the slot rank 0 moves
+        // into when the ring rotates back one step, so the promotion is a
+        // single overwrite.
+        self.head = if self.head == 0 {
+            self.pages.len() - 1
+        } else {
+            self.head - 1
+        };
+        std::mem::replace(&mut self.pages[self.head], page)
     }
 
     /// Replaces the coldest `count` pages with `fresh` ones (a phase
     /// shift). `fresh` yields the replacement page indices.
     pub fn shift<I: Iterator<Item = u64>>(&mut self, count: usize, fresh: I) {
+        self.normalize();
         let n = count.min(self.pages.len());
         let keep = self.pages.len() - n;
         self.pages.truncate(keep);
@@ -157,7 +192,8 @@ impl HotSet {
     }
 
     /// The current hot pages, hottest first.
-    pub fn pages(&self) -> &[u64] {
+    pub fn pages(&mut self) -> &[u64] {
+        self.normalize();
         &self.pages
     }
 }

@@ -43,6 +43,7 @@ pub mod config;
 pub mod costs;
 pub mod cycles;
 pub mod error;
+pub mod hash;
 pub mod rng;
 
 pub use access::{AccessKind, Protection};
@@ -51,6 +52,7 @@ pub use config::{MemSize, SystemConfig};
 pub use costs::CostParams;
 pub use cycles::Cycles;
 pub use error::{Error, Result};
+pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 
 /// Base-2 logarithm of the virtual-memory page size (4 KB pages).
 pub const PAGE_SHIFT: u32 = 12;

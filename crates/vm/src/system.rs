@@ -14,7 +14,9 @@
 //!   backing store if its dirty bit says so, and its frame joins the free
 //!   list.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use spur_types::{FastMap, FastSet};
 
 use spur_cache::cache::VirtualCache;
 use spur_cache::counters::{CounterEvent, PerfCounters};
@@ -260,16 +262,16 @@ pub struct VmSystem {
     /// matters enormously under `NOREF`.)
     clock: VecDeque<Vpn>,
     /// Resident pages whose current residency began as a zero-fill.
-    zero_filled: HashSet<Vpn>,
+    zero_filled: FastSet<Vpn>,
     /// Reclaimed pages whose frames have not been reused yet, oldest
     /// first. A fault on one of these is a **soft fault**: the page is
     /// pulled back without I/O, the mechanism that keeps poor replacement
     /// decisions (e.g. NOREF's FIFO-like behavior) survivable in Sprite.
     free_queue: VecDeque<Vpn>,
     /// Index of the free queue: page → its retained frame.
-    queued: HashMap<Vpn, Pfn>,
+    queued: FastMap<Vpn, Pfn>,
     /// Residency birth stamps (in faults) for resident pages.
-    born: HashMap<Vpn, u64>,
+    born: FastMap<Vpn, u64>,
     /// Completed-residency histogram.
     residency: ResidencyStats,
 }
@@ -297,10 +299,10 @@ impl VmSystem {
             swap: Swap::new(),
             stats: VmStats::new(),
             clock: VecDeque::new(),
-            zero_filled: HashSet::new(),
+            zero_filled: FastSet::default(),
             free_queue: VecDeque::new(),
-            queued: HashMap::new(),
-            born: HashMap::new(),
+            queued: FastMap::default(),
+            born: FastMap::default(),
             residency: ResidencyStats::new(),
         })
     }

@@ -85,24 +85,47 @@ fn counter_for(kind: EventKind) -> CounterEvent {
 fn event_trace_reconciles_with_the_counters() {
     // The observability layer is a third witness to the same methodology:
     // every event it records must reconcile exactly with the CC chip's
-    // counters — the trace is the counters, itemized.
-    let workload = slc();
-    let mut sim = SpurSystem::new(SimConfig {
-        mem: MemSize::MB5,
-        ..SimConfig::default()
-    })
-    .unwrap();
-    sim.enable_obs(ObsParams::default());
-    sim.load_workload(&workload).unwrap();
-    sim.run(&mut workload.generator(1989), 400_000).unwrap();
-    let report = sim.finish_obs().expect("obs was enabled");
-    for kind in EventKind::ALL {
-        assert_eq!(
-            report.emitted(kind),
-            sim.counters().total(counter_for(kind)),
-            "traced {kind:?} must equal its counter"
-        );
+    // counters — the trace is the counters, itemized. Run once with
+    // event batching off (batch = 1: every event lands in the ring
+    // immediately) and once with it on: the reconciliation must hold
+    // either way, and the two recorders must be indistinguishable —
+    // same retained events in the same order, same per-kind totals.
+    let mut reports = Vec::new();
+    for batch in [1, ObsParams::DEFAULT_BATCH] {
+        let workload = slc();
+        let mut sim = SpurSystem::new(SimConfig {
+            mem: MemSize::MB5,
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.enable_obs(ObsParams {
+            batch,
+            ..ObsParams::default()
+        });
+        sim.load_workload(&workload).unwrap();
+        sim.run(&mut workload.generator(1989), 400_000).unwrap();
+        let report = sim.finish_obs().expect("obs was enabled");
+        for kind in EventKind::ALL {
+            assert_eq!(
+                report.emitted(kind),
+                sim.counters().total(counter_for(kind)),
+                "traced {kind:?} must equal its counter (batch {batch})"
+            );
+        }
+        reports.push(report);
     }
+    let (unbatched, batched) = (&reports[0], &reports[1]);
+    assert_eq!(
+        unbatched.recorder.emitted_total(),
+        batched.recorder.emitted_total(),
+        "batching must not change the emitted total"
+    );
+    assert_eq!(
+        unbatched.recorder.events(),
+        batched.recorder.events(),
+        "batching must preserve exact emission order in the ring"
+    );
+    assert_eq!(unbatched.recorder.dropped(), batched.recorder.dropped());
 }
 
 #[test]
