@@ -1,14 +1,17 @@
-//! `loadgen`: a closed-loop load generator for the `spur-serve` daemon.
+//! `loadgen`: a load generator for the `spur-serve` daemon.
 //!
-//! Each connection thread loops submit → poll → fetch against a live
-//! server until the deadline, then all threads' histograms merge into
-//! one report: throughput, shed rate, and request/job latency
-//! quantiles (p50/p90/p99 from the `spur-obs` log2 histograms).
+//! By default each connection thread loops submit → poll → fetch
+//! (*closed-loop*) against a live server until the deadline, then all
+//! threads' histograms merge into one report: throughput, shed rate,
+//! and request/job latency quantiles (p50/p90/p99 from the `spur-obs`
+//! log2 histograms).
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:7979 [--conns 16] [--duration-secs 5]
 //!         [--refs 20000] [--mem 5] [--mix full|submit|status]
 //!         [--timeout-ms 5000] [--quick]
+//!         [--open-loop RATE] [--profile expected|stress|adversarial]
+//!         [--soak SECS]
 //! ```
 //!
 //! `--mix submit` only submits (the backpressure hammer: against a
@@ -17,10 +20,25 @@
 //! `--mix full` (default) drives the whole job lifecycle. `--quick` is
 //! the CI smoke preset. Exit code is 1 only on I/O or 5xx errors —
 //! 429s are the server *working*, not failing.
+//!
+//! `--open-loop RATE` switches to a fixed arrival schedule of RATE
+//! submissions per second, shared by all threads — the server's
+//! slowness no longer throttles the offered load (no coordinated
+//! omission). `--profile` picks the traffic shape (see
+//! `spur_bench::load::Profile`); `adversarial` interleaves malformed
+//! and oversized bodies the server must shrug off with 4xx.
+//!
+//! `--soak SECS` runs a timed soak and then *gates on the server's own
+//! SLO verdict*: it fetches `GET /v1/slo`, prints the per-target
+//! breakdown, and exits non-zero unless every declared target holds
+//! and no ticker evaluation ever failed. In soak mode client I/O
+//! errors are tolerated (response-drop chaos looks like an I/O error
+//! to the client); 5xx still fails the run.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use spur_bench::load::{parse_slo_report, OpenLoopPacer, Profile};
 use spur_harness::Json;
 use spur_obs::validate::{get_field, parse};
 use spur_obs::Histogram;
@@ -42,6 +60,11 @@ struct Options {
     mem_mb: u32,
     mix: Mix,
     timeout: Duration,
+    /// Fixed arrival rate (submissions/sec); `None` is closed-loop.
+    open_loop: Option<f64>,
+    profile: Profile,
+    /// Soak mode: gate the exit code on `GET /v1/slo` at the end.
+    soak: bool,
 }
 
 impl Default for Options {
@@ -54,6 +77,9 @@ impl Default for Options {
             mem_mb: 5,
             mix: Mix::Full,
             timeout: Duration::from_secs(5),
+            open_loop: None,
+            profile: Profile::Expected,
+            soak: false,
         }
     }
 }
@@ -61,7 +87,9 @@ impl Default for Options {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--conns N] [--duration-secs N] [--refs N]\n\
-         \x20              [--mem MB] [--mix full|submit|status] [--timeout-ms N] [--quick]"
+         \x20              [--mem MB] [--mix full|submit|status] [--timeout-ms N] [--quick]\n\
+         \x20              [--open-loop RATE] [--profile expected|stress|adversarial]\n\
+         \x20              [--soak SECS]"
     );
     std::process::exit(2);
 }
@@ -104,6 +132,25 @@ fn parse_options() -> Options {
                 opt.conns = 8;
                 opt.duration = Duration::from_secs(2);
                 opt.refs = 5_000;
+            }
+            "--open-loop" => {
+                let rate: f64 = parse_num(&value("--open-loop"), "--open-loop");
+                if !rate.is_finite() || rate <= 0.0 {
+                    eprintln!("loadgen: --open-loop rate must be positive");
+                    usage();
+                }
+                opt.open_loop = Some(rate);
+            }
+            "--profile" => {
+                let name = value("--profile");
+                opt.profile = Profile::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("loadgen: unknown profile {name:?}");
+                    usage();
+                })
+            }
+            "--soak" => {
+                opt.duration = Duration::from_secs(parse_num(&value("--soak"), "--soak"));
+                opt.soak = true;
             }
             "--help" | "-h" => usage(),
             other => {
@@ -219,21 +266,21 @@ fn job_state(resp: &spur_serve::HttpResponse) -> Option<String> {
     }
 }
 
-fn submission_body(opt: &Options, thread: usize, iteration: u64) -> String {
-    // Vary the seed per submission so the server isn't handed one
-    // all-identical cell a thousand times over.
-    let seed = 1989 + (thread as u64) * 10_007 + iteration;
-    format!(
-        r#"{{"experiment":"refbit","workload":"SLC","mem_mb":{},"policy":"MISS","scale":{{"refs":{},"seed":{seed},"reps":1}},"obs":false}}"#,
-        opt.mem_mb, opt.refs
-    )
-}
-
-fn drive(opt: &Options, thread: usize, deadline: Instant) -> Stats {
+fn drive(opt: &Options, thread: usize, deadline: Instant, pacer: Option<&OpenLoopPacer>) -> Stats {
     let mut stats = Stats::new();
     let mut iteration = 0u64;
     while Instant::now() < deadline {
-        let body = submission_body(opt, thread, iteration);
+        // Ticket number: shared arrival schedule in open-loop mode, a
+        // thread-disjoint counter otherwise. The profile derives every
+        // body deterministically from it.
+        let ticket = match pacer {
+            Some(pacer) => match pacer.wait_turn(deadline) {
+                Some(ticket) => ticket,
+                None => break,
+            },
+            None => (thread as u64) * 1_000_000 + iteration,
+        };
+        let body = opt.profile.body(opt.refs, opt.mem_mb, ticket);
         iteration += 1;
         let submitted = Instant::now();
         let Some(resp) = timed(&mut stats, || {
@@ -242,8 +289,11 @@ fn drive(opt: &Options, thread: usize, deadline: Instant) -> Stats {
             continue;
         };
         if resp.status != 202 {
-            // Shed or refused: back off a beat and retry.
-            std::thread::sleep(Duration::from_millis(5));
+            // Shed or refused. Closed-loop backs off a beat; the
+            // open-loop schedule paces itself.
+            if pacer.is_none() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
             continue;
         }
         if opt.mix == Mix::Submit {
@@ -300,12 +350,14 @@ fn main() -> ExitCode {
     let opt = parse_options();
     let started = Instant::now();
     let deadline = started + opt.duration;
+    let pacer = opt.open_loop.map(OpenLoopPacer::new);
 
     let mut total = Stats::new();
     let opt = &opt;
+    let pacer = pacer.as_ref();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opt.conns)
-            .map(|thread| scope.spawn(move || drive(opt, thread, deadline)))
+            .map(|thread| scope.spawn(move || drive(opt, thread, deadline, pacer)))
             .collect();
         for handle in handles {
             if let Ok(stats) = handle.join() {
@@ -317,10 +369,28 @@ fn main() -> ExitCode {
     let elapsed = started.elapsed().as_secs_f64();
     let req_rate = total.requests as f64 / elapsed.max(1e-9);
     let job_rate = total.jobs_done as f64 / elapsed.max(1e-9);
-    println!(
-        "loadgen: {} conn(s) for {:.1}s against {} (mix {:?}, {} refs/job)",
-        opt.conns, elapsed, opt.addr, opt.mix, opt.refs
-    );
+    match pacer {
+        Some(pacer) => println!(
+            "loadgen: {} conn(s) for {:.1}s against {} (open-loop {:.1}/s, {} tickets, profile {}, mix {:?}, {} refs/job)",
+            opt.conns,
+            elapsed,
+            opt.addr,
+            opt.open_loop.unwrap_or(0.0),
+            pacer.issued(),
+            opt.profile.name(),
+            opt.mix,
+            opt.refs
+        ),
+        None => println!(
+            "loadgen: {} conn(s) for {:.1}s against {} (closed-loop, profile {}, mix {:?}, {} refs/job)",
+            opt.conns,
+            elapsed,
+            opt.addr,
+            opt.profile.name(),
+            opt.mix,
+            opt.refs
+        ),
+    }
     println!(
         "requests: {} total, {:.1} req/s; 202={} 429={} 4xx={} 5xx={} io-err={}",
         total.requests,
@@ -338,9 +408,66 @@ fn main() -> ExitCode {
     println!("latency request: {}", quantiles(&total.request_us, "us"));
     println!("latency job e2e: {}", quantiles(&total.job_ms, "ms"));
 
+    if opt.soak {
+        return soak_gate(opt, &total);
+    }
     if total.io_errors > 0 || total.server_errors > 0 {
         eprintln!("loadgen: FAILED — io or server errors observed");
         return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
+}
+
+/// The soak verdict: ask the server how its declared SLOs fared and
+/// gate the exit code on that evidence. Client I/O errors are
+/// tolerated here — under response-drop chaos a dropped 202 looks like
+/// an I/O error to us while the server correctly keeps the job — but a
+/// 5xx is always a failure.
+fn soak_gate(opt: &Options, total: &Stats) -> ExitCode {
+    if total.io_errors > 0 {
+        eprintln!(
+            "loadgen: note — {} client i/o error(s) tolerated in soak mode",
+            total.io_errors
+        );
+    }
+    let gate = match get(&opt.addr, "/v1/slo", opt.timeout) {
+        Err(e) => {
+            eprintln!("loadgen: SOAK FAILED — cannot fetch /v1/slo: {e}");
+            return ExitCode::FAILURE;
+        }
+        Ok(resp) if resp.status != 200 => {
+            eprintln!(
+                "loadgen: SOAK FAILED — /v1/slo answered {} (did the server declare --slo targets?)",
+                resp.status
+            );
+            return ExitCode::FAILURE;
+        }
+        Ok(resp) => match parse_slo_report(&resp.text()) {
+            Ok(gate) => gate,
+            Err(e) => {
+                eprintln!("loadgen: SOAK FAILED — {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    println!(
+        "slo: ok={} violations_total={}",
+        gate.ok, gate.violations_total
+    );
+    for line in &gate.lines {
+        println!("{line}");
+    }
+    if total.server_errors > 0 {
+        eprintln!(
+            "loadgen: SOAK FAILED — {} server error(s)",
+            total.server_errors
+        );
+        return ExitCode::FAILURE;
+    }
+    if !gate.clean() {
+        eprintln!("loadgen: SOAK FAILED — SLO targets missed (breakdown above)");
+        return ExitCode::FAILURE;
+    }
+    println!("loadgen: soak passed — all declared SLOs held");
     ExitCode::SUCCESS
 }

@@ -223,6 +223,8 @@ pub fn print_header(what: &str, scale: &Scale) {
     );
 }
 
+pub mod load;
+
 pub mod jobs {
     //! Experiment cells as harness jobs.
     //!

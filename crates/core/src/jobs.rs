@@ -14,7 +14,9 @@ use crate::experiments::refbit::{measure_refbit_obs_with, RefbitRow};
 use crate::experiments::Scale;
 use crate::obs::{ObsParams, ObsReport};
 use crate::system::SimOverrides;
-use spur_harness::{Job, JobOutput};
+use spur_harness::{Job, JobOutput, Json};
+use spur_obs::export::sim_cycle_bounds;
+use spur_obs::validate::get_field;
 use spur_trace::workloads::{DevHost, Workload};
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;
@@ -43,6 +45,20 @@ pub fn attach_obs<T>(mut out: JobOutput<T>, report: Option<ObsReport>) -> JobOut
 /// worker so the closures stay `'static` and each cell is a pure
 /// function of its inputs.
 pub type WorkloadCtor = fn() -> Workload;
+
+/// The simulated-cycle range `[first, last]` covered by a job's
+/// exported Chrome trace (the `trace` a builder attached via
+/// [`attach_obs`]). `None` for uninstrumented jobs or traces with no
+/// events. The serve path stamps these bounds onto a job's `run` span
+/// so a request's real-time trace names exactly which slice of
+/// simulated time it paid for — and the reconciliation tests can match
+/// the span against the recorder's own `obs_emitted_total` bounds.
+pub fn trace_cycle_bounds(trace: &Json) -> Option<(u64, u64)> {
+    match get_field(trace, "traceEvents")? {
+        Json::Arr(events) => sim_cycle_bounds(events),
+        _ => None,
+    }
+}
 
 /// One Table 3.3 cell: event counts for (workload, memory).
 pub fn events_job(key: String, make: WorkloadCtor, mem: MemSize, scale: Scale) -> Job<EventRow> {
@@ -198,5 +214,46 @@ mod tests {
         let base = spur_harness::job_artifact_json(&base).encode_pretty();
         let squeezed = spur_harness::job_artifact_json(&squeezed).encode_pretty();
         assert_ne!(base, squeezed, "the periodic daemon must be visible");
+    }
+
+    #[test]
+    fn trace_cycle_bounds_covers_instrumented_runs_only() {
+        let scale = Scale {
+            refs: 20_000,
+            seed: 1989,
+            reps: 1,
+            dev_refs_per_hour: 120_000,
+        };
+        let obs = ObsParams {
+            epoch: None,
+            trace_capacity: 4096,
+            batch: 1,
+        };
+        let done = run_one(refbit_job_obs(
+            "k".into(),
+            slc,
+            MemSize::MB5,
+            RefPolicy::Miss,
+            scale,
+            Some(obs),
+        ));
+        let out = done.outcome.as_ref().expect("job ran");
+        let trace = out.trace.as_ref().expect("instrumented job has a trace");
+        let (first, last) = trace_cycle_bounds(trace).expect("trace has events");
+        assert!(
+            first < last,
+            "cycle range is non-trivial: [{first}, {last}]"
+        );
+
+        let plain = run_one(refbit_job_obs(
+            "k".into(),
+            slc,
+            MemSize::MB5,
+            RefPolicy::Miss,
+            scale,
+            None,
+        ));
+        assert!(plain.outcome.as_ref().unwrap().trace.is_none());
+        assert_eq!(trace_cycle_bounds(&Json::object([("x", Json::Null)])), None);
     }
 }

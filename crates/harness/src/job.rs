@@ -169,4 +169,12 @@ impl<T> CompletedJob<T> {
     pub fn failure(&self) -> Option<&JobFailure> {
         self.outcome.as_ref().err()
     }
+
+    /// Wall-clock execution time in whole microseconds — the harness's
+    /// authoritative measure of a job's `run` phase, used by the serve
+    /// path to close run spans so span trees and job records can never
+    /// disagree about how long execution took.
+    pub fn wall_us(&self) -> u64 {
+        self.wall.as_micros() as u64
+    }
 }

@@ -10,6 +10,8 @@ use crate::epoch::EpochSeries;
 use crate::event::SimEvent;
 use crate::hist::Histogram;
 use crate::recorder::TraceRecorder;
+use crate::span::Trace;
+use crate::validate::get_field;
 
 /// Builds a Chrome-trace-event JSON document from the recorder's
 /// retained events, loadable at <https://ui.perfetto.dev>.
@@ -55,6 +57,149 @@ fn trace_event(e: &SimEvent, pid: u64, tid: u64) -> Json {
         ("tid", Json::from(tid + e.cpu as u64)),
         ("args", Json::object([("page", Json::from(e.page))])),
     ])
+}
+
+/// Process id of the server-span track in [`merged_chrome_trace`].
+pub const MERGED_SERVER_PID: u64 = 0;
+/// Process id of the rescaled simulator track in [`merged_chrome_trace`].
+pub const MERGED_SIM_PID: u64 = 1;
+
+/// Builds a Chrome-trace document from one request's span tree,
+/// optionally merging the job's simulated-time event stream onto the
+/// same timeline.
+///
+/// Server spans land on pid [`MERGED_SERVER_PID`] with real
+/// microsecond timestamps (the span sink's clock). If `sim` is a
+/// Chrome-trace document from the job's run (the `trace` section of an
+/// instrumented artifact, timestamped in simulated cycles), its events
+/// are linearly rescaled into the `run` span's real-time interval and
+/// placed on pid [`MERGED_SIM_PID`] — so a Perfetto view shows queue
+/// wait, worker execution, and the individual simulated faults *inside*
+/// that execution, on one coherent axis. Each rescaled event keeps its
+/// original cycle stamp in `args.cycle`.
+///
+/// Open spans are skipped (a merged export of an incomplete trace shows
+/// only what has finished); a missing or zero-width `run` span skips
+/// the sim merge entirely.
+pub fn merged_chrome_trace(trace: &Trace, sim: Option<&Json>) -> Json {
+    let mut events: Vec<Json> = vec![
+        process_name_meta(MERGED_SERVER_PID, "spur-serve request"),
+        process_name_meta(MERGED_SIM_PID, "simulated run (rescaled cycles)"),
+    ];
+    for span in &trace.spans {
+        let Some(dur) = span.duration_us() else {
+            continue;
+        };
+        let mut args: Vec<(String, Json)> = vec![("span_id".into(), Json::from(span.id))];
+        for (k, v) in &span.attrs {
+            args.push((k.clone(), Json::from(v.as_str())));
+        }
+        events.push(Json::object([
+            ("name", Json::from(span.name.as_str())),
+            ("cat", Json::from("serve")),
+            ("ph", Json::from("X")),
+            ("ts", Json::from(span.start_us)),
+            ("dur", Json::from(dur.max(1))),
+            ("pid", Json::from(MERGED_SERVER_PID)),
+            ("tid", Json::from(span.track)),
+            ("args", Json::Obj(args)),
+        ]));
+    }
+    if let (Some(sim), Some(run)) = (sim, trace.span_named("run")) {
+        if let (Some(run_end), Some(Json::Arr(sim_events))) =
+            (run.end_us, get_field(sim, "traceEvents"))
+        {
+            events.extend(rescaled_sim_events(sim_events, run.start_us, run_end));
+        }
+    }
+    Json::object([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ns")),
+        (
+            "otherData",
+            Json::object([
+                ("trace_id", Json::from(trace.id)),
+                ("complete", Json::Bool(trace.complete)),
+                ("sim_clock", Json::from("cycles-rescaled-to-run-span-us")),
+            ]),
+        ),
+    ])
+}
+
+fn process_name_meta(pid: u64, name: &str) -> Json {
+    Json::object([
+        ("name", Json::from("process_name")),
+        ("ph", Json::from("M")),
+        ("pid", Json::from(pid)),
+        ("tid", Json::from(0u64)),
+        ("args", Json::object([("name", Json::from(name))])),
+    ])
+}
+
+/// Maps each sim event's `[ts, ts+dur]` cycle interval linearly onto
+/// the run span's `[run_start, run_end]` µs interval.
+fn rescaled_sim_events(sim_events: &[Json], run_start: u64, run_end: u64) -> Vec<Json> {
+    let Some((cmin, cmax)) = sim_cycle_bounds(sim_events) else {
+        return Vec::new();
+    };
+    let cycle_span = (cmax - cmin).max(1) as f64;
+    let run_width = run_end.saturating_sub(run_start) as f64;
+    if run_width <= 0.0 {
+        return Vec::new();
+    }
+    let rescale =
+        |cycle: u64| -> u64 { run_start + ((cycle - cmin) as f64 / cycle_span * run_width) as u64 };
+    sim_events
+        .iter()
+        .filter_map(|ev| {
+            let ts = field_u64(ev, "ts")?;
+            let dur = field_u64(ev, "dur").unwrap_or(1);
+            let start = rescale(ts);
+            let end = rescale(ts.saturating_add(dur).min(cmax));
+            let mut fields: Vec<(String, Json)> = Vec::new();
+            for key in ["name", "cat"] {
+                if let Some(v) = get_field(ev, key) {
+                    fields.push((key.to_string(), v.clone()));
+                }
+            }
+            fields.push(("ph".into(), Json::from("X")));
+            fields.push(("ts".into(), Json::from(start)));
+            fields.push(("dur".into(), Json::from(end.saturating_sub(start).max(1))));
+            fields.push(("pid".into(), Json::from(MERGED_SIM_PID)));
+            fields.push(("tid".into(), Json::from(field_u64(ev, "tid").unwrap_or(0))));
+            let mut args: Vec<(String, Json)> = vec![("cycle".into(), Json::from(ts))];
+            if let Some(Json::Obj(a)) = get_field(ev, "args") {
+                args.extend(a.iter().cloned());
+            }
+            fields.push(("args".into(), Json::Obj(args)));
+            Some(Json::Obj(fields))
+        })
+        .collect()
+}
+
+/// `[min start, max end]` over a Chrome `traceEvents` array's complete
+/// events, in the document's own time unit. `None` if there are none.
+pub fn sim_cycle_bounds(events: &[Json]) -> Option<(u64, u64)> {
+    let mut bounds: Option<(u64, u64)> = None;
+    for ev in events {
+        let Some(ts) = field_u64(ev, "ts") else {
+            continue;
+        };
+        let end = ts.saturating_add(field_u64(ev, "dur").unwrap_or(0));
+        bounds = Some(match bounds {
+            None => (ts, end),
+            Some((lo, hi)) => (lo.min(ts), hi.max(end)),
+        });
+    }
+    bounds
+}
+
+fn field_u64(value: &Json, key: &str) -> Option<u64> {
+    match get_field(value, key)? {
+        Json::UInt(u) => Some(*u),
+        Json::Int(i) if *i >= 0 => Some(*i as u64),
+        _ => None,
+    }
 }
 
 /// Serializes a histogram: name, moments, and the non-empty buckets
@@ -216,6 +361,116 @@ mod tests {
              \"max\":null,\"mean\":null,\"buckets\":[]}"
         );
         assert!(parse(&doc.encode()).is_ok());
+    }
+
+    fn sample_trace() -> Trace {
+        use crate::span::SpanSink;
+        let sink = SpanSink::new(4);
+        let root = sink.begin_trace("job", Some(1_000));
+        let queue = sink.begin_span(root, "queue_wait", Some(1_000), 0);
+        sink.end_span(queue, Some(2_000));
+        let run = sink.begin_span(root, "run", Some(2_000), 0);
+        sink.annotate(run, "experiment", "refbit");
+        sink.end_span(run, Some(12_000));
+        let respond = sink.begin_span(root, "respond", Some(1_100), 1);
+        sink.end_span(respond, Some(1_200));
+        sink.finish(root.trace).unwrap()
+    }
+
+    fn sample_sim_doc() -> Json {
+        let mut r = TraceRecorder::new(8);
+        for (cycle, cost) in [(600u64, 100u64), (900, 300), (1_600, 0)] {
+            r.emit(SimEvent {
+                kind: EventKind::DirtyFault,
+                cycle,
+                page: 7,
+                cost,
+                cpu: 0,
+            });
+        }
+        chrome_trace(&r, 1, 0)
+    }
+
+    #[test]
+    fn merged_trace_validates_and_keeps_both_processes() {
+        let doc = merged_chrome_trace(&sample_trace(), Some(&sample_sim_doc()));
+        let parsed = parse(&doc.encode_pretty()).expect("valid JSON");
+        assert_eq!(parsed, doc);
+        let encoded = doc.encode();
+        assert!(encoded.contains("\"name\":\"queue_wait\""));
+        assert!(encoded.contains("\"name\":\"run\""));
+        assert!(encoded.contains("\"experiment\":\"refbit\""));
+        assert!(encoded.contains("\"name\":\"DirtyFault\""));
+        assert!(encoded.contains("\"name\":\"process_name\""));
+        // The respond span keeps its own display track.
+        assert!(encoded.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn sim_events_are_rescaled_into_the_run_span_interval() {
+        let trace = sample_trace();
+        let doc = merged_chrome_trace(&trace, Some(&sample_sim_doc()));
+        let Json::Obj(fields) = &doc else { panic!() };
+        let Json::Arr(events) = &fields[0].1 else {
+            panic!()
+        };
+        let run = trace.span_named("run").unwrap();
+        let (run_start, run_end) = (run.start_us, run.end_us.unwrap());
+        let mut sim_seen = 0;
+        for ev in events {
+            let pid = get_field(ev, "pid");
+            if pid != Some(&Json::from(MERGED_SIM_PID)) {
+                continue;
+            }
+            if get_field(ev, "ph") == Some(&Json::from("M")) {
+                continue;
+            }
+            sim_seen += 1;
+            let Some(&Json::UInt(ts)) = get_field(ev, "ts") else {
+                panic!("sim ts must be uint")
+            };
+            let Some(&Json::UInt(dur)) = get_field(ev, "dur") else {
+                panic!("sim dur must be uint")
+            };
+            assert!(
+                ts >= run_start && ts + dur <= run_end,
+                "sim event [{ts}, {}] outside run [{run_start}, {run_end}]",
+                ts + dur
+            );
+            assert!(
+                get_field(ev, "args")
+                    .and_then(|a| get_field(a, "cycle"))
+                    .is_some(),
+                "original cycle preserved in args"
+            );
+        }
+        assert_eq!(sim_seen, 3, "all sim events survive the merge");
+        // Cycle bounds of the source doc: first event starts at 500
+        // (600 - cost 100), last ends at 1601 (the zero-cost event at
+        // 1600 is clamped to unit duration) → the earliest rescaled
+        // event sits exactly at run_start, the latest at run_end.
+        let sim = sample_sim_doc();
+        let Some(Json::Arr(sim_events)) = get_field(&sim, "traceEvents") else {
+            panic!()
+        };
+        assert_eq!(sim_cycle_bounds(sim_events), Some((500, 1_601)));
+    }
+
+    #[test]
+    fn merged_trace_without_sim_or_run_span_still_validates() {
+        let trace = sample_trace();
+        let doc = merged_chrome_trace(&trace, None);
+        parse(&doc.encode()).expect("valid JSON");
+        assert!(!doc.encode().contains("DirtyFault"));
+
+        // A trace with no run span ignores the sim doc.
+        use crate::span::SpanSink;
+        let sink = SpanSink::new(2);
+        let root = sink.begin_trace("job", Some(0));
+        let t = sink.finish(root.trace).unwrap();
+        let doc = merged_chrome_trace(&t, Some(&sample_sim_doc()));
+        parse(&doc.encode()).expect("valid JSON");
+        assert!(!doc.encode().contains("DirtyFault"));
     }
 
     #[test]

@@ -123,6 +123,11 @@ impl Histogram {
         }
         // Target rank in 1..=total: the smallest rank covering fraction q.
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        // Rank 1 is the minimum sample itself — interpolating within
+        // its bucket would report the bucket's span, not the value.
+        if rank == 1 {
+            return Some(self.min);
+        }
         let mut seen = 0u64;
         for i in 0..BUCKETS {
             let count = self.counts[i];

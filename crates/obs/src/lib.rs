@@ -16,6 +16,12 @@
 //! * **Epoch series** ([`epoch::EpochSeries`]): counter deltas sampled
 //!   every N references, turning single-point sweep cells into curves
 //!   (e.g. excess-fault rate over time at each memory size).
+//! * **Request spans & SLOs** ([`span::SpanSink`], [`slo::SloTracker`]):
+//!   the same counter-grade fidelity one layer up — hierarchical
+//!   real-time span trees for the serve path (accept → queue → run →
+//!   serialize), mergeable with a job's simulated-time event stream
+//!   onto one Chrome-trace timeline, plus sliding-window evaluation of
+//!   declared service-level objectives.
 //!
 //! The crate is std-only (the workspace cannot reach a registry) and
 //! deliberately knows nothing about `spur-cache`'s counter taxonomy:
@@ -38,10 +44,14 @@ pub mod export;
 pub mod hist;
 pub mod prometheus;
 pub mod recorder;
+pub mod slo;
+pub mod span;
 pub mod validate;
 
 pub use epoch::EpochSeries;
 pub use event::{EventKind, SimEvent};
-pub use export::{chrome_trace, histogram_json, series_json};
+pub use export::{chrome_trace, histogram_json, merged_chrome_trace, series_json};
 pub use hist::Histogram;
 pub use recorder::{CpuTag, EventBuf, NoopRecorder, Recorder, TraceRecorder};
+pub use slo::{SloKind, SloReport, SloStatus, SloTarget, SloTracker};
+pub use span::{Span, SpanContext, SpanSink, Trace};

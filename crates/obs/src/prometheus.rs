@@ -63,6 +63,90 @@ pub fn render_summary(out: &mut String, name: &str, help: &str, h: &Histogram) {
     let _ = writeln!(out, "{name}_count {}", h.count());
 }
 
+/// Formats a `{k="v",...}` label block. Empty labels render as an
+/// empty string so unlabeled and labeled call sites compose.
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Appends one labeled gauge sample line (no headers) — for metrics
+/// like `build_info{version="..."} 1` where the header is rendered
+/// once and samples vary by label set.
+pub fn render_gauge_labeled(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    value: u64,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name}{} {value}", label_block(labels));
+}
+
+/// Appends a labeled [`Histogram`] family member: cumulative buckets,
+/// `_sum`, and `_count`, each carrying `labels` (with `le` appended on
+/// bucket lines). Set `with_header` on the family's first member only
+/// — Prometheus wants exactly one `# TYPE` per family.
+pub fn render_histogram_labeled(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    h: &Histogram,
+    with_header: bool,
+) {
+    if with_header {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+    }
+    let base: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let bucket_labels = |hi: &str| -> String {
+        let mut parts = base.clone();
+        parts.push(format!("le=\"{hi}\""));
+        format!("{{{}}}", parts.join(","))
+    };
+    let mut cumulative = 0u64;
+    for i in 0..BUCKETS {
+        let count = h.bucket_count(i);
+        if count == 0 {
+            continue;
+        }
+        cumulative += count;
+        let (_, hi) = bucket_range(i);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            bucket_labels(&hi.to_string())
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{} {}", bucket_labels("+Inf"), h.count());
+    let plain = label_block(labels);
+    let _ = writeln!(out, "{name}_sum{plain} {}", h.sum());
+    let _ = writeln!(out, "{name}_count{plain} {}", h.count());
+}
+
+/// Appends one labeled counter sample line, with the family header
+/// only when `with_header` is set.
+pub fn render_counter_labeled(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    value: u64,
+    with_header: bool,
+) {
+    if with_header {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+    }
+    let _ = writeln!(out, "{name}{} {value}", label_block(labels));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +196,78 @@ mod tests {
         );
         assert!(!empty.contains("quantile"), "no quantiles of nothing");
         assert!(empty.contains("spur_job_ms_count 0\n"));
+    }
+
+    #[test]
+    fn labeled_gauge_carries_its_labels() {
+        let mut out = String::new();
+        render_gauge_labeled(
+            &mut out,
+            "spur_serve_build_info",
+            "Build info.",
+            &[("version", "0.1.0")],
+            1,
+        );
+        assert!(out.contains("# TYPE spur_serve_build_info gauge\n"));
+        assert!(out.contains("spur_serve_build_info{version=\"0.1.0\"} 1\n"));
+    }
+
+    #[test]
+    fn labeled_histogram_family_shares_one_header() {
+        let mut a = Histogram::new("a");
+        a.record(1);
+        let mut b = Histogram::new("b");
+        b.record(5);
+        let mut out = String::new();
+        render_histogram_labeled(
+            &mut out,
+            "spur_phase_ms",
+            "Phase latency.",
+            &[("phase", "run"), ("experiment", "refbit")],
+            &a,
+            true,
+        );
+        render_histogram_labeled(
+            &mut out,
+            "spur_phase_ms",
+            "Phase latency.",
+            &[("phase", "queue_wait"), ("experiment", "refbit")],
+            &b,
+            false,
+        );
+        assert_eq!(out.matches("# TYPE spur_phase_ms histogram").count(), 1);
+        assert!(
+            out.contains("spur_phase_ms_bucket{phase=\"run\",experiment=\"refbit\",le=\"1\"} 1\n")
+        );
+        assert!(out.contains(
+            "spur_phase_ms_bucket{phase=\"queue_wait\",experiment=\"refbit\",le=\"+Inf\"} 1\n"
+        ));
+        assert!(out.contains("spur_phase_ms_sum{phase=\"run\",experiment=\"refbit\"} 1\n"));
+        assert!(out.contains("spur_phase_ms_count{phase=\"queue_wait\",experiment=\"refbit\"} 1\n"));
+    }
+
+    #[test]
+    fn labeled_counter_and_empty_label_block() {
+        let mut out = String::new();
+        render_counter_labeled(
+            &mut out,
+            "spur_slo_violations",
+            "Violations.",
+            &[("slo", "p99_submit_ms")],
+            4,
+            true,
+        );
+        render_counter_labeled(
+            &mut out,
+            "spur_slo_violations",
+            "Violations.",
+            &[("slo", "max_error_ratio")],
+            0,
+            false,
+        );
+        assert_eq!(out.matches("# TYPE").count(), 1);
+        assert!(out.contains("spur_slo_violations{slo=\"p99_submit_ms\"} 4\n"));
+        assert!(out.contains("spur_slo_violations{slo=\"max_error_ratio\"} 0\n"));
+        assert_eq!(label_block(&[]), "");
     }
 }

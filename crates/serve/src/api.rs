@@ -79,6 +79,17 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
+    /// The experiment family name, used as the `experiment` label on
+    /// span-derived Prometheus histograms (a closed, static set so
+    /// label cardinality stays bounded).
+    pub fn experiment(&self) -> &'static str {
+        match self.kind {
+            Kind::Refbit(_) => "refbit",
+            Kind::Events => "events",
+            Kind::Mp { .. } => "mp",
+        }
+    }
+
     /// The job's stable key, identical to the CLI sweep's for the same
     /// cell.
     pub fn key(&self) -> String {

@@ -15,9 +15,21 @@
 //! | `POST /v1/jobs` | submit a cell (JSON body, see [`api`]) → `202` with id |
 //! | `GET /v1/jobs/{id}` | poll status (`queued`/`running`/`done`/`failed`) |
 //! | `GET /v1/jobs/{id}/result` | the job's artifact document |
+//! | `GET /v1/jobs/{id}/trace` | the request's span tree (works mid-flight) |
+//! | `GET /v1/jobs/{id}/trace/chrome` | server spans + sim events, Chrome format |
+//! | `GET /v1/slo` | declared-SLO evaluation report (404 without `--slo`) |
 //! | `GET /healthz` | liveness + queue depth |
 //! | `GET /metrics` | Prometheus text exposition |
 //! | `POST /v1/shutdown` | drain the queue, then exit |
+//!
+//! # Observability
+//!
+//! Every accepted submission carries a span trace from socket accept
+//! to serialized artifact (`accept` → `parse` → `queue_wait` → `run` →
+//! `serialize`, plus the concurrent `respond` write). The span tree is
+//! the single latency source of truth: `/metrics` phase histograms and
+//! SLO evaluation are both derived from sealed traces, never from
+//! side-channel timers. See `docs/OBSERVABILITY.md`.
 //!
 //! # Determinism
 //!
@@ -40,6 +52,6 @@ pub mod server;
 
 pub use api::{parse_job_spec, JobSpec};
 pub use client::{get, http_request, post_json, HttpResponse};
-pub use metrics::ServeMetrics;
+pub use metrics::{PhaseSample, ServeMetrics};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{ChaosConfig, DrainSummary, ServeConfig, Server};

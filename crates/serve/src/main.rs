@@ -4,7 +4,10 @@
 //! spur-serve [--addr 127.0.0.1:7979] [--workers N] [--queue-bound N]
 //!            [--accept-threads N] [--read-timeout-ms N]
 //!            [--write-timeout-ms N] [--max-body-bytes N]
-//!            [--results-dir DIR]
+//!            [--results-dir DIR] [--panic-retries N]
+//!            [--chaos-seed N] [--chaos-panic-ppm N] [--chaos-drop-ppm N]
+//!            [--slo NAME=VALUE]... [--slo-window-secs N]
+//!            [--trace-capacity N]
 //! ```
 //!
 //! Prints one `listening on <addr>` line to stdout once bound (scripts
@@ -12,19 +15,30 @@
 //! queue, and exits 0. With `--results-dir` every finished job is also
 //! persisted as a single-job artifact run that `check_obs` can
 //! validate.
+//!
+//! `--slo` is repeatable and declares one target per use, e.g.
+//! `--slo p99_submit_ms=500 --slo min_jobs_per_sec=1`; declared SLOs
+//! are evaluated over a sliding window (`--slo-window-secs`, default
+//! 60) and exposed at `GET /v1/slo` and on `/metrics`. The `--chaos-*`
+//! flags arm deterministic fault injection for soak testing; any
+//! chaos flag implies chaos with the other rates at zero.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use spur_serve::{ServeConfig, Server};
+use spur_obs::slo::SloTarget;
+use spur_serve::{ChaosConfig, ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
         "usage: spur-serve [--addr HOST:PORT] [--workers N] [--queue-bound N]\n\
          \x20                 [--accept-threads N] [--read-timeout-ms N]\n\
          \x20                 [--write-timeout-ms N] [--max-body-bytes N]\n\
-         \x20                 [--results-dir DIR]"
+         \x20                 [--results-dir DIR] [--panic-retries N]\n\
+         \x20                 [--chaos-seed N] [--chaos-panic-ppm N] [--chaos-drop-ppm N]\n\
+         \x20                 [--slo NAME=VALUE]... [--slo-window-secs N]\n\
+         \x20                 [--trace-capacity N]"
     );
     std::process::exit(2);
 }
@@ -64,6 +78,37 @@ fn parse_config() -> ServeConfig {
                 cfg.max_body_bytes = parse_num(&value("--max-body-bytes"), "--max-body-bytes")
             }
             "--results-dir" => cfg.results_dir = Some(PathBuf::from(value("--results-dir"))),
+            "--panic-retries" => {
+                cfg.panic_retries = parse_num(&value("--panic-retries"), "--panic-retries")
+            }
+            "--chaos-seed" => {
+                chaos(&mut cfg).seed = parse_num(&value("--chaos-seed"), "--chaos-seed")
+            }
+            "--chaos-panic-ppm" => {
+                chaos(&mut cfg).worker_panic_ppm =
+                    parse_num(&value("--chaos-panic-ppm"), "--chaos-panic-ppm")
+            }
+            "--chaos-drop-ppm" => {
+                chaos(&mut cfg).drop_response_ppm =
+                    parse_num(&value("--chaos-drop-ppm"), "--chaos-drop-ppm")
+            }
+            "--slo" => {
+                let spec = value("--slo");
+                match SloTarget::parse(&spec) {
+                    Ok(target) => cfg.slos.push(target),
+                    Err(e) => {
+                        eprintln!("spur-serve: bad --slo {spec:?}: {e}");
+                        usage();
+                    }
+                }
+            }
+            "--slo-window-secs" => {
+                cfg.slo_window =
+                    Duration::from_secs(parse_num(&value("--slo-window-secs"), "--slo-window-secs"))
+            }
+            "--trace-capacity" => {
+                cfg.trace_capacity = parse_num(&value("--trace-capacity"), "--trace-capacity")
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("spur-serve: unknown flag {other:?}");
@@ -72,6 +117,16 @@ fn parse_config() -> ServeConfig {
         }
     }
     cfg
+}
+
+/// The chaos config a `--chaos-*` flag mutates, created zeroed on
+/// first use (so `--chaos-panic-ppm` alone gets seed 0, drop rate 0).
+fn chaos(cfg: &mut ServeConfig) -> &mut ChaosConfig {
+    cfg.chaos.get_or_insert(ChaosConfig {
+        seed: 0,
+        worker_panic_ppm: 0,
+        drop_response_ppm: 0,
+    })
 }
 
 fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> T {

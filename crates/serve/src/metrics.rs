@@ -1,17 +1,44 @@
 //! Service-level metrics, exposed at `GET /metrics`.
 //!
-//! Counters are lock-free atomics bumped on the request path; the two
-//! latency [`Histogram`]s (queue wait and job run time) sit behind one
-//! mutex touched only at job completion — a few dozen times a second
-//! at most, never per HTTP request. Rendering reuses the
+//! Counters are lock-free atomics bumped on the request path; the
+//! latency [`Histogram`]s sit behind one mutex touched only at job
+//! completion and submit-response time — a few dozen times a second at
+//! most, never per HTTP request. Rendering reuses the
 //! `spur_obs::prometheus` text-format helpers, so the service and the
 //! simulator speak one exposition dialect.
+//!
+//! **Single source of truth:** every latency here is derived from the
+//! request's span tree ([`spur_obs::span`]) — the worker closes the
+//! job's phase spans, snapshots the trace, and feeds the *span*
+//! durations to [`ServeMetrics::observe_phases`]. There are no
+//! side-channel timers: the histogram a dashboard scrapes and the span
+//! tree `GET /v1/jobs/{id}/trace` returns can never disagree, because
+//! one is computed from the other.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use spur_obs::prometheus::{render_counter, render_gauge, render_histogram, render_summary};
+use spur_obs::prometheus::{
+    render_counter, render_gauge, render_gauge_labeled, render_histogram, render_histogram_labeled,
+    render_summary,
+};
 use spur_obs::Histogram;
+
+/// Phase durations for one finished job, all in milliseconds, read off
+/// the job's completed span tree.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseSample {
+    /// `queue_wait` span: admission to worker pickup.
+    pub queue_wait_ms: u64,
+    /// `run` span: harness execution wall time (summed over retries).
+    pub run_ms: u64,
+    /// `serialize` span: artifact encode + persist.
+    pub serialize_ms: u64,
+    /// Root span: accept to serialized artifact.
+    pub e2e_ms: u64,
+    /// Whether the job completed successfully.
+    pub ok: bool,
+}
 
 /// Everything the service counts.
 #[derive(Debug)]
@@ -33,12 +60,45 @@ pub struct ServeMetrics {
     latency: Mutex<Latency>,
 }
 
+/// The phase names carried by `spur_serve_phase_ms{phase=...}`.
+const PHASES: [&str; 3] = ["queue_wait", "run", "serialize"];
+
+/// Per-experiment phase histograms. The label set is closed (the API's
+/// experiment families), so cardinality is 3 phases × |experiments|.
+#[derive(Debug)]
+struct ExperimentLatency {
+    experiment: &'static str,
+    /// One histogram per entry of [`PHASES`], same order.
+    phase_ms: [Histogram; 3],
+}
+
 #[derive(Debug)]
 struct Latency {
-    /// Milliseconds from enqueue to worker pickup.
-    queue_ms: Histogram,
-    /// Milliseconds of job execution (the harness wall clock).
-    run_ms: Histogram,
+    /// Milliseconds from accept to the 202 being written.
+    submit_ms: Histogram,
+    /// Milliseconds from accept to serialized artifact (root span).
+    e2e_ms: Histogram,
+    /// Span-derived phase histograms, one row per experiment family,
+    /// in first-seen order (deterministic under a single seed of
+    /// traffic; rendering sorts by name for scrape stability).
+    per_experiment: Vec<ExperimentLatency>,
+}
+
+impl Latency {
+    fn experiment_row(&mut self, experiment: &'static str) -> &mut ExperimentLatency {
+        if let Some(i) = self
+            .per_experiment
+            .iter()
+            .position(|r| r.experiment == experiment)
+        {
+            return &mut self.per_experiment[i];
+        }
+        self.per_experiment.push(ExperimentLatency {
+            experiment,
+            phase_ms: PHASES.map(Histogram::new),
+        });
+        self.per_experiment.last_mut().unwrap()
+    }
 }
 
 impl Default for ServeMetrics {
@@ -59,33 +119,63 @@ impl ServeMetrics {
             jobs_failed: AtomicU64::new(0),
             jobs_retried: AtomicU64::new(0),
             latency: Mutex::new(Latency {
-                queue_ms: Histogram::new("queue_wait_ms"),
-                run_ms: Histogram::new("job_run_ms"),
+                submit_ms: Histogram::new("submit_ms"),
+                e2e_ms: Histogram::new("e2e_ms"),
+                per_experiment: Vec::new(),
             }),
         }
     }
 
-    /// Records one finished job.
-    pub fn observe_job(&self, queue_ms: u64, run_ms: u64, ok: bool) {
-        if ok {
+    /// Records one accepted submission's accept→202 latency (the
+    /// acceptor's `accept` + `parse` + `respond` spans).
+    pub fn observe_submit(&self, submit_ms: u64) {
+        let mut latency = self.latency.lock().unwrap_or_else(|e| e.into_inner());
+        latency.submit_ms.record(submit_ms);
+    }
+
+    /// Records one finished job's span-derived phase durations.
+    pub fn observe_phases(&self, experiment: &'static str, sample: PhaseSample) {
+        if sample.ok {
             self.jobs_completed.fetch_add(1, Ordering::Relaxed);
         } else {
             self.jobs_failed.fetch_add(1, Ordering::Relaxed);
         }
         let mut latency = self.latency.lock().unwrap_or_else(|e| e.into_inner());
-        latency.queue_ms.record(queue_ms);
-        latency.run_ms.record(run_ms);
+        latency.e2e_ms.record(sample.e2e_ms);
+        let row = latency.experiment_row(experiment);
+        for (h, v) in
+            row.phase_ms
+                .iter_mut()
+                .zip([sample.queue_wait_ms, sample.run_ms, sample.serialize_ms])
+        {
+            h.record(v);
+        }
     }
 
     /// Renders the Prometheus text exposition. `queue_depth` and
-    /// `draining` come from the queue, the service's other live gauge.
+    /// `draining` come from the queue; `uptime_seconds` from the
+    /// server's start instant.
     pub fn render_prometheus(
         &self,
         queue_depth: usize,
         queue_bound: usize,
         draining: bool,
+        uptime_seconds: u64,
     ) -> String {
-        let mut out = String::with_capacity(2048);
+        let mut out = String::with_capacity(4096);
+        render_gauge_labeled(
+            &mut out,
+            "spur_serve_build_info",
+            "Build metadata; the value is always 1.",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+            1,
+        );
+        render_gauge(
+            &mut out,
+            "spur_serve_uptime_seconds",
+            "Seconds since the server started.",
+            uptime_seconds,
+        );
         render_counter(
             &mut out,
             "spur_serve_http_requests_total",
@@ -146,19 +236,57 @@ impl ServeMetrics {
             "1 while the service is draining toward exit.",
             draining as u64,
         );
+
         let latency = self.latency.lock().unwrap_or_else(|e| e.into_inner());
+        // Aggregate views first (stable names the smoke tests grep):
+        // queue wait across experiments, run-time summary quantiles.
+        let mut queue_all = Histogram::new("queue_wait_ms");
+        let mut run_all = Histogram::new("job_run_ms");
+        let mut rows: Vec<&ExperimentLatency> = latency.per_experiment.iter().collect();
+        rows.sort_by_key(|r| r.experiment);
+        for row in &rows {
+            queue_all.merge(&row.phase_ms[0]);
+            run_all.merge(&row.phase_ms[1]);
+        }
         render_histogram(
             &mut out,
             "spur_serve_queue_wait_ms",
-            "Milliseconds jobs waited in the queue.",
-            &latency.queue_ms,
+            "Milliseconds jobs waited in the queue (queue_wait span).",
+            &queue_all,
         );
         render_summary(
             &mut out,
             "spur_serve_job_run_ms",
-            "Job execution wall time in milliseconds.",
-            &latency.run_ms,
+            "Job execution wall time in milliseconds (run span).",
+            &run_all,
         );
+        render_summary(
+            &mut out,
+            "spur_serve_submit_ms",
+            "Milliseconds from accept to the 202 response being written.",
+            &latency.submit_ms,
+        );
+        render_summary(
+            &mut out,
+            "spur_serve_e2e_ms",
+            "Milliseconds from accept to serialized artifact (root span).",
+            &latency.e2e_ms,
+        );
+        // Per-phase, per-experiment histograms derived from spans.
+        let mut first = true;
+        for row in &rows {
+            for (phase, h) in PHASES.iter().zip(&row.phase_ms) {
+                render_histogram_labeled(
+                    &mut out,
+                    "spur_serve_phase_ms",
+                    "Span-derived phase latency in milliseconds.",
+                    &[("phase", phase), ("experiment", row.experiment)],
+                    h,
+                    first,
+                );
+                first = false;
+            }
+        }
         out
     }
 }
@@ -167,16 +295,29 @@ impl ServeMetrics {
 mod tests {
     use super::*;
 
+    fn sample(queue: u64, run: u64, serialize: u64, ok: bool) -> PhaseSample {
+        PhaseSample {
+            queue_wait_ms: queue,
+            run_ms: run,
+            serialize_ms: serialize,
+            e2e_ms: queue + run + serialize,
+            ok,
+        }
+    }
+
     #[test]
     fn exposition_has_the_contractual_series() {
         let m = ServeMetrics::new();
         m.http_requests.fetch_add(5, Ordering::Relaxed);
         m.jobs_submitted.fetch_add(3, Ordering::Relaxed);
         m.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-        m.observe_job(2, 40, true);
-        m.observe_job(3, 60, true);
-        m.observe_job(1, 50, false);
-        let text = m.render_prometheus(2, 16, false);
+        m.observe_submit(1);
+        m.observe_phases("refbit", sample(2, 40, 1, true));
+        m.observe_phases("refbit", sample(3, 60, 1, true));
+        m.observe_phases("mp", sample(1, 50, 1, false));
+        let text = m.render_prometheus(2, 16, false, 7);
+        assert!(text.contains("spur_serve_build_info{version=\""));
+        assert!(text.contains("spur_serve_uptime_seconds 7\n"));
         assert!(text.contains("spur_serve_http_requests_total 5\n"));
         assert!(text.contains("spur_serve_jobs_submitted_total 3\n"));
         assert!(text.contains("spur_serve_jobs_rejected_total 1\n"));
@@ -185,10 +326,45 @@ mod tests {
         assert!(text.contains("spur_serve_queue_depth 2\n"));
         assert!(text.contains("spur_serve_queue_bound 16\n"));
         assert!(text.contains("spur_serve_draining 0\n"));
-        // The acceptance-criteria quantiles.
+        // The acceptance-criteria quantiles survive the span rework.
         assert!(text.contains("spur_serve_job_run_ms{quantile=\"0.5\"}"));
         assert!(text.contains("spur_serve_job_run_ms{quantile=\"0.9\"}"));
         assert!(text.contains("spur_serve_job_run_ms{quantile=\"0.99\"}"));
         assert!(text.contains("spur_serve_queue_wait_ms_bucket"));
+        assert!(text.contains("spur_serve_submit_ms{quantile=\"0.99\"}"));
+        assert!(text.contains("spur_serve_e2e_ms_count 3\n"));
+    }
+
+    #[test]
+    fn phase_histograms_are_labeled_by_experiment() {
+        let m = ServeMetrics::new();
+        m.observe_phases("refbit", sample(2, 40, 1, true));
+        m.observe_phases("mp", sample(8, 200, 2, true));
+        let text = m.render_prometheus(0, 16, false, 0);
+        assert!(text.contains("spur_serve_phase_ms_count{phase=\"run\",experiment=\"refbit\"} 1\n"));
+        assert!(
+            text.contains("spur_serve_phase_ms_count{phase=\"queue_wait\",experiment=\"mp\"} 1\n")
+        );
+        assert!(
+            text.contains("spur_serve_phase_ms_count{phase=\"serialize\",experiment=\"mp\"} 1\n")
+        );
+        // One family header regardless of label-set count.
+        assert_eq!(
+            text.matches("# TYPE spur_serve_phase_ms histogram").count(),
+            1
+        );
+        // The aggregate run summary folds both experiments.
+        assert!(text.contains("spur_serve_job_run_ms_count 2\n"));
+    }
+
+    #[test]
+    fn experiment_rows_render_sorted_regardless_of_arrival_order() {
+        let m = ServeMetrics::new();
+        m.observe_phases("mp", sample(1, 1, 1, true));
+        m.observe_phases("events", sample(1, 1, 1, true));
+        let text = m.render_prometheus(0, 16, false, 0);
+        let events_at = text.find("experiment=\"events\"").unwrap();
+        let mp_at = text.find("experiment=\"mp\"").unwrap();
+        assert!(events_at < mp_at, "rows sort by experiment name");
     }
 }

@@ -6,12 +6,22 @@
 //! jobs with [`run_one`] — the exact per-job body the batch harness
 //! uses, so a served job's artifact is byte-identical to a sweep's.
 //!
+//! Every accepted submission carries a [`SpanContext`] from the moment
+//! its socket was read: the acceptor opens the trace and its `accept`
+//! and `parse` phases, queue admission opens `queue_wait`, and the
+//! worker that pops the job closes it, brackets `run` (closed with the
+//! harness's own wall clock, so span trees and job records cannot
+//! disagree) and `serialize`, then seals the trace. Phase latencies on
+//! `/metrics` are read *off the sealed trace* — the span tree is the
+//! single source of latency truth. Declared SLOs ([`SloTracker`]) are
+//! fed from the same spans and evaluated by a ticker thread.
+//!
 //! Shutdown is drain-then-exit: `POST /v1/shutdown` (or
 //! [`Server::shutdown`]) stops the queue from accepting, workers finish
 //! the backlog and exit, and only then do the acceptors stop — so
 //! clients can keep polling results while the backlog drains.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -19,13 +29,24 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use spur_core::jobs::trace_cycle_bounds;
 use spur_harness::fault::{arm, roll, FaultPlan};
 use spur_harness::{job_artifact_json, run_one, write_run, FailureKind, Job, Json, RunReport};
+use spur_obs::merged_chrome_trace;
+use spur_obs::prometheus::{render_counter, render_counter_labeled, render_gauge};
+use spur_obs::slo::{SloTarget, SloTracker};
+use spur_obs::span::{SpanContext, SpanSink};
 
 use crate::api::parse_job_spec;
 use crate::http::{read_request, write_response, ReadError, Request, Response};
-use crate::metrics::ServeMetrics;
+use crate::metrics::{PhaseSample, ServeMetrics};
 use crate::queue::{BoundedQueue, PushError};
+
+/// Simulator traces retained in memory for `GET /v1/jobs/{id}/trace/chrome`
+/// merging. Instrumented sim traces are large (up to the job's
+/// `trace_capacity` events), so only the most recent few are kept; the
+/// *span* trees are small and keep their own, much larger ring.
+const SIM_TRACE_RETAIN: usize = 32;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -60,6 +81,13 @@ pub struct ServeConfig {
     /// Deterministic fault injection for chaos testing. `None` (the
     /// default) injects nothing.
     pub chaos: Option<ChaosConfig>,
+    /// Declared service-level objectives (`--slo name=value`). Empty
+    /// means no SLO tracking: no ticker thread, no `/v1/slo` data.
+    pub slos: Vec<SloTarget>,
+    /// Sliding window SLOs are evaluated over.
+    pub slo_window: Duration,
+    /// Completed span traces retained for `GET /v1/jobs/{id}/trace`.
+    pub trace_capacity: usize,
 }
 
 /// Seeded fault-injection knobs, all decided deterministically from
@@ -92,6 +120,9 @@ impl Default for ServeConfig {
             results_dir: None,
             panic_retries: 0,
             chaos: None,
+            slos: Vec::new(),
+            slo_window: Duration::from_secs(60),
+            trace_capacity: SpanSink::DEFAULT_CAPACITY,
         }
     }
 }
@@ -125,6 +156,13 @@ struct JobRecord {
     artifact: Option<String>,
     error: Option<String>,
     wall_ms: Option<u64>,
+    /// The request's span-trace id (`GET /v1/jobs/{id}/trace`).
+    trace_id: u64,
+    /// Experiment family, the label on span-derived phase histograms.
+    experiment: &'static str,
+    /// Queue-admission timestamp on the span clock — the queue's own
+    /// record of when `queue_wait` began, which the span must match.
+    admitted_us: u64,
 }
 
 /// A queued submission holds the validated *request bytes*, not a
@@ -135,7 +173,12 @@ struct QueuedJob {
     id: u64,
     key: String,
     body: Vec<u8>,
-    enqueued: Instant,
+    /// Root span of the request's trace.
+    trace: SpanContext,
+    /// The open `queue_wait` span, closed by the worker that pops it.
+    queue_span: SpanContext,
+    /// Experiment family for metric labels.
+    experiment: &'static str,
 }
 
 struct Shared {
@@ -152,6 +195,15 @@ struct Shared {
     fault_plan: Option<Arc<FaultPlan>>,
     /// Connection counter feeding the drop-response injection site.
     connections: AtomicU64,
+    /// Request span collector — the latency source of truth.
+    spans: SpanSink,
+    /// Declared-SLO evaluator, present when any `--slo` was given.
+    slo: Option<SloTracker>,
+    /// Recent instrumented sim traces for merged Chrome export.
+    sim_traces: Mutex<VecDeque<(u64, Json)>>,
+    /// Stops the SLO ticker thread at drain.
+    stop_ticker: AtomicBool,
+    started: Instant,
 }
 
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -185,10 +237,12 @@ pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     acceptors: Vec<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, then spawns the worker and acceptor pools.
+    /// Binds, then spawns the worker, acceptor, and (with SLOs
+    /// declared) ticker threads.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
@@ -196,6 +250,9 @@ impl Server {
             .chaos
             .filter(|c| c.worker_panic_ppm > 0)
             .map(|c| Arc::new(FaultPlan::new(c.seed, c.worker_panic_ppm)));
+        let slo = (!cfg.slos.is_empty())
+            .then(|| SloTracker::new(cfg.slos.clone(), cfg.slo_window.as_micros() as u64));
+        let spans = SpanSink::new(cfg.trace_capacity);
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_bound),
             jobs: Mutex::new(HashMap::new()),
@@ -207,6 +264,11 @@ impl Server {
             shutdown_signal: Condvar::new(),
             fault_plan,
             connections: AtomicU64::new(0),
+            spans,
+            slo,
+            sim_traces: Mutex::new(VecDeque::new()),
+            stop_ticker: AtomicBool::new(false),
+            started: Instant::now(),
             cfg,
         });
 
@@ -223,11 +285,16 @@ impl Server {
                 Ok(std::thread::spawn(move || accept_loop(&shared, listener)))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
+        let ticker = shared.slo.is_some().then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || slo_ticker_loop(&shared))
+        });
 
         Ok(Server {
             shared,
             workers,
             acceptors,
+            ticker,
         })
     }
 
@@ -272,6 +339,10 @@ impl Server {
         for acceptor in self.acceptors {
             let _ = acceptor.join();
         }
+        self.shared.stop_ticker.store(true, Ordering::SeqCst);
+        if let Some(ticker) = self.ticker {
+            let _ = ticker.join();
+        }
 
         let jobs = lock_unpoisoned(&self.shared.jobs);
         let unstarted = jobs
@@ -283,6 +354,19 @@ impl Server {
             failed: self.shared.metrics.jobs_failed.load(Ordering::Relaxed),
             rejected: self.shared.metrics.jobs_rejected.load(Ordering::Relaxed),
             unstarted,
+        }
+    }
+}
+
+/// SLO ticker: one periodic evaluator owns the violation counters.
+/// Scrapes and `GET /v1/slo` use the read-only `peek` path, so counter
+/// growth is a function of time and traffic, never scrape frequency.
+fn slo_ticker_loop(shared: &Shared) {
+    const TICK: Duration = Duration::from_millis(250);
+    while !shared.stop_ticker.load(Ordering::SeqCst) {
+        std::thread::sleep(TICK);
+        if let Some(slo) = &shared.slo {
+            slo.evaluate_mut(shared.spans.now_us());
         }
     }
 }
@@ -301,7 +385,8 @@ fn rebuild_job(queued: &QueuedJob) -> Job<()> {
 
 fn worker_loop(shared: &Shared) {
     while let Some(queued) = shared.queue.pop() {
-        let queue_ms = queued.enqueued.elapsed().as_millis() as u64;
+        let picked_us = shared.spans.now_us();
+        shared.spans.end_span(queued.queue_span, Some(picked_us));
         if let Some(record) = lock_unpoisoned(&shared.jobs).get_mut(&queued.id) {
             record.state = JobState::Running;
         }
@@ -310,14 +395,19 @@ fn worker_loop(shared: &Shared) {
         // budget. The injection site keys on the job id, so whether a
         // given job is hit does not depend on worker scheduling; the
         // plan's once-semantics make the retry succeed.
+        let run_span = shared
+            .spans
+            .begin_span(queued.trace, "run", Some(picked_us), 0);
         let fault_key = format!("worker/{}", queued.id);
         let mut attempts = 0u32;
+        let mut run_wall_us = 0u64;
         let completed = loop {
             let mut job = rebuild_job(&queued);
             if let Some(plan) = &shared.fault_plan {
                 job = arm(plan, job, &fault_key);
             }
             let completed = run_one(job);
+            run_wall_us += completed.wall_us();
             let panicked = completed
                 .failure()
                 .is_some_and(|f| f.kind == FailureKind::Panic);
@@ -328,21 +418,81 @@ fn worker_loop(shared: &Shared) {
             }
             break completed;
         };
+        // The run span closes on the harness's accumulated wall clock —
+        // the single authority for execution time — so the span, the
+        // record's wall_ms, and the artifact's timing agree by
+        // construction.
+        let run_end_us = picked_us + run_wall_us;
+        shared
+            .spans
+            .annotate(run_span, "experiment", queued.experiment);
+        if attempts > 0 {
+            shared
+                .spans
+                .annotate(run_span, "attempts", (attempts + 1).to_string());
+        }
+        let sim_trace = completed
+            .outcome
+            .as_ref()
+            .ok()
+            .and_then(|out| out.trace.clone());
+        if let Some((first, last)) = sim_trace.as_ref().and_then(trace_cycle_bounds) {
+            shared
+                .spans
+                .annotate(run_span, "sim_cycles_first", first.to_string());
+            shared
+                .spans
+                .annotate(run_span, "sim_cycles_last", last.to_string());
+        }
+        shared.spans.end_span(run_span, Some(run_end_us));
+
+        // Serialize: artifact encoding plus optional persistence,
+        // bracketed contiguously with the run span's end.
+        let serialize_span =
+            shared
+                .spans
+                .begin_span(queued.trace, "serialize", Some(run_end_us), 0);
         let ok = completed.outcome.is_ok();
-        let run_ms = completed.wall.as_millis() as u64;
+        let wall_ms = completed.wall.as_millis() as u64;
         let error = completed
             .failure()
             .map(|f| format!("{}: {}", f.kind.as_str(), f.reason));
         let artifact = job_artifact_json(&completed).encode_pretty();
         persist(shared, queued.id, completed);
+        shared.spans.end_span(serialize_span, None);
 
+        if let Some(sim) = sim_trace {
+            let mut ring = lock_unpoisoned(&shared.sim_traces);
+            ring.push_back((queued.id, sim));
+            while ring.len() > SIM_TRACE_RETAIN {
+                ring.pop_front();
+            }
+        }
         if let Some(record) = lock_unpoisoned(&shared.jobs).get_mut(&queued.id) {
             record.state = if ok { JobState::Done } else { JobState::Failed };
             record.artifact = Some(artifact);
             record.error = error;
-            record.wall_ms = Some(run_ms);
+            record.wall_ms = Some(wall_ms);
         }
-        shared.metrics.observe_job(queue_ms, run_ms, ok);
+
+        // Seal the trace and derive every latency metric from it.
+        if let Some(trace) = shared.spans.finish(queued.trace.trace) {
+            let phase_ms = |name: &str| trace.phase_us(name).map_or(0, |us| us / 1_000);
+            let e2e_us = trace.root().duration_us().unwrap_or(0);
+            shared.metrics.observe_phases(
+                queued.experiment,
+                PhaseSample {
+                    queue_wait_ms: phase_ms("queue_wait"),
+                    run_ms: phase_ms("run"),
+                    serialize_ms: phase_ms("serialize"),
+                    e2e_ms: e2e_us / 1_000,
+                    ok,
+                },
+            );
+            if let Some(slo) = &shared.slo {
+                slo.record_job(shared.spans.now_us(), e2e_us, ok);
+            }
+        }
     }
 }
 
@@ -383,36 +533,57 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
     }
 }
 
+/// A routed response plus, for accepted submissions, the trace to
+/// attach the `respond` span to once the response is actually written.
+struct Routed {
+    response: Response,
+    /// Root span of an accepted submission's trace.
+    submitted: Option<SpanContext>,
+}
+
+impl From<Response> for Routed {
+    fn from(response: Response) -> Routed {
+        Routed {
+            response,
+            submitted: None,
+        }
+    }
+}
+
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
-    let response = match read_request(&mut stream, shared.cfg.max_body_bytes) {
+    let accepted_us = shared.spans.now_us();
+    let routed = match read_request(&mut stream, shared.cfg.max_body_bytes) {
         Ok(request) => {
             shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
-            route(shared, &request)
+            route(shared, &request, accepted_us)
         }
         // Socket-level failure (timeout, reset, empty probe): nobody
         // is listening for an answer.
         Err(ReadError::Io(_)) => return,
         Err(ReadError::Malformed(what)) => {
             shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
-            error_response(400, what)
+            error_response(400, what).into()
         }
         Err(ReadError::TooLarge(what)) => {
             shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
             let status = if what == "request body" { 413 } else { 431 };
-            error_response(status, what)
+            error_response(status, what).into()
         }
     };
-    if (400..500).contains(&response.status) {
+    if (400..500).contains(&routed.response.status) {
         shared
             .metrics
             .http_client_errors
             .fetch_add(1, Ordering::Relaxed);
     }
     // Chaos: drop the connection without answering. All server-side
-    // effects of the request (queueing, records, metrics) are already
-    // committed — exactly the window a crashed proxy would expose.
+    // effects of the request (queueing, records, spans, metrics) are
+    // already committed — exactly the window a crashed proxy would
+    // expose. A dropped 202 records no `respond` span and no submit
+    // latency: the client never saw an answer, so there is nothing to
+    // attribute.
     if let Some(chaos) = &shared.cfg.chaos {
         let n = shared.connections.fetch_add(1, Ordering::Relaxed);
         if roll(
@@ -423,21 +594,30 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             return;
         }
     }
-    let _ = write_response(&mut stream, &response);
+    let respond_start_us = shared.spans.now_us();
+    let wrote = write_response(&mut stream, &routed.response).is_ok();
+    if let (true, Some(root)) = (wrote, routed.submitted) {
+        let respond_end_us = shared.spans.now_us();
+        // The respond phase runs concurrently with queue_wait (the 202
+        // cannot wait for the job), so it gets its own display track.
+        let respond = shared
+            .spans
+            .begin_span(root, "respond", Some(respond_start_us), 1);
+        shared.spans.end_span(respond, Some(respond_end_us));
+        let submit_us = respond_end_us.saturating_sub(accepted_us);
+        shared.metrics.observe_submit(submit_us / 1_000);
+        if let Some(slo) = &shared.slo {
+            slo.record_submit(respond_end_us, submit_us);
+        }
+    }
 }
 
-fn route(shared: &Shared, request: &Request) -> Response {
+fn route(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => healthz(shared),
-        ("GET", "/metrics") => Response::text(
-            200,
-            shared.metrics.render_prometheus(
-                shared.queue.depth(),
-                shared.queue.bound(),
-                shared.queue.is_draining(),
-            ),
-        ),
-        ("POST", "/v1/jobs") => submit(shared, request),
+        ("GET", "/healthz") => healthz(shared).into(),
+        ("GET", "/metrics") => Response::text(200, render_metrics(shared)).into(),
+        ("GET", "/v1/slo") => slo_report(shared).into(),
+        ("POST", "/v1/jobs") => submit(shared, request, accepted_us),
         ("POST", "/v1/shutdown") => {
             let queued = shared.queue.depth();
             shared.request_shutdown();
@@ -449,27 +629,87 @@ fn route(shared: &Shared, request: &Request) -> Response {
                 ])
                 .encode(),
             )
+            .into()
         }
-        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown") => {
-            error_response(405, "method not allowed")
+        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown" | "/v1/slo") => {
+            error_response(405, "method not allowed").into()
         }
         ("GET", path) => match parse_job_path(path) {
-            Some((id, false)) => job_status(shared, id),
-            Some((id, true)) => job_result(shared, id),
-            None => error_response(404, "no such route"),
+            Some((id, JobRoute::Status)) => job_status(shared, id).into(),
+            Some((id, JobRoute::Result)) => job_result(shared, id).into(),
+            Some((id, JobRoute::Trace)) => job_trace(shared, id).into(),
+            Some((id, JobRoute::TraceChrome)) => job_trace_chrome(shared, id).into(),
+            None => error_response(404, "no such route").into(),
         },
-        _ => error_response(404, "no such route"),
+        _ => error_response(404, "no such route").into(),
     }
 }
 
-/// `/v1/jobs/{id}` → `(id, false)`; `/v1/jobs/{id}/result` → `(id, true)`.
-fn parse_job_path(path: &str) -> Option<(u64, bool)> {
+/// The per-job sub-resources under `/v1/jobs/{id}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobRoute {
+    Status,
+    Result,
+    Trace,
+    TraceChrome,
+}
+
+/// `/v1/jobs/{id}[/result|/trace|/trace/chrome]`.
+fn parse_job_path(path: &str) -> Option<(u64, JobRoute)> {
     let rest = path.strip_prefix("/v1/jobs/")?;
-    let (id_part, result) = match rest.strip_suffix("/result") {
-        Some(id_part) => (id_part, true),
-        None => (rest, false),
+    let (id_part, route) = if let Some(id_part) = rest.strip_suffix("/trace/chrome") {
+        (id_part, JobRoute::TraceChrome)
+    } else if let Some(id_part) = rest.strip_suffix("/trace") {
+        (id_part, JobRoute::Trace)
+    } else if let Some(id_part) = rest.strip_suffix("/result") {
+        (id_part, JobRoute::Result)
+    } else {
+        (rest, JobRoute::Status)
     };
-    id_part.parse::<u64>().ok().map(|id| (id, result))
+    id_part.parse::<u64>().ok().map(|id| (id, route))
+}
+
+fn render_metrics(shared: &Shared) -> String {
+    let mut out = shared.metrics.render_prometheus(
+        shared.queue.depth(),
+        shared.queue.bound(),
+        shared.queue.is_draining(),
+        shared.started.elapsed().as_secs(),
+    );
+    render_counter(
+        &mut out,
+        "spur_serve_traces_evicted_total",
+        "Completed span traces evicted from the bounded retention ring.",
+        shared.spans.evicted_total(),
+    );
+    if let Some(slo) = &shared.slo {
+        let report = slo.peek(shared.spans.now_us());
+        render_gauge(
+            &mut out,
+            "spur_serve_slo_ok",
+            "1 while every declared SLO holds over the sliding window.",
+            report.ok as u64,
+        );
+        render_counter(
+            &mut out,
+            "spur_serve_slo_violations_total",
+            "Ticker evaluations at which any declared SLO failed.",
+            report.violations_total,
+        );
+        let mut first = true;
+        for target in &report.targets {
+            render_counter_labeled(
+                &mut out,
+                "spur_serve_slo_target_violations_total",
+                "Ticker evaluations at which this SLO target failed.",
+                &[("slo", target.name)],
+                target.violations_total,
+                first,
+            );
+            first = false;
+        }
+    }
+    out
 }
 
 fn healthz(shared: &Shared) -> Response {
@@ -493,13 +733,45 @@ fn healthz(shared: &Shared) -> Response {
     )
 }
 
-fn submit(shared: &Shared, request: &Request) -> Response {
+fn slo_report(shared: &Shared) -> Response {
+    match &shared.slo {
+        None => error_response(404, "no SLOs declared (start with --slo name=value)"),
+        Some(slo) => Response::json(
+            200,
+            slo.peek(shared.spans.now_us()).to_json().encode_pretty(),
+        ),
+    }
+}
+
+fn submit(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
+    let read_done_us = shared.spans.now_us();
     let spec = match parse_job_spec(&request.body) {
         Ok(spec) => spec,
-        Err(message) => return error_response_owned(400, message),
+        Err(message) => return error_response_owned(400, message).into(),
     };
     let key = spec.key();
+    let experiment = spec.experiment();
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+
+    // Open the request's trace retroactively from the accept instant;
+    // the accept and parse phases are already over, so they close with
+    // explicit timestamps.
+    let root = shared.spans.begin_trace("job", Some(accepted_us));
+    shared.spans.annotate(root, "job_id", id.to_string());
+    shared.spans.annotate(root, "key", key.clone());
+    let accept = shared
+        .spans
+        .begin_span(root, "accept", Some(accepted_us), 0);
+    shared.spans.end_span(accept, Some(read_done_us));
+    let parse_span = shared
+        .spans
+        .begin_span(root, "parse", Some(read_done_us), 0);
+    let parsed_us = shared.spans.now_us();
+    shared.spans.end_span(parse_span, Some(parsed_us));
+
+    let queue_span = shared
+        .spans
+        .begin_span(root, "queue_wait", Some(parsed_us), 0);
     lock_unpoisoned(&shared.jobs).insert(
         id,
         JobRecord {
@@ -508,32 +780,45 @@ fn submit(shared: &Shared, request: &Request) -> Response {
             artifact: None,
             error: None,
             wall_ms: None,
+            trace_id: root.trace,
+            experiment,
+            admitted_us: parsed_us,
         },
     );
     match shared.queue.try_push(QueuedJob {
         id,
         key: key.clone(),
         body: request.body.clone(),
-        enqueued: Instant::now(),
+        trace: root,
+        queue_span,
+        experiment,
     }) {
         Ok(depth) => {
             shared
                 .metrics
                 .jobs_submitted
                 .fetch_add(1, Ordering::Relaxed);
-            Response::json(
-                202,
-                Json::object([
-                    ("id", Json::UInt(id)),
-                    ("key", Json::Str(key)),
-                    ("status", Json::Str("queued".into())),
-                    ("queue_depth", Json::UInt(depth as u64)),
-                ])
-                .encode(),
-            )
+            shared
+                .spans
+                .annotate(queue_span, "depth_at_admit", depth.to_string());
+            Routed {
+                response: Response::json(
+                    202,
+                    Json::object([
+                        ("id", Json::UInt(id)),
+                        ("key", Json::Str(key)),
+                        ("status", Json::Str("queued".into())),
+                        ("queue_depth", Json::UInt(depth as u64)),
+                        ("trace_id", Json::UInt(root.trace)),
+                    ])
+                    .encode(),
+                ),
+                submitted: Some(root),
+            }
         }
         Err(PushError::Full(_)) => {
             lock_unpoisoned(&shared.jobs).remove(&id);
+            shared.spans.abandon(root.trace);
             shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
             Response::json(
                 429,
@@ -544,10 +829,12 @@ fn submit(shared: &Shared, request: &Request) -> Response {
                 .encode(),
             )
             .with_header("retry-after", "1".to_string())
+            .into()
         }
         Err(PushError::Draining(_)) => {
             lock_unpoisoned(&shared.jobs).remove(&id);
-            error_response(503, "draining")
+            shared.spans.abandon(root.trace);
+            error_response(503, "draining").into()
         }
     }
 }
@@ -564,6 +851,15 @@ fn job_status(shared: &Shared, id: u64) -> Response {
             "status".to_string(),
             Json::Str(record.state.as_str().into()),
         ),
+        ("trace_id".to_string(), Json::UInt(record.trace_id)),
+        (
+            "experiment".to_string(),
+            Json::Str(record.experiment.into()),
+        ),
+        // The queue's own admission timestamp (span clock, µs) — the
+        // reconciliation tests match the queue_wait span's start
+        // against this value exactly.
+        ("admitted_us".to_string(), Json::UInt(record.admitted_us)),
     ];
     if let Some(wall_ms) = record.wall_ms {
         fields.push(("wall_ms".to_string(), Json::UInt(wall_ms)));
@@ -595,6 +891,57 @@ fn job_result(shared: &Shared, id: u64) -> Response {
     }
 }
 
+/// `GET /v1/jobs/{id}/trace`: the request's span tree as JSON. Works
+/// mid-flight (`complete: false`) so a stuck job can be diagnosed live.
+fn job_trace(shared: &Shared, id: u64) -> Response {
+    let trace_id = {
+        let jobs = lock_unpoisoned(&shared.jobs);
+        match jobs.get(&id) {
+            None => return error_response(404, "no such job"),
+            Some(record) => record.trace_id,
+        }
+    };
+    match shared.spans.snapshot(trace_id) {
+        Some(trace) => {
+            let mut doc = trace.to_json();
+            if let Json::Obj(fields) = &mut doc {
+                fields.insert(0, ("job_id".to_string(), Json::UInt(id)));
+            }
+            Response::json(200, doc.encode_pretty())
+        }
+        None => error_response(404, "trace evicted from the retention ring"),
+    }
+}
+
+/// `GET /v1/jobs/{id}/trace/chrome`: server spans merged with the
+/// job's simulated-time event stream onto one Chrome-trace timeline.
+fn job_trace_chrome(shared: &Shared, id: u64) -> Response {
+    let trace_id = {
+        let jobs = lock_unpoisoned(&shared.jobs);
+        match jobs.get(&id) {
+            None => return error_response(404, "no such job"),
+            Some(record) => record.trace_id,
+        }
+    };
+    let Some(trace) = shared.spans.snapshot(trace_id) else {
+        return error_response(404, "trace evicted from the retention ring");
+    };
+    if !trace.complete {
+        return Response::json(
+            409,
+            Json::object([("error", Json::Str("job not finished".into()))]).encode(),
+        )
+        .with_header("retry-after", "1".to_string());
+    }
+    let sim_traces = lock_unpoisoned(&shared.sim_traces);
+    let sim = sim_traces
+        .iter()
+        .rev()
+        .find(|(job_id, _)| *job_id == id)
+        .map(|(_, doc)| doc);
+    Response::json(200, merged_chrome_trace(&trace, sim).encode_pretty())
+}
+
 fn error_response(status: u16, message: &str) -> Response {
     error_response_owned(status, message.to_string())
 }
@@ -612,11 +959,23 @@ mod tests {
 
     #[test]
     fn job_paths_parse_strictly() {
-        assert_eq!(parse_job_path("/v1/jobs/7"), Some((7, false)));
-        assert_eq!(parse_job_path("/v1/jobs/7/result"), Some((7, true)));
+        assert_eq!(parse_job_path("/v1/jobs/7"), Some((7, JobRoute::Status)));
+        assert_eq!(
+            parse_job_path("/v1/jobs/7/result"),
+            Some((7, JobRoute::Result))
+        );
+        assert_eq!(
+            parse_job_path("/v1/jobs/7/trace"),
+            Some((7, JobRoute::Trace))
+        );
+        assert_eq!(
+            parse_job_path("/v1/jobs/7/trace/chrome"),
+            Some((7, JobRoute::TraceChrome))
+        );
         assert_eq!(parse_job_path("/v1/jobs/"), None);
         assert_eq!(parse_job_path("/v1/jobs/abc"), None);
         assert_eq!(parse_job_path("/v1/jobs/7/logs"), None);
+        assert_eq!(parse_job_path("/v1/jobs/abc/trace"), None);
         assert_eq!(parse_job_path("/v2/jobs/7"), None);
     }
 }

@@ -12,12 +12,23 @@
 
 use std::sync::atomic::Ordering;
 
-use spur_serve::ServeMetrics;
+use spur_serve::{PhaseSample, ServeMetrics};
+
+fn sample(queue_wait_ms: u64, run_ms: u64, serialize_ms: u64, ok: bool) -> PhaseSample {
+    PhaseSample {
+        queue_wait_ms,
+        run_ms,
+        serialize_ms,
+        e2e_ms: queue_wait_ms + run_ms + serialize_ms,
+        ok,
+    }
+}
 
 /// A fixed, fully deterministic metrics state covering every series:
-/// counters at distinct values, both histograms populated (including a
-/// zero and a large sample so bucket edges are exercised), one retry,
-/// and a non-empty queue.
+/// counters at distinct values, span-derived phase samples across two
+/// experiment families (including a zero and a large duration so
+/// bucket edges are exercised), submit latencies, one retry, and a
+/// non-empty queue.
 fn canned_metrics() -> ServeMetrics {
     let m = ServeMetrics::new();
     m.http_requests.store(12, Ordering::Relaxed);
@@ -25,16 +36,19 @@ fn canned_metrics() -> ServeMetrics {
     m.jobs_submitted.store(5, Ordering::Relaxed);
     m.jobs_rejected.store(1, Ordering::Relaxed);
     m.jobs_retried.store(1, Ordering::Relaxed);
-    m.observe_job(0, 40, true);
-    m.observe_job(3, 55, true);
-    m.observe_job(7, 61, true);
-    m.observe_job(2, 9_000, false);
+    m.observe_submit(0);
+    m.observe_submit(2);
+    m.observe_phases("refbit", sample(0, 40, 1, true));
+    m.observe_phases("refbit", sample(3, 55, 1, true));
+    m.observe_phases("events", sample(7, 61, 2, true));
+    m.observe_phases("refbit", sample(2, 9_000, 1, false));
     m
 }
 
 #[test]
 fn metrics_exposition_matches_the_golden_file() {
-    let rendered = canned_metrics().render_prometheus(2, 64, false);
+    // Uptime is pinned: the golden file is byte-exact.
+    let rendered = canned_metrics().render_prometheus(2, 64, false, 123);
     let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(golden_path, &rendered).unwrap();
