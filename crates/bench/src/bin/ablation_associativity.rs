@@ -2,109 +2,28 @@
 //!
 //! Sun-3 must be direct-mapped (its synonym rule depends on aliases
 //! colliding on one line); SPUR's software synonym prevention makes
-//! associativity safe. This measures what a 2/4/8-way 128 KB virtual
-//! cache would have bought in miss ratio — and demonstrates the synonym
-//! hazard that bars the Sun-3 from the same move.
+//! associativity safe.
 //!
-//! Every (workload, ways) cell is a harness job (`--jobs N`
-//! parallelism); artifacts land in `results/json/`.
+//! Thin wrapper over the committed scenario config — see
+//! `scenarios/ablation_associativity.json` and the parity test in
+//! `tests/ablation_parity.rs`.
 
-use spur_bench::jobs::finish_run_obs;
-use spur_bench::{jobs_from_args, obs_from_args, print_header, scale_from_args};
-use spur_cache::assoc::{synonym_hazard_demo, SetAssocCache};
-use spur_cache::cache::VirtualCache;
-use spur_core::experiments::Scale;
-use spur_core::report::Table;
-use spur_harness::{run_jobs_with_progress, Job, JobOutput, Json, RunReport};
-use spur_trace::workloads::{slc, workload1, Workload};
-use spur_types::{Protection, CACHE_LINES};
+use spur_bench::{jobs_from_args, obs_from_args, scale_from_args};
+use spur_scenario::{run_legacy, RunnerOptions, Scenario};
 
-type NamedWorkload = (&'static str, fn() -> Workload);
-const WORKLOADS: [NamedWorkload; 2] = [("SLC", slc), ("WORKLOAD1", workload1)];
-const WAYS: [usize; 4] = [1, 2, 4, 8];
-
-fn key(workload: &str, ways: usize) -> String {
-    format!("assoc/{workload}/{ways}way")
-}
-
-fn miss_ratio_job(workload: &str, make: fn() -> Workload, ways: usize, scale: Scale) -> Job<f64> {
-    Job::new(key(workload, ways), move || {
-        let workload = make();
-        let mut misses = 0u64;
-        if ways == 1 {
-            // Direct-mapped reference point.
-            let mut cache = VirtualCache::prototype();
-            for r in workload.generator(scale.seed).take(scale.refs as usize) {
-                if !cache.probe(r.addr).hit {
-                    misses += 1;
-                    cache.fill_for_read(r.addr, Protection::ReadWrite, false);
-                }
-            }
-        } else {
-            let mut cache = SetAssocCache::new(CACHE_LINES as usize, ways);
-            for r in workload.generator(scale.seed).take(scale.refs as usize) {
-                if !cache.probe(r.addr) {
-                    misses += 1;
-                    cache.fill(r.addr, Protection::ReadWrite, false, false);
-                }
-            }
-        }
-        let ratio = misses as f64 / scale.refs as f64;
-        let artifact = Json::object([
-            ("workload", Json::from(workload.name())),
-            ("ways", Json::from(ways)),
-            ("misses", Json::from(misses)),
-            ("refs", Json::from(scale.refs)),
-            ("miss_ratio", Json::from(ratio)),
-        ]);
-        Ok(JobOutput::new(ratio, artifact))
-    })
-}
-
-fn assemble(report: &RunReport<f64>) -> Result<Table, String> {
-    let mut t = Table::new("128 KB virtual cache, miss ratio by associativity");
-    t.headers(&["Workload", "direct", "2-way", "4-way", "8-way"]);
-    for (name, _) in WORKLOADS {
-        let mut cells = vec![name.to_string()];
-        for ways in WAYS {
-            let ratio = report.require(&key(name, ways))?;
-            cells.push(format!("{:.2}%", 100.0 * ratio));
-        }
-        t.row(cells);
-    }
-    Ok(t)
-}
+const CONFIG: &str = include_str!("../../../../scenarios/ablation_associativity.json");
 
 fn main() {
-    let mut scale = scale_from_args();
-    scale.refs = scale.refs.min(6_000_000);
-    let workers = jobs_from_args();
-    // Raw cache models without a SpurSystem, so only the heartbeat and
-    // trace-flag plumbing apply; no per-job traces are produced.
+    let scenario = Scenario::parse_str(CONFIG).expect("committed scenario config is valid");
     let obs = obs_from_args();
-    print_header("ablation: cache associativity (miss ratio, no VM)", &scale);
-
-    let jobs = WORKLOADS
-        .iter()
-        .flat_map(|&(name, make)| WAYS.map(|ways| miss_ratio_job(name, make, ways, scale)))
-        .collect();
-    let report = run_jobs_with_progress(jobs, workers, obs.progress);
-    finish_run_obs(
-        "ablation_associativity",
-        &scale,
-        &report,
-        obs.trace_out.as_deref(),
-    );
-    match assemble(&report) {
-        Ok(t) => println!("{}", t.render()),
-        Err(e) => {
-            eprintln!("experiment failed: {e}");
-            std::process::exit(1);
-        }
-    }
-
-    let (direct, assoc) = synonym_hazard_demo();
-    println!("Synonym hazard demo (why Sun-3 cannot follow): one datum, two legal");
-    println!("Sun-3 aliases -> {direct} copy in a direct map, {assoc} incoherent copies 2-way.");
-    println!("SPUR's one-global-address rule is what makes associativity an option.");
+    let opts = RunnerOptions {
+        scale: Some(scale_from_args()),
+        workers: jobs_from_args(),
+        obs_enabled: obs.enabled,
+        epoch: obs.epoch,
+        trace_out: obs.trace_out,
+        progress: obs.progress,
+        persist: true,
+    };
+    std::process::exit(run_legacy(&scenario, &opts));
 }

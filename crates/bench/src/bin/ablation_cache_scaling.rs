@@ -2,67 +2,26 @@
 //! degrades as the cache grows (an infinite cache never misses, so the
 //! reference bit is never re-set and active pages look idle).
 //!
-//! Every cache size is a harness job (`--jobs N` parallelism);
-//! artifacts land in `results/json/`.
+//! Thin wrapper over the committed scenario config — see
+//! `scenarios/ablation_cache_scaling.json` and the parity test in
+//! `tests/ablation_parity.rs`.
 
-use spur_bench::jobs::{attach_obs, finish_run_obs};
-use spur_bench::{jobs_from_args, obs_from_args, print_header, scale_from_args};
-use spur_core::experiments::ablation::{
-    measure_cache_scaling_point_obs, render_cache_scaling, CacheScalingRow,
-};
-use spur_harness::{run_jobs_with_progress, Job, JobOutput, RunReport};
-use spur_trace::workloads::slc;
-use spur_types::MemSize;
+use spur_bench::{jobs_from_args, obs_from_args, scale_from_args};
+use spur_scenario::{run_legacy, RunnerOptions, Scenario};
 
-const CACHE_KBS: [usize; 4] = [32, 128, 512, 2048];
-
-fn key(kb: usize) -> String {
-    format!("cache_scaling/{kb:04}KB")
-}
-
-fn assemble(report: &RunReport<CacheScalingRow>) -> Result<Vec<CacheScalingRow>, String> {
-    CACHE_KBS
-        .iter()
-        .map(|&kb| report.require(&key(kb)).cloned())
-        .collect()
-}
+const CONFIG: &str = include_str!("../../../../scenarios/ablation_cache_scaling.json");
 
 fn main() {
-    let mut scale = scale_from_args();
-    scale.refs = scale.refs.min(8_000_000);
-    let workers = jobs_from_args();
+    let scenario = Scenario::parse_str(CONFIG).expect("committed scenario config is valid");
     let obs = obs_from_args();
-    let params = obs.params();
-    print_header("ablation: MISS approximation vs cache size", &scale);
-    let jobs = CACHE_KBS
-        .iter()
-        .map(|&kb| {
-            Job::new(key(kb), move || {
-                let workload = slc();
-                let (row, rep) =
-                    measure_cache_scaling_point_obs(&workload, MemSize::MB5, &scale, kb, params)
-                        .map_err(|e| e.to_string())?;
-                let artifact = row.to_json();
-                Ok(attach_obs(JobOutput::new(row, artifact), rep))
-            })
-        })
-        .collect();
-    let report = run_jobs_with_progress(jobs, workers, obs.progress);
-    finish_run_obs(
-        "ablation_cache_scaling",
-        &scale,
-        &report,
-        obs.trace_out.as_deref(),
-    );
-    match assemble(&report) {
-        Ok(rows) => {
-            println!("{}", render_cache_scaling(&rows));
-            println!("Expected trend: the MISS/REF page-in ratio grows with cache size,");
-            println!("and MISS's ref faults (its chances to re-set R) shrink.");
-        }
-        Err(e) => {
-            eprintln!("experiment failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    let opts = RunnerOptions {
+        scale: Some(scale_from_args()),
+        workers: jobs_from_args(),
+        obs_enabled: obs.enabled,
+        epoch: obs.epoch,
+        trace_out: obs.trace_out,
+        progress: obs.progress,
+        persist: true,
+    };
+    std::process::exit(run_legacy(&scenario, &opts));
 }

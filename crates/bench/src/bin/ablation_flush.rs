@@ -2,74 +2,27 @@
 //! tag-checked flush (Section 3.2's 2000-vs-500-cycle estimate), measured
 //! on real cache states.
 //!
-//! Each occupancy fraction is a harness job; artifacts land in
-//! `results/json/`.
+//! Thin wrapper over the committed scenario config — the matrix, keys,
+//! artifacts, and stdout all come from `scenarios/ablation_flush.json`
+//! through the `spur-scenario` engine, and `tests/ablation_parity.rs`
+//! certifies the output is byte-identical to the original binary's.
 
-use spur_bench::jobs::finish_run_obs;
 use spur_bench::{jobs_from_args, obs_from_args, scale_from_args};
-use spur_core::experiments::ablation::{flush_cost_comparison, FlushComparison};
-use spur_core::report::Table;
-use spur_harness::{run_jobs_with_progress, Job, JobOutput, RunReport};
-use spur_types::CostParams;
+use spur_scenario::{run_legacy, RunnerOptions, Scenario};
 
-const FRACS: [f64; 5] = [0.05, 0.10, 0.25, 0.50, 1.00];
-
-fn key(frac: f64) -> String {
-    format!("flush/{:03}pct", (frac * 100.0).round() as u64)
-}
-
-fn assemble(report: &RunReport<FlushComparison>) -> Result<Table, String> {
-    let mut t = Table::new("Page flush: tag-checked vs SPUR's tag-blind operation");
-    t.headers(&[
-        "page occupancy",
-        "checked flushed",
-        "checked cycles",
-        "blind flushed",
-        "blind cycles",
-        "collateral blocks",
-    ]);
-    for frac in FRACS {
-        let cmp = report.require(&key(frac))?;
-        t.row(vec![
-            format!("{:.0}%", frac * 100.0),
-            cmp.checked_flushed.to_string(),
-            cmp.checked_cycles.to_string(),
-            cmp.blind_flushed.to_string(),
-            cmp.blind_cycles.to_string(),
-            cmp.collateral.to_string(),
-        ]);
-    }
-    Ok(t)
-}
+const CONFIG: &str = include_str!("../../../../scenarios/ablation_flush.json");
 
 fn main() {
-    let scale = scale_from_args();
-    let workers = jobs_from_args();
-    // Analytic comparison on synthetic cache states — no SpurSystem event
-    // stream to trace, so only the heartbeat and flag plumbing apply.
+    let scenario = Scenario::parse_str(CONFIG).expect("committed scenario config is valid");
     let obs = obs_from_args();
-    let jobs = FRACS
-        .iter()
-        .map(|&frac| {
-            Job::new(key(frac), move || {
-                let cmp = flush_cost_comparison(frac, &CostParams::paper());
-                let artifact = cmp.to_json();
-                Ok(JobOutput::new(cmp, artifact))
-            })
-        })
-        .collect();
-    let report = run_jobs_with_progress(jobs, workers, obs.progress);
-    finish_run_obs("ablation_flush", &scale, &report, obs.trace_out.as_deref());
-    match assemble(&report) {
-        Ok(t) => {
-            println!("{}", t.render());
-            println!("Section 3.2 assumed ~10% occupancy: the checked flush lands near the");
-            println!("paper's ~500 cycles while the blind flush is several times costlier and");
-            println!("destroys aliasing blocks from unrelated pages.");
-        }
-        Err(e) => {
-            eprintln!("experiment failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    let opts = RunnerOptions {
+        scale: Some(scale_from_args()),
+        workers: jobs_from_args(),
+        obs_enabled: obs.enabled,
+        epoch: obs.epoch,
+        trace_out: obs.trace_out,
+        progress: obs.progress,
+        persist: true,
+    };
+    std::process::exit(run_legacy(&scenario, &opts));
 }

@@ -1,84 +1,30 @@
 //! Ablation: a periodically active page daemon (two-handed clock).
 //!
 //! With pressure-only sweeps, large memories never touch their reference
-//! bits and all three policies converge. Real 4.3BSD-era daemons ran
-//! periodically — "large systems spend lots of time searching for
-//! unreferenced pages" \[McKu85\], which is exactly the overhead the paper
-//! says NOREF saves. With the periodic hand enabled, the maintenance
-//! cost becomes visible at 8 MB and NOREF gets its shot at winning.
+//! bits and all three policies converge; the periodic hand makes the
+//! maintenance cost visible at 8 MB and gives NOREF its shot at winning
+//! (Section 4.2's crossover).
 //!
-//! Every (period, policy) cell is a harness job (`--jobs N`
-//! parallelism); artifacts land in `results/json/`.
+//! Thin wrapper over the committed scenario config — see
+//! `scenarios/ablation_periodic_daemon.json` and the parity test in
+//! `tests/ablation_parity.rs`.
 
-use spur_bench::jobs::{attach_obs, finish_run_obs};
-use spur_bench::{jobs_from_args, obs_from_args, print_header, scale_from_args};
-use spur_core::experiments::crossover::{measure_crossover_obs, render_crossover, CrossoverRow};
-use spur_harness::{run_jobs_with_progress, Job, JobOutput, RunReport};
-use spur_trace::workloads::workload1;
-use spur_types::MemSize;
-use spur_vm::policy::RefPolicy;
+use spur_bench::{jobs_from_args, obs_from_args, scale_from_args};
+use spur_scenario::{run_legacy, RunnerOptions, Scenario};
 
-const PERIODS: [Option<u64>; 3] = [None, Some(500_000), Some(100_000)];
-
-fn key(period: Option<u64>, policy: RefPolicy) -> String {
-    let p = period.map_or("off".to_string(), |p| format!("{p:07}"));
-    format!("crossover/{p}/{policy}")
-}
-
-fn assemble(report: &RunReport<CrossoverRow>) -> Result<Vec<CrossoverRow>, String> {
-    let mut rows = Vec::new();
-    for period in PERIODS {
-        for policy in RefPolicy::ALL {
-            rows.push(report.require(&key(period, policy))?.clone());
-        }
-    }
-    Ok(rows)
-}
+const CONFIG: &str = include_str!("../../../../scenarios/ablation_periodic_daemon.json");
 
 fn main() {
-    let mut scale = scale_from_args();
-    scale.refs = scale.refs.min(12_000_000);
-    let workers = jobs_from_args();
+    let scenario = Scenario::parse_str(CONFIG).expect("committed scenario config is valid");
     let obs = obs_from_args();
-    let params = obs.params();
-    print_header("ablation: periodic daemon (WORKLOAD1 @ 8 MB)", &scale);
-    let jobs = PERIODS
-        .iter()
-        .flat_map(|&period| {
-            RefPolicy::ALL.map(|policy| {
-                Job::new(key(period, policy), move || {
-                    let workload = workload1();
-                    let (row, rep) = measure_crossover_obs(
-                        &workload,
-                        MemSize::MB8,
-                        period,
-                        policy,
-                        &scale,
-                        params,
-                    )
-                    .map_err(|e| e.to_string())?;
-                    let artifact = row.to_json();
-                    Ok(attach_obs(JobOutput::new(row, artifact), rep))
-                })
-            })
-        })
-        .collect();
-    let report = run_jobs_with_progress(jobs, workers, obs.progress);
-    finish_run_obs(
-        "ablation_periodic_daemon",
-        &scale,
-        &report,
-        obs.trace_out.as_deref(),
-    );
-    let rows = match assemble(&report) {
-        Ok(rows) => rows,
-        Err(e) => {
-            eprintln!("experiment failed: {e}");
-            std::process::exit(1);
-        }
+    let opts = RunnerOptions {
+        scale: Some(scale_from_args()),
+        workers: jobs_from_args(),
+        obs_enabled: obs.enabled,
+        epoch: obs.epoch,
+        trace_out: obs.trace_out,
+        progress: obs.progress,
+        persist: true,
     };
-    println!("{}", render_crossover(&rows));
-    println!("Paper, Section 4.2 (WORKLOAD1 @ 8 MB): NOREF ran 2% FASTER than MISS");
-    println!("because maintaining bits nobody needs is pure overhead. The periodic");
-    println!("hand reproduces that crossover; pressure-only daemons hide it.");
+    std::process::exit(run_legacy(&scenario, &opts));
 }

@@ -2,60 +2,26 @@
 //! and the "just tune the fault handler" remark, evaluated on measured
 //! event frequencies.
 //!
-//! The one event measurement runs as a harness job so its counts land
-//! in `results/json/` like every other cell; the sensitivity sweeps are
-//! cheap arithmetic on the result.
+//! Thin wrapper over the committed scenario config — see
+//! `scenarios/ablation_sensitivity.json` and the parity test in
+//! `tests/ablation_parity.rs`.
 
-use spur_bench::jobs::{events_job_obs, finish_run_obs};
-use spur_bench::{jobs_from_args, obs_from_args, print_header, scale_from_args};
-use spur_core::experiments::ablation::{handler_tuning, render_handler_tuning, tdc_sensitivity};
-use spur_core::report::Table;
-use spur_harness::run_jobs_with_progress;
-use spur_trace::workloads::slc;
-use spur_types::MemSize;
+use spur_bench::{jobs_from_args, obs_from_args, scale_from_args};
+use spur_scenario::{run_legacy, RunnerOptions, Scenario};
+
+const CONFIG: &str = include_str!("../../../../scenarios/ablation_sensitivity.json");
 
 fn main() {
-    let scale = scale_from_args();
-    let workers = jobs_from_args();
+    let scenario = Scenario::parse_str(CONFIG).expect("committed scenario config is valid");
     let obs = obs_from_args();
-    print_header("ablation: cost-parameter sensitivity", &scale);
-    let jobs = vec![events_job_obs(
-        "sensitivity/SLC/5MB".to_string(),
-        slc,
-        MemSize::MB5,
-        scale,
-        obs.params(),
-    )];
-    let report = run_jobs_with_progress(jobs, workers, obs.progress);
-    finish_run_obs(
-        "ablation_sensitivity",
-        &scale,
-        &report,
-        obs.trace_out.as_deref(),
-    );
-    let row = match report.require("sensitivity/SLC/5MB") {
-        Ok(row) => row,
-        Err(e) => {
-            eprintln!("experiment failed: {e}");
-            std::process::exit(1);
-        }
+    let opts = RunnerOptions {
+        scale: Some(scale_from_args()),
+        workers: jobs_from_args(),
+        obs_enabled: obs.enabled,
+        epoch: obs.epoch,
+        trace_out: obs.trace_out,
+        progress: obs.progress,
+        persist: true,
     };
-
-    let mut t = Table::new("t_dc sensitivity: does WRITE ever stop losing?");
-    t.headers(&[
-        "t_dc",
-        "O(WRITE) Mcycles",
-        "worst other Mcycles",
-        "WRITE still worst?",
-    ]);
-    for r in tdc_sensitivity(&row.events) {
-        t.row(vec![
-            r.t_dc.to_string(),
-            format!("{:.3}", r.write_overhead.millions()),
-            format!("{:.3}", r.best_other.millions()),
-            if r.write_still_loses { "yes" } else { "no" }.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("{}", render_handler_tuning(&handler_tuning(&row.events)));
+    std::process::exit(run_legacy(&scenario, &opts));
 }

@@ -1,126 +1,29 @@
 //! Ablation: what Sprite's free-list soft faults are worth.
 //!
 //! A reclaimed page parks on the free queue and can be revalidated
-//! without I/O until its frame is actually reused. Without this window,
-//! every mis-reclaim of an active page costs a full page-in — and the
-//! NOREF policy (which mis-reclaims constantly, since every page looks
-//! unreferenced) goes from the paper's survivable +34-89% page-ins to
-//! catastrophic thrashing.
+//! without I/O until its frame is actually reused; without this window
+//! NOREF's constant mis-reclaims cost full page-ins.
 //!
-//! Every (policy, window) cell is a harness job (`--jobs N`
-//! parallelism); artifacts land in `results/json/`.
+//! Thin wrapper over the committed scenario config — see
+//! `scenarios/ablation_soft_faults.json` and the parity test in
+//! `tests/ablation_parity.rs`.
 
-use spur_bench::jobs::{attach_obs, finish_run_obs};
-use spur_bench::{jobs_from_args, obs_from_args, print_header, scale_from_args};
-use spur_core::dirty::DirtyPolicy;
-use spur_core::report::Table;
-use spur_core::system::{SimConfig, SpurSystem};
-use spur_harness::{run_jobs_with_progress, Job, JobOutput, Json, RunReport};
-use spur_trace::workloads::workload1;
-use spur_types::MemSize;
-use spur_vm::policy::RefPolicy;
+use spur_bench::{jobs_from_args, obs_from_args, scale_from_args};
+use spur_scenario::{run_legacy, RunnerOptions, Scenario};
 
-struct Row {
-    page_ins: u64,
-    soft_faults: u64,
-    elapsed_secs: f64,
-}
-
-const POLICIES: [RefPolicy; 2] = [RefPolicy::Miss, RefPolicy::Noref];
-
-fn key(policy: RefPolicy, enabled: bool) -> String {
-    format!(
-        "soft_faults/{policy}/{}",
-        if enabled { "on" } else { "off" }
-    )
-}
-
-fn assemble(report: &RunReport<Row>) -> Result<Table, String> {
-    let mut t = Table::new("Soft-fault window on/off");
-    t.headers(&[
-        "Policy",
-        "Soft faults",
-        "Page-Ins",
-        "Soft-faults taken",
-        "Elapsed(s)",
-    ]);
-    for policy in POLICIES {
-        for enabled in [true, false] {
-            let row = report.require(&key(policy, enabled))?;
-            t.row(vec![
-                policy.to_string(),
-                if enabled { "on" } else { "off" }.to_string(),
-                row.page_ins.to_string(),
-                row.soft_faults.to_string(),
-                format!("{:.1}", row.elapsed_secs),
-            ]);
-        }
-    }
-    Ok(t)
-}
+const CONFIG: &str = include_str!("../../../../scenarios/ablation_soft_faults.json");
 
 fn main() {
-    let mut scale = scale_from_args();
-    scale.refs = scale.refs.min(6_000_000);
-    let workers = jobs_from_args();
+    let scenario = Scenario::parse_str(CONFIG).expect("committed scenario config is valid");
     let obs = obs_from_args();
-    let params = obs.params();
-    print_header("ablation: free-list soft faults (WORKLOAD1 @ 5 MB)", &scale);
-    let jobs = POLICIES
-        .iter()
-        .flat_map(|&policy| {
-            [true, false].map(|enabled| {
-                Job::new(key(policy, enabled), move || {
-                    let workload = workload1();
-                    let mut sim = SpurSystem::new(SimConfig {
-                        mem: MemSize::MB5,
-                        dirty: DirtyPolicy::Spur,
-                        ref_policy: policy,
-                        soft_faults: enabled,
-                        ..SimConfig::default()
-                    })
-                    .map_err(|e| e.to_string())?;
-                    if let Some(p) = params {
-                        sim.enable_obs(p);
-                    }
-                    sim.load_workload(&workload).map_err(|e| e.to_string())?;
-                    sim.run(&mut workload.generator(scale.seed), scale.refs)
-                        .map_err(|e| e.to_string())?;
-                    let rep = sim.finish_obs();
-                    let stats = sim.vm().stats();
-                    let row = Row {
-                        page_ins: stats.page_ins,
-                        soft_faults: stats.soft_faults,
-                        elapsed_secs: sim.events().elapsed_seconds(),
-                    };
-                    let artifact = Json::object([
-                        ("policy", Json::from(policy.to_string())),
-                        ("soft_faults_enabled", Json::from(enabled)),
-                        ("page_ins", Json::from(row.page_ins)),
-                        ("soft_faults_taken", Json::from(row.soft_faults)),
-                        ("elapsed_secs", Json::from(row.elapsed_secs)),
-                    ]);
-                    Ok(attach_obs(JobOutput::new(row, artifact), rep))
-                })
-            })
-        })
-        .collect();
-    let report = run_jobs_with_progress(jobs, workers, obs.progress);
-    finish_run_obs(
-        "ablation_soft_faults",
-        &scale,
-        &report,
-        obs.trace_out.as_deref(),
-    );
-    match assemble(&report) {
-        Ok(t) => {
-            println!("{}", t.render());
-            println!("Expected: MISS barely changes (its R bits already protect hot pages),");
-            println!("but NOREF without the soft-fault window thrashes.");
-        }
-        Err(e) => {
-            eprintln!("run failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    let opts = RunnerOptions {
+        scale: Some(scale_from_args()),
+        workers: jobs_from_args(),
+        obs_enabled: obs.enabled,
+        epoch: obs.epoch,
+        trace_out: obs.trace_out,
+        progress: obs.progress,
+        persist: true,
+    };
+    std::process::exit(run_legacy(&scenario, &opts));
 }

@@ -3,120 +3,26 @@
 //! window is the only thing standing between its FIFO-ish reclaims and
 //! full page-in costs. MISS barely cares.
 //!
-//! Every (watermark, policy) cell is a harness job (`--jobs N`
-//! parallelism); artifacts land in `results/json/`.
+//! Thin wrapper over the committed scenario config — see
+//! `scenarios/ablation_watermarks.json` and the parity test in
+//! `tests/ablation_parity.rs`.
 
-use spur_bench::jobs::{attach_obs, finish_run_obs};
-use spur_bench::{jobs_from_args, obs_from_args, print_header, scale_from_args};
-use spur_core::dirty::DirtyPolicy;
-use spur_core::report::Table;
-use spur_core::system::{SimConfig, SpurSystem};
-use spur_harness::{run_jobs_with_progress, Job, JobOutput, Json, RunReport};
-use spur_trace::workloads::workload1;
-use spur_types::MemSize;
-use spur_vm::policy::RefPolicy;
+use spur_bench::{jobs_from_args, obs_from_args, scale_from_args};
+use spur_scenario::{run_legacy, RunnerOptions, Scenario};
 
-struct Row {
-    page_ins: u64,
-    soft_faults: u64,
-    elapsed_secs: f64,
-}
-
-const HIGHS: [u32; 5] = [32, 64, 107, 160, 320];
-const POLICIES: [RefPolicy; 2] = [RefPolicy::Miss, RefPolicy::Noref];
-
-fn key(high: u32, policy: RefPolicy) -> String {
-    format!("watermarks/{high:03}/{policy}")
-}
-
-fn assemble(report: &RunReport<Row>) -> Result<Table, String> {
-    let mut t = Table::new("High watermark (= soft-fault window) vs paging");
-    t.headers(&[
-        "high water",
-        "policy",
-        "page-ins",
-        "soft faults",
-        "elapsed(s)",
-    ]);
-    for high in HIGHS {
-        for policy in POLICIES {
-            let row = report.require(&key(high, policy))?;
-            t.row(vec![
-                high.to_string(),
-                policy.to_string(),
-                row.page_ins.to_string(),
-                row.soft_faults.to_string(),
-                format!("{:.1}", row.elapsed_secs),
-            ]);
-        }
-    }
-    Ok(t)
-}
+const CONFIG: &str = include_str!("../../../../scenarios/ablation_watermarks.json");
 
 fn main() {
-    let mut scale = scale_from_args();
-    scale.refs = scale.refs.min(6_000_000);
-    let workers = jobs_from_args();
+    let scenario = Scenario::parse_str(CONFIG).expect("committed scenario config is valid");
     let obs = obs_from_args();
-    let params = obs.params();
-    print_header("ablation: daemon watermarks (WORKLOAD1 @ 5 MB)", &scale);
-    let jobs = HIGHS
-        .iter()
-        .flat_map(|&high| {
-            POLICIES.map(|policy| {
-                Job::new(key(high, policy), move || {
-                    let workload = workload1();
-                    let mut sim = SpurSystem::new(SimConfig {
-                        mem: MemSize::MB5,
-                        dirty: DirtyPolicy::Spur,
-                        ref_policy: policy,
-                        free_low_water: (high / 4).max(8),
-                        free_high_water: high,
-                        ..SimConfig::default()
-                    })
-                    .map_err(|e| e.to_string())?;
-                    if let Some(p) = params {
-                        sim.enable_obs(p);
-                    }
-                    sim.load_workload(&workload).map_err(|e| e.to_string())?;
-                    sim.run(&mut workload.generator(scale.seed), scale.refs)
-                        .map_err(|e| e.to_string())?;
-                    let rep = sim.finish_obs();
-                    let stats = sim.vm().stats();
-                    let row = Row {
-                        page_ins: stats.page_ins,
-                        soft_faults: stats.soft_faults,
-                        elapsed_secs: sim.events().elapsed_seconds(),
-                    };
-                    let artifact = Json::object([
-                        ("free_high_water", Json::from(high)),
-                        ("policy", Json::from(policy.to_string())),
-                        ("page_ins", Json::from(row.page_ins)),
-                        ("soft_faults_taken", Json::from(row.soft_faults)),
-                        ("elapsed_secs", Json::from(row.elapsed_secs)),
-                    ]);
-                    Ok(attach_obs(JobOutput::new(row, artifact), rep))
-                })
-            })
-        })
-        .collect();
-    let report = run_jobs_with_progress(jobs, workers, obs.progress);
-    finish_run_obs(
-        "ablation_watermarks",
-        &scale,
-        &report,
-        obs.trace_out.as_deref(),
-    );
-    match assemble(&report) {
-        Ok(t) => {
-            println!("{}", t.render());
-            println!("The window trades resident capacity for forgiveness: tiny windows");
-            println!("punish NOREF's mis-reclaims with page-ins; huge ones shrink usable");
-            println!("memory and push page-ins up for everyone.");
-        }
-        Err(e) => {
-            eprintln!("run failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    let opts = RunnerOptions {
+        scale: Some(scale_from_args()),
+        workers: jobs_from_args(),
+        obs_enabled: obs.enabled,
+        epoch: obs.epoch,
+        trace_out: obs.trace_out,
+        progress: obs.progress,
+        persist: true,
+    };
+    std::process::exit(run_legacy(&scenario, &opts));
 }

@@ -1,0 +1,643 @@
+//! Matrix expansion: one scenario → stable-keyed harness jobs.
+//!
+//! Every cell a scenario expands to is built from the same measure
+//! functions and `spur_core::jobs` builders the legacy `ablation_*`
+//! binaries call, with the same keys and the same artifact encodings
+//! — so a cell run through a scenario writes the byte-identical
+//! artifact the binary wrote. The parity test in
+//! `tests/ablation_parity.rs` certifies this claim per key, per byte.
+
+use spur_cache::assoc::SetAssocCache;
+use spur_cache::cache::VirtualCache;
+use spur_check::lockstep::Lockstep;
+use spur_core::dirty::DirtyPolicy;
+use spur_core::experiments::ablation::{
+    flush_cost_comparison, measure_cache_scaling_point_obs, CacheScalingRow, FlushComparison,
+};
+use spur_core::experiments::crossover::{measure_crossover_obs, CrossoverRow};
+use spur_core::experiments::events::EventRow;
+use spur_core::experiments::Scale;
+use spur_core::jobs::{attach_obs, events_job_for};
+use spur_core::obs::ObsParams;
+use spur_core::system::{SimConfig, SimOverrides, SpurSystem};
+use spur_core::EventCounts;
+use spur_harness::{Job, JobOutput, Json};
+use spur_trace::record::RecordedTrace;
+use spur_trace::workloads::{slc, workload1, Workload};
+use spur_types::{CostParams, MemSize, Protection, CACHE_LINES};
+use spur_vm::policy::RefPolicy;
+
+use crate::config::{Kind, Scenario};
+
+/// The typed result of one cell — what the legacy binaries' `Job<T>`
+/// values were, unified so one report type covers every kind. The
+/// artifact JSON (what lands on disk) is built per kind exactly as the
+/// legacy binary built it; this enum only feeds the renderers.
+#[derive(Debug, Clone)]
+pub enum CellValue {
+    /// A `flush` cell.
+    Flush(FlushComparison),
+    /// An `assoc` cell: the miss ratio.
+    MissRatio(f64),
+    /// A `cache_scaling` cell.
+    CacheScaling(CacheScalingRow),
+    /// A `crossover` cell.
+    Crossover(CrossoverRow),
+    /// An `events` cell.
+    Events(EventRow),
+    /// A `soft_faults` or `watermarks` cell.
+    Paging(PagingCell),
+    /// A `sim` cell.
+    Sim(SimCell),
+}
+
+/// Paging outcome of one inline `SpurSystem` run (the legacy
+/// soft-fault and watermark binaries' row type).
+#[derive(Debug, Clone, Copy)]
+pub struct PagingCell {
+    /// Pages read from backing store.
+    pub page_ins: u64,
+    /// Free-list soft faults taken.
+    pub soft_faults: u64,
+    /// Modeled elapsed seconds.
+    pub elapsed_secs: f64,
+}
+
+/// One general policy-matrix point.
+#[derive(Debug, Clone, Copy)]
+pub struct SimCell {
+    /// Necessary dirty-bit faults plus policy-induced excess
+    /// (`n_ds + n_ef`) — the paper's cross-policy comparison metric.
+    pub dirty_faults: u64,
+    /// Pages read from backing store.
+    pub page_ins: u64,
+    /// Free-list soft faults taken.
+    pub soft_faults: u64,
+    /// Modeled elapsed seconds.
+    pub elapsed_secs: f64,
+    /// The full event counters.
+    pub events: EventCounts,
+}
+
+/// One expanded cell: its stable job key and its axis coordinates
+/// (declared-axis order), separate from the runnable job so callers
+/// can enumerate cells without running anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// The harness job key (identical to the legacy binary's).
+    pub key: String,
+    /// (axis, value) pairs, one per declared axis.
+    pub coords: Vec<(String, Json)>,
+}
+
+impl Cell {
+    /// The coordinate on `axis`, if that axis is declared.
+    pub fn coord(&self, axis: &str) -> Option<&Json> {
+        self.coords.iter().find(|(a, _)| a == axis).map(|(_, v)| v)
+    }
+}
+
+/// The `flush` kind's cell key (identical to `ablation_flush`).
+pub fn flush_key(pct: u64) -> String {
+    format!("flush/{pct:03}pct")
+}
+
+/// The `assoc` kind's cell key (identical to `ablation_associativity`).
+pub fn assoc_key(workload: &str, ways: usize) -> String {
+    format!("assoc/{workload}/{ways}way")
+}
+
+/// The `cache_scaling` kind's cell key.
+pub fn cache_scaling_key(kb: usize) -> String {
+    format!("cache_scaling/{kb:04}KB")
+}
+
+/// The `crossover` kind's cell key (identical to
+/// `ablation_periodic_daemon`).
+pub fn crossover_key(period: Option<u64>, policy: RefPolicy) -> String {
+    let p = period.map_or("off".to_string(), |p| format!("{p:07}"));
+    format!("crossover/{p}/{policy}")
+}
+
+/// The `events` kind's cell key (`sensitivity/SLC/5MB` with the
+/// matching prefix — identical to `ablation_sensitivity`).
+pub fn events_key(prefix: &str, workload: &str, mb: u32) -> String {
+    format!("{prefix}/{workload}/{mb}MB")
+}
+
+/// The `soft_faults` kind's cell key.
+pub fn soft_faults_key(policy: RefPolicy, enabled: bool) -> String {
+    format!(
+        "soft_faults/{policy}/{}",
+        if enabled { "on" } else { "off" }
+    )
+}
+
+/// The `watermarks` kind's cell key.
+pub fn watermarks_key(high: u32, policy: RefPolicy) -> String {
+    format!("watermarks/{high:03}/{policy}")
+}
+
+/// The `sim` kind's cell key: every effective coordinate appears, so
+/// adding an axis later never re-keys existing cells.
+pub fn sim_key(
+    workload: &str,
+    mb: u32,
+    dirty: DirtyPolicy,
+    policy: RefPolicy,
+    cpus: usize,
+) -> String {
+    format!("sim/{workload}/{mb}MB/{dirty}/{policy}/{cpus}cpu")
+}
+
+fn coord_u64(cell: &Cell, axis: &str) -> u64 {
+    match cell.coord(axis) {
+        Some(Json::UInt(u)) => *u,
+        Some(Json::Int(i)) => *i as u64,
+        _ => unreachable!("validated {axis} coordinate"),
+    }
+}
+
+fn coord_str<'a>(cell: &'a Cell, axis: &str) -> &'a str {
+    match cell.coord(axis) {
+        Some(Json::Str(s)) => s,
+        _ => unreachable!("validated {axis} coordinate"),
+    }
+}
+
+/// Builds the workload named by a canonical axis value.
+fn axis_workload(name: &str) -> (&'static str, fn() -> Workload) {
+    match name {
+        "SLC" => ("SLC", slc),
+        _ => ("WORKLOAD1", workload1),
+    }
+}
+
+/// The effective memory size for kinds with a scenario-level `mem_mb`.
+fn scenario_mem(s: &Scenario) -> MemSize {
+    MemSize::new(s.mem_mb.expect("kind shape requires mem_mb"))
+}
+
+/// The cartesian product of the declared axes, first axis outermost —
+/// the same nesting order as the legacy binaries' loops.
+fn cartesian(scenario: &Scenario) -> Vec<Vec<(String, Json)>> {
+    let mut combos: Vec<Vec<(String, Json)>> = vec![Vec::new()];
+    for axis in &scenario.axes {
+        let mut next = Vec::with_capacity(combos.len() * axis.values.len());
+        for combo in &combos {
+            for value in &axis.values {
+                let mut c = combo.clone();
+                c.push((axis.name.clone(), value.clone()));
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+/// Expands a validated scenario into its cells and runnable jobs at
+/// the given (already resolved and clamped) scale.
+///
+/// # Errors
+///
+/// Returns a message naming the colliding key if two cells expand to
+/// the same key (a backstop — axis-level duplicate detection should
+/// make this unreachable).
+pub fn expand(
+    scenario: &Scenario,
+    scale: Scale,
+    obs: Option<ObsParams>,
+) -> Result<Vec<(Cell, Job<CellValue>)>, String> {
+    let mut cells = Vec::new();
+    for coords in cartesian(scenario) {
+        let cell = Cell {
+            key: String::new(),
+            coords,
+        };
+        let (key, job) = build_cell(scenario, &cell, scale, obs)?;
+        if cells.iter().any(|(c, _): &(Cell, _)| c.key == key) {
+            return Err(format!("matrix: cells collide on key {key:?}"));
+        }
+        cells.push((
+            Cell {
+                key,
+                coords: cell.coords,
+            },
+            job,
+        ));
+    }
+    Ok(cells)
+}
+
+/// [`expand`] without jobs, for `explain` and serve-side planning.
+pub fn enumerate(scenario: &Scenario, scale: Scale) -> Result<Vec<Cell>, String> {
+    expand(scenario, scale, None).map(|cells| cells.into_iter().map(|(c, _)| c).collect())
+}
+
+fn build_cell(
+    scenario: &Scenario,
+    cell: &Cell,
+    scale: Scale,
+    obs: Option<ObsParams>,
+) -> Result<(String, Job<CellValue>), String> {
+    match scenario.kind {
+        Kind::Flush => {
+            let pct = coord_u64(cell, "occupancy_pct");
+            let frac = pct as f64 / 100.0;
+            let key = flush_key(pct);
+            let job = Job::new(key.clone(), move || {
+                let cmp = flush_cost_comparison(frac, &CostParams::paper());
+                let artifact = cmp.to_json();
+                Ok(JobOutput::new(CellValue::Flush(cmp), artifact))
+            });
+            Ok((key, job))
+        }
+        Kind::Assoc => {
+            let (name, make) = axis_workload(coord_str(cell, "workload"));
+            let ways = coord_u64(cell, "ways") as usize;
+            let key = assoc_key(name, ways);
+            let job = Job::new(key.clone(), move || {
+                let workload = make();
+                let mut misses = 0u64;
+                if ways == 1 {
+                    // Direct-mapped reference point.
+                    let mut cache = VirtualCache::prototype();
+                    for r in workload.generator(scale.seed).take(scale.refs as usize) {
+                        if !cache.probe(r.addr).hit {
+                            misses += 1;
+                            cache.fill_for_read(r.addr, Protection::ReadWrite, false);
+                        }
+                    }
+                } else {
+                    let mut cache = SetAssocCache::new(CACHE_LINES as usize, ways);
+                    for r in workload.generator(scale.seed).take(scale.refs as usize) {
+                        if !cache.probe(r.addr) {
+                            misses += 1;
+                            cache.fill(r.addr, Protection::ReadWrite, false, false);
+                        }
+                    }
+                }
+                let ratio = misses as f64 / scale.refs as f64;
+                let artifact = Json::object([
+                    ("workload", Json::from(workload.name())),
+                    ("ways", Json::from(ways)),
+                    ("misses", Json::from(misses)),
+                    ("refs", Json::from(scale.refs)),
+                    ("miss_ratio", Json::from(ratio)),
+                ]);
+                Ok(JobOutput::new(CellValue::MissRatio(ratio), artifact))
+            });
+            Ok((key, job))
+        }
+        Kind::CacheScaling => {
+            let kb = coord_u64(cell, "cache_kb") as usize;
+            let mem = scenario_mem(scenario);
+            let source = scenario.workload.clone().expect("kind shape");
+            let key = cache_scaling_key(kb);
+            let job = Job::new(key.clone(), move || {
+                let workload = source.workload();
+                let (row, rep) = measure_cache_scaling_point_obs(&workload, mem, &scale, kb, obs)
+                    .map_err(|e| e.to_string())?;
+                let artifact = row.to_json();
+                Ok(attach_obs(
+                    JobOutput::new(CellValue::CacheScaling(row), artifact),
+                    rep,
+                ))
+            });
+            Ok((key, job))
+        }
+        Kind::Crossover => {
+            let period = match cell.coord("period") {
+                Some(Json::Null) => None,
+                Some(Json::UInt(p)) => Some(*p),
+                _ => unreachable!("validated period coordinate"),
+            };
+            let policy: RefPolicy = coord_str(cell, "ref").parse().expect("canonical policy");
+            let mem = scenario_mem(scenario);
+            let source = scenario.workload.clone().expect("kind shape");
+            let key = crossover_key(period, policy);
+            let job = Job::new(key.clone(), move || {
+                let workload = source.workload();
+                let (row, rep) = measure_crossover_obs(&workload, mem, period, policy, &scale, obs)
+                    .map_err(|e| e.to_string())?;
+                let artifact = row.to_json();
+                Ok(attach_obs(
+                    JobOutput::new(CellValue::Crossover(row), artifact),
+                    rep,
+                ))
+            });
+            Ok((key, job))
+        }
+        Kind::Events => {
+            let (name, make) = axis_workload(coord_str(cell, "workload"));
+            let mb = coord_u64(cell, "mem_mb") as u32;
+            let prefix = scenario.key_prefix.as_deref().unwrap_or("table_3_3");
+            let key = events_key(prefix, name, mb);
+            let job = events_job_for(
+                key.clone(),
+                make,
+                MemSize::new(mb),
+                scale,
+                obs,
+                SimOverrides::default(),
+            )
+            .map(CellValue::Events);
+            Ok((key, job))
+        }
+        Kind::SoftFaults => {
+            let policy: RefPolicy = coord_str(cell, "ref").parse().expect("canonical policy");
+            let enabled = matches!(cell.coord("soft_faults"), Some(Json::Bool(true)));
+            let mem = scenario_mem(scenario);
+            let source = scenario.workload.clone().expect("kind shape");
+            let key = soft_faults_key(policy, enabled);
+            let job = Job::new(key.clone(), move || {
+                let workload = source.workload();
+                let mut sim = SpurSystem::new(SimConfig {
+                    mem,
+                    dirty: DirtyPolicy::Spur,
+                    ref_policy: policy,
+                    soft_faults: enabled,
+                    ..SimConfig::default()
+                })
+                .map_err(|e| e.to_string())?;
+                if let Some(p) = obs {
+                    sim.enable_obs(p);
+                }
+                sim.load_workload(&workload).map_err(|e| e.to_string())?;
+                sim.run(&mut workload.generator(scale.seed), scale.refs)
+                    .map_err(|e| e.to_string())?;
+                let rep = sim.finish_obs();
+                let stats = sim.vm().stats();
+                let row = PagingCell {
+                    page_ins: stats.page_ins,
+                    soft_faults: stats.soft_faults,
+                    elapsed_secs: sim.events().elapsed_seconds(),
+                };
+                let artifact = Json::object([
+                    ("policy", Json::from(policy.to_string())),
+                    ("soft_faults_enabled", Json::from(enabled)),
+                    ("page_ins", Json::from(row.page_ins)),
+                    ("soft_faults_taken", Json::from(row.soft_faults)),
+                    ("elapsed_secs", Json::from(row.elapsed_secs)),
+                ]);
+                Ok(attach_obs(
+                    JobOutput::new(CellValue::Paging(row), artifact),
+                    rep,
+                ))
+            });
+            Ok((key, job))
+        }
+        Kind::Watermarks => {
+            let high = coord_u64(cell, "high_water") as u32;
+            let policy: RefPolicy = coord_str(cell, "ref").parse().expect("canonical policy");
+            let mem = scenario_mem(scenario);
+            let source = scenario.workload.clone().expect("kind shape");
+            let key = watermarks_key(high, policy);
+            let job = Job::new(key.clone(), move || {
+                let workload = source.workload();
+                let mut sim = SpurSystem::new(SimConfig {
+                    mem,
+                    dirty: DirtyPolicy::Spur,
+                    ref_policy: policy,
+                    free_low_water: (high / 4).max(8),
+                    free_high_water: high,
+                    ..SimConfig::default()
+                })
+                .map_err(|e| e.to_string())?;
+                if let Some(p) = obs {
+                    sim.enable_obs(p);
+                }
+                sim.load_workload(&workload).map_err(|e| e.to_string())?;
+                sim.run(&mut workload.generator(scale.seed), scale.refs)
+                    .map_err(|e| e.to_string())?;
+                let rep = sim.finish_obs();
+                let stats = sim.vm().stats();
+                let row = PagingCell {
+                    page_ins: stats.page_ins,
+                    soft_faults: stats.soft_faults,
+                    elapsed_secs: sim.events().elapsed_seconds(),
+                };
+                let artifact = Json::object([
+                    ("free_high_water", Json::from(high)),
+                    ("policy", Json::from(policy.to_string())),
+                    ("page_ins", Json::from(row.page_ins)),
+                    ("soft_faults_taken", Json::from(row.soft_faults)),
+                    ("elapsed_secs", Json::from(row.elapsed_secs)),
+                ]);
+                Ok(attach_obs(
+                    JobOutput::new(CellValue::Paging(row), artifact),
+                    rep,
+                ))
+            });
+            Ok((key, job))
+        }
+        Kind::Sim => build_sim_cell(scenario, cell, scale, obs),
+    }
+}
+
+/// The general matrix point: one full `SpurSystem` (or lockstep
+/// oracle) run per (mem, dirty, ref, cpus) coordinate, over a builtin
+/// workload, a spec, or a recorded trace.
+fn build_sim_cell(
+    scenario: &Scenario,
+    cell: &Cell,
+    scale: Scale,
+    obs: Option<ObsParams>,
+) -> Result<(String, Job<CellValue>), String> {
+    let mb = coord_u64(cell, "mem_mb") as u32;
+    let dirty: DirtyPolicy = match cell.coord("dirty") {
+        Some(Json::Str(s)) => s.parse().expect("canonical policy"),
+        _ => DirtyPolicy::Spur,
+    };
+    let policy: RefPolicy = match cell.coord("ref") {
+        Some(Json::Str(s)) => s.parse().expect("canonical policy"),
+        _ => RefPolicy::Miss,
+    };
+    let cpus = match cell.coord("cpus") {
+        Some(Json::UInt(n)) => *n as usize,
+        _ => 1,
+    };
+    let source = scenario.workload.clone().expect("kind shape");
+    let name = source.workload().name().to_string();
+    let key = sim_key(&name, mb, dirty, policy, cpus);
+    let lockstep = scenario.run.lockstep;
+
+    let job = Job::new(key.clone(), move || {
+        let workload = source.workload();
+        let cfg = SimConfig {
+            mem: MemSize::new(mb),
+            dirty,
+            ref_policy: policy,
+            cpus,
+            ..SimConfig::default()
+        };
+        let trace = match source.trace_path() {
+            None => None,
+            Some(path) => Some(
+                RecordedTrace::load(path)
+                    .map_err(|e| format!("loading recorded trace {path:?}: {e}"))?,
+            ),
+        };
+        let (ev, page_ins, soft_faults, rep) = if lockstep {
+            let mut check = Lockstep::new(cfg)?;
+            check.load_workload(&workload)?;
+            let run_result = match &trace {
+                Some(t) => check.run(&mut t.iter(), scale.refs),
+                None => check.run(&mut workload.generator(scale.seed), scale.refs),
+            };
+            run_result.map_err(|d| format!("lockstep divergence: {d}"))?;
+            let sys = check.system();
+            let stats = sys.vm().stats();
+            (sys.events(), stats.page_ins, stats.soft_faults, None)
+        } else {
+            let mut sim = SpurSystem::new(cfg).map_err(|e| e.to_string())?;
+            if let Some(p) = obs {
+                sim.enable_obs(p);
+            }
+            sim.load_workload(&workload).map_err(|e| e.to_string())?;
+            match &trace {
+                Some(t) => sim.run(&mut t.iter(), scale.refs),
+                None => sim.run(&mut workload.generator(scale.seed), scale.refs),
+            }
+            .map_err(|e| e.to_string())?;
+            let rep = sim.finish_obs();
+            let stats = sim.vm().stats();
+            (sim.events(), stats.page_ins, stats.soft_faults, rep)
+        };
+        let row = SimCell {
+            dirty_faults: ev.n_ds + ev.n_ef,
+            page_ins,
+            soft_faults,
+            elapsed_secs: ev.elapsed_seconds(),
+            events: ev,
+        };
+        let artifact = Json::object([
+            ("workload", Json::from(workload.name())),
+            ("mem_mb", Json::from(mb)),
+            ("dirty", Json::from(dirty.to_string())),
+            ("ref", Json::from(policy.to_string())),
+            ("cpus", Json::from(cpus)),
+            ("dirty_faults", Json::from(row.dirty_faults)),
+            ("page_ins", Json::from(row.page_ins)),
+            ("soft_faults_taken", Json::from(row.soft_faults)),
+            ("elapsed_secs", Json::from(row.elapsed_secs)),
+            ("events", ev.to_json()),
+        ]);
+        Ok(attach_obs(
+            JobOutput::new(CellValue::Sim(row), artifact),
+            rep,
+        ))
+    });
+    Ok((key, job))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(cfg: &str) -> Scenario {
+        Scenario::parse_str(cfg).unwrap()
+    }
+
+    #[test]
+    fn expansion_keys_match_the_legacy_schemes() {
+        let s = parse(
+            r#"{"schema_version":1,"name":"t","experiment":"crossover",
+                "workload":"WORKLOAD1","mem_mb":8,
+                "matrix":{"period":[null,500000,100000],"ref":["MISS","REF","NOREF"]}}"#,
+        );
+        let cells = enumerate(&s, Scale::quick()).unwrap();
+        let keys: Vec<&str> = cells.iter().map(|c| c.key.as_str()).collect();
+        assert_eq!(keys[0], "crossover/off/MISS");
+        assert_eq!(keys[3], "crossover/0500000/MISS");
+        assert_eq!(keys[8], "crossover/0100000/NOREF");
+        assert_eq!(cells.len(), 9);
+    }
+
+    #[test]
+    fn expansion_order_is_first_axis_outermost() {
+        let s = parse(
+            r#"{"schema_version":1,"name":"t","experiment":"assoc",
+                "matrix":{"workload":["SLC","WORKLOAD1"],"ways":[1,2,4,8]}}"#,
+        );
+        let cells = enumerate(&s, Scale::quick()).unwrap();
+        let keys: Vec<&str> = cells.iter().map(|c| c.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "assoc/SLC/1way",
+                "assoc/SLC/2way",
+                "assoc/SLC/4way",
+                "assoc/SLC/8way",
+                "assoc/WORKLOAD1/1way",
+                "assoc/WORKLOAD1/2way",
+                "assoc/WORKLOAD1/4way",
+                "assoc/WORKLOAD1/8way",
+            ]
+        );
+    }
+
+    #[test]
+    fn flush_and_watermark_keys_zero_pad_like_the_binaries() {
+        let s = parse(
+            r#"{"schema_version":1,"name":"t","experiment":"flush",
+                "matrix":{"occupancy_pct":[5,10,100]}}"#,
+        );
+        let keys: Vec<String> = enumerate(&s, Scale::quick())
+            .unwrap()
+            .into_iter()
+            .map(|c| c.key)
+            .collect();
+        assert_eq!(keys, ["flush/005pct", "flush/010pct", "flush/100pct"]);
+
+        let s = parse(
+            r#"{"schema_version":1,"name":"t","experiment":"watermarks",
+                "workload":"WORKLOAD1","mem_mb":5,
+                "matrix":{"high_water":[32,320],"ref":["MISS"]}}"#,
+        );
+        let keys: Vec<String> = enumerate(&s, Scale::quick())
+            .unwrap()
+            .into_iter()
+            .map(|c| c.key)
+            .collect();
+        assert_eq!(keys, ["watermarks/032/MISS", "watermarks/320/MISS"]);
+    }
+
+    #[test]
+    fn sim_keys_carry_effective_defaults_for_undeclared_axes() {
+        let s = parse(
+            r#"{"schema_version":1,"name":"t","experiment":"sim",
+                "workload":"SLC","matrix":{"mem_mb":[5],"dirty":["MIN","FAULT"]}}"#,
+        );
+        let keys: Vec<String> = enumerate(&s, Scale::quick())
+            .unwrap()
+            .into_iter()
+            .map(|c| c.key)
+            .collect();
+        assert_eq!(
+            keys,
+            ["sim/SLC/5MB/MIN/MISS/1cpu", "sim/SLC/5MB/FAULT/MISS/1cpu"]
+        );
+    }
+
+    #[test]
+    fn coords_follow_declared_axis_order() {
+        let s = parse(
+            r#"{"schema_version":1,"name":"t","experiment":"soft_faults",
+                "workload":"WORKLOAD1","mem_mb":5,
+                "matrix":{"ref":["MISS","NOREF"],"soft_faults":[true,false]}}"#,
+        );
+        let cells = enumerate(&s, Scale::quick()).unwrap();
+        assert_eq!(
+            cells[0].coords[0],
+            ("ref".to_string(), Json::Str("MISS".into()))
+        );
+        assert_eq!(
+            cells[0].coords[1],
+            ("soft_faults".to_string(), Json::Bool(true))
+        );
+        assert_eq!(cells[1].key, "soft_faults/MISS/off");
+        assert_eq!(cells[2].key, "soft_faults/NOREF/on");
+    }
+}

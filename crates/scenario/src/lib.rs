@@ -1,0 +1,38 @@
+//! spur-scenario: a declarative scenario engine for the SPUR
+//! reproduction.
+//!
+//! A *scenario* is a small, schema-versioned JSON document that names a
+//! workload, a memory-size and policy matrix, run options, and a set of
+//! expected-shape assertions. The engine expands the matrix into
+//! stable-keyed [`spur_harness`] jobs built from the same
+//! `spur_core::jobs` builders the standalone binaries use — so the
+//! artifacts a scenario produces are byte-identical to the binaries it
+//! replaces — runs them on the shared pool, persists the usual run
+//! tree, and evaluates the assertions against the produced artifacts.
+//!
+//! The pieces:
+//!
+//! - [`config`] — the strict parser: unknown fields, duplicate matrix
+//!   cells, and empty axes are hard errors with path-qualified
+//!   messages.
+//! - [`cells`] — matrix expansion: scenario → `(Cell, Job)` pairs with
+//!   stable keys (`sim/WORKLOAD1/5MB/FAULT/MISS/1cpu`).
+//! - [`asserts`] — the assertion language: counter ranges, cross-cell
+//!   relations ("FAULT dirty faults ≥ MIN at every memory size"),
+//!   monotonicity along an axis.
+//! - [`run`] — the engine: resolve scale, expand, run, persist,
+//!   evaluate; plus the legacy driver the folded-in `ablation_*`
+//!   binaries delegate to.
+//! - [`render`] — byte-exact reproductions of the legacy binaries'
+//!   stdout tables.
+
+pub mod asserts;
+pub mod cells;
+pub mod config;
+pub mod render;
+pub mod run;
+
+pub use asserts::{Assertion, CellResult, Verdict};
+pub use cells::{enumerate, Cell, CellValue};
+pub use config::{Kind, Scenario, WorkloadSource, SCHEMA_VERSION};
+pub use run::{run_legacy, run_scenario, scale_name, RunnerOptions, ScenarioRun};

@@ -1,0 +1,112 @@
+//! Determinism guarantees the scenario engine inherits from the
+//! simulator: same seed → same bytes, and a recorded trace replayed
+//! through the engine reproduces the live generator run exactly.
+
+use spur_core::experiments::Scale;
+use spur_harness::{job_artifact_json, run_jobs, Job, RunReport};
+use spur_scenario::cells::expand;
+use spur_scenario::{CellValue, Scenario};
+use spur_trace::record::RecordedTrace;
+use spur_trace::workloads::workload1;
+
+const REFS: u64 = 150_000;
+
+fn tiny() -> Scale {
+    let mut scale = Scale::quick();
+    scale.refs = REFS;
+    scale
+}
+
+fn run(s: &Scenario, scale: Scale) -> RunReport<CellValue> {
+    let expanded = expand(s, scale, None).expect("expansion succeeds");
+    let jobs: Vec<Job<CellValue>> = expanded.into_iter().map(|(_, job)| job).collect();
+    run_jobs(jobs, 2)
+}
+
+/// Encoded artifact docs keyed by job key, for byte comparison.
+fn docs(report: &RunReport<CellValue>) -> Vec<(String, String)> {
+    let mut out: Vec<_> = report
+        .jobs()
+        .iter()
+        .map(|j| (j.key.clone(), job_artifact_json(j).encode_pretty()))
+        .collect();
+    out.sort();
+    out
+}
+
+const SIM_CONFIG: &str = r#"{
+  "schema_version": 1,
+  "name": "determinism_probe",
+  "description": "same-seed sim matrix for the determinism test",
+  "experiment": "sim",
+  "workload": "WORKLOAD1",
+  "matrix": {
+    "mem_mb": [5, 6],
+    "dirty": ["MIN", "FAULT"]
+  }
+}"#;
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let s = Scenario::parse_str(SIM_CONFIG).unwrap();
+    let first = run(&s, tiny());
+    let second = run(&s, tiny());
+    let a = docs(&first);
+    let b = docs(&second);
+    assert_eq!(a.len(), 4);
+    for ((ka, da), (kb, db)) in a.iter().zip(b.iter()) {
+        assert_eq!(ka, kb);
+        assert_eq!(da, db, "same-seed artifact bytes differ for {ka}");
+    }
+}
+
+/// Records the workload generator to a `SPURTRC1` file, then runs the
+/// same matrix once from the live generator and once from the trace
+/// (via a trace-workload scenario). Both paths register WORKLOAD1's
+/// regions, so keys and artifact bytes must match exactly.
+#[test]
+fn recorded_trace_replays_byte_identically() {
+    let scale = tiny();
+    let workload = workload1();
+    let trace = RecordedTrace::record(workload.generator(scale.seed).take(REFS as usize));
+    assert_eq!(trace.len(), REFS);
+
+    let dir = std::env::temp_dir().join(format!("spur-scenario-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("probe.spurtrace");
+    trace.save(&path).unwrap();
+
+    let live = Scenario::parse_str(
+        r#"{
+          "schema_version": 1,
+          "name": "replay_probe_live",
+          "description": "generator side of the record/replay determinism test",
+          "experiment": "sim",
+          "workload": "WORKLOAD1",
+          "matrix": { "mem_mb": [6], "ref": ["MISS", "NOREF"] }
+        }"#,
+    )
+    .unwrap();
+    let replay = Scenario::parse_str(&format!(
+        r#"{{
+          "schema_version": 1,
+          "name": "replay_probe_trace",
+          "description": "trace side of the record/replay determinism test",
+          "experiment": "sim",
+          "workload": {{ "trace": {}, "regions": "WORKLOAD1" }},
+          "matrix": {{ "mem_mb": [6], "ref": ["MISS", "NOREF"] }}
+        }}"#,
+        spur_harness::Json::from(path.to_str().unwrap()).encode()
+    ))
+    .unwrap();
+
+    let live_docs = docs(&run(&live, scale));
+    let replay_docs = docs(&run(&replay, scale));
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(live_docs.len(), 2);
+    for ((ka, da), (kb, db)) in live_docs.iter().zip(replay_docs.iter()) {
+        assert_eq!(ka, kb, "replay run produced a different key");
+        assert_eq!(da, db, "record→replay artifact bytes differ for {ka}");
+    }
+}

@@ -13,6 +13,8 @@
 //! | route | effect |
 //! |---|---|
 //! | `POST /v1/jobs` | submit a cell (JSON body, see [`api`]) → `202` with id |
+//! | `POST /v1/scenarios` | submit a whole scenario matrix (see [`scenario`]) → `202` |
+//! | `GET /v1/scenarios/{id}` | per-cell status; assertion verdicts once done |
 //! | `GET /v1/jobs/{id}` | poll status (`queued`/`running`/`done`/`failed`) |
 //! | `GET /v1/jobs/{id}/result` | the job's artifact document |
 //! | `GET /v1/jobs/{id}/trace` | the request's span tree (works mid-flight) |
@@ -48,10 +50,12 @@ pub mod client;
 pub mod http;
 pub mod metrics;
 pub mod queue;
+pub mod scenario;
 pub mod server;
 
 pub use api::{parse_job_spec, JobSpec};
 pub use client::{get, http_request, post_json, HttpResponse};
 pub use metrics::{PhaseSample, ServeMetrics};
 pub use queue::{BoundedQueue, PushError};
+pub use scenario::MAX_SCENARIO_CELLS;
 pub use server::{ChaosConfig, DrainSummary, ServeConfig, Server};

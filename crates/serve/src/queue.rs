@@ -83,6 +83,29 @@ impl<T> BoundedQueue<T> {
         Ok(depth)
     }
 
+    /// Enqueues a batch atomically: either every item is admitted (in
+    /// order) or none is and the whole batch comes back. This is how a
+    /// scenario submission claims slots for its entire matrix — a
+    /// half-admitted matrix could never produce a complete result.
+    /// Returns the depth after the push.
+    pub fn try_push_many(&self, items: Vec<T>) -> Result<usize, PushError<Vec<T>>> {
+        let mut state = self.lock();
+        if state.draining {
+            return Err(PushError::Draining(items));
+        }
+        if state.items.len() + items.len() > self.bound {
+            return Err(PushError::Full(items));
+        }
+        let n = items.len();
+        state.items.extend(items);
+        let depth = state.items.len();
+        drop(state);
+        for _ in 0..n {
+            self.available.notify_one();
+        }
+        Ok(depth)
+    }
+
     /// Dequeues, blocking until an item is available. Returns `None`
     /// once the queue is draining and empty — the signal for a worker
     /// to exit.
@@ -151,6 +174,26 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.drain();
         assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn batch_push_is_all_or_nothing() {
+        let q = BoundedQueue::new(3);
+        q.try_push(1).unwrap();
+        // Three more would overflow: the whole batch bounces back.
+        assert_eq!(
+            q.try_push_many(vec![2, 3, 4]),
+            Err(PushError::Full(vec![2, 3, 4]))
+        );
+        assert_eq!(q.depth(), 1);
+        // Two fit exactly, in order.
+        assert_eq!(q.try_push_many(vec![2, 3]), Ok(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        // Draining refuses batches wholesale.
+        q.drain();
+        assert_eq!(q.try_push_many(vec![9]), Err(PushError::Draining(vec![9])));
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Scenario submissions: a whole declared matrix over one request.
+//!
+//! `POST /v1/scenarios` accepts the same schema-versioned document the
+//! `spur-scenario` CLI runs from a file (see `docs/SCENARIOS.md`). The
+//! server validates it with the same strict parser — a 400 carries the
+//! parser's path-qualified message — expands the matrix with the same
+//! `spur_scenario::cells` expansion, and enqueues one job per cell
+//! *atomically*: either the whole matrix fits in the bounded queue or
+//! the submission is shed with 429 and nothing ran.
+//!
+//! Each cell is rebuilt from the stored scenario bytes at pop time
+//! (like single-job submissions are rebuilt from their request bytes),
+//! so a served scenario cell's artifact is byte-identical to the same
+//! cell run by the CLI or a folded-in `ablation_*` binary.
+//!
+//! When the last cell finishes, `GET /v1/scenarios/{id}` evaluates the
+//! scenario's expected-shape assertions against the produced artifact
+//! documents and reports per-assertion verdicts; the scenario passes
+//! only if every cell succeeded *and* every assertion held.
+
+use std::sync::Arc;
+
+use spur_core::obs::ObsParams;
+use spur_harness::fault::{arm, FaultPlan};
+use spur_harness::Job;
+use spur_obs::validate::parse;
+use spur_scenario::asserts::evaluate;
+use spur_scenario::cells::expand;
+use spur_scenario::{enumerate, Cell, CellResult, Scenario, Verdict, WorkloadSource};
+
+/// Largest matrix one HTTP submission may expand to. A scenario
+/// occupies queue slots for every cell at once (admission is
+/// all-or-nothing), so this also bounds how much of the queue a single
+/// request can claim.
+pub const MAX_SCENARIO_CELLS: usize = 64;
+
+/// A validated scenario submission: the parsed document plus its
+/// enumerated cells (in expansion order, which is also key order for
+/// the scenario result's cell list).
+#[derive(Debug)]
+pub struct ScenarioSubmission {
+    /// The parsed, validated scenario.
+    pub scenario: Scenario,
+    /// The enumerated matrix cells.
+    pub cells: Vec<Cell>,
+}
+
+/// Parses and validates a `POST /v1/scenarios` body. Every failure is
+/// a caller-readable, path-qualified message destined for a 400.
+pub fn parse_scenario_submission(body: &[u8]) -> Result<ScenarioSubmission, String> {
+    let scenario = Scenario::parse_bytes(body)?;
+    if matches!(scenario.workload, Some(WorkloadSource::Trace { .. })) {
+        return Err(
+            "workload.trace: recorded-trace workloads are not served (the trace file \
+             lives on the submitting host); replay traces with the spur-scenario CLI"
+                .into(),
+        );
+    }
+    let scale = scenario.resolve_scale(None);
+    let cells = enumerate(&scenario, scale)?;
+    if cells.len() > MAX_SCENARIO_CELLS {
+        return Err(format!(
+            "matrix: scenario expands to {} cells, more than the served cap of {MAX_SCENARIO_CELLS}",
+            cells.len()
+        ));
+    }
+    Ok(ScenarioSubmission { scenario, cells })
+}
+
+/// The observability parameters a served scenario runs with — the
+/// scenario's own `run.obs` / `run.epoch`, exactly as the CLI runner
+/// resolves them with no flags given.
+fn serving_obs(scenario: &Scenario) -> Option<ObsParams> {
+    scenario.run.obs.then(|| ObsParams {
+        epoch: scenario.run.epoch,
+        ..ObsParams::default()
+    })
+}
+
+/// Rebuilds one cell's job from the stored scenario bytes. The bytes
+/// were validated at submit time, so any failure here degrades to an
+/// error the caller records against the job.
+pub fn build_scenario_cell(body: &[u8], key: &str) -> Result<Job<()>, String> {
+    let scenario = Scenario::parse_bytes(body)?;
+    let scale = scenario.resolve_scale(None);
+    let obs = serving_obs(&scenario);
+    let expanded = expand(&scenario, scale, obs)?;
+    let (cell, job) = expanded
+        .into_iter()
+        .find(|(cell, _)| cell.key == key)
+        .ok_or_else(|| format!("scenario no longer expands a cell keyed {key}"))?;
+    let mut job = job.map(|_| ());
+    if let Some((seed, ppm)) = scenario.run.fault_plan {
+        let plan = Arc::new(FaultPlan::new(seed, ppm));
+        job = arm(&plan, job, &cell.key);
+    }
+    Ok(job)
+}
+
+/// Evaluates a finished scenario's assertions against the artifact
+/// documents its successful cells produced. `finished` pairs each
+/// cell's key with the pretty-encoded artifact of its job, `None` for
+/// cells whose job failed (those simply produce no `CellResult`; an
+/// assertion whose selector needs a missing cell fails with a message
+/// saying so, which is the honest verdict).
+pub fn evaluate_finished(
+    body: &[u8],
+    finished: &[(String, Option<String>)],
+) -> Result<Vec<Verdict>, String> {
+    let scenario = Scenario::parse_bytes(body)?;
+    let scale = scenario.resolve_scale(None);
+    let cells = enumerate(&scenario, scale)?;
+    let results: Vec<CellResult> = cells
+        .into_iter()
+        .filter_map(|cell| {
+            let artifact = finished
+                .iter()
+                .find(|(key, _)| *key == cell.key)
+                .and_then(|(_, artifact)| artifact.as_deref())?;
+            let doc = parse(artifact).ok()?;
+            Some(CellResult {
+                key: cell.key,
+                coords: cell.coords,
+                doc,
+            })
+        })
+        .collect();
+    Ok(evaluate(&scenario.assertions, &results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spur_harness::{job_artifact_json, run_one};
+
+    const SMALL: &str = r#"{
+      "schema_version": 1,
+      "name": "served_probe",
+      "description": "scenario-submission unit-test config",
+      "experiment": "sim",
+      "workload": "WORKLOAD1",
+      "scale": {"refs": 20000, "seed": 1989, "reps": 1},
+      "matrix": { "mem_mb": [5], "dirty": ["MIN", "FAULT"] },
+      "assertions": [
+        {
+          "check": "relation",
+          "name": "fault_ge_min",
+          "metric": "data.dirty_faults",
+          "op": ">=",
+          "left": {"dirty": "FAULT"},
+          "right": {"dirty": "MIN"}
+        }
+      ]
+    }"#;
+
+    #[test]
+    fn submission_parses_and_enumerates() {
+        let sub = parse_scenario_submission(SMALL.as_bytes()).unwrap();
+        assert_eq!(sub.scenario.name, "served_probe");
+        assert_eq!(sub.cells.len(), 2);
+        assert_eq!(sub.cells[0].key, "sim/WORKLOAD1/5MB/MIN/MISS/1cpu");
+    }
+
+    #[test]
+    fn trace_workloads_are_refused() {
+        let body = r#"{
+          "schema_version": 1,
+          "name": "t", "description": "d", "experiment": "sim",
+          "workload": {"trace": "x.spurtrace", "regions": "WORKLOAD1"},
+          "matrix": {"mem_mb": [5]}
+        }"#;
+        let err = parse_scenario_submission(body.as_bytes()).unwrap_err();
+        assert!(err.contains("workload.trace"), "{err}");
+    }
+
+    #[test]
+    fn oversize_matrices_are_refused_with_the_cap() {
+        let body = r#"{
+          "schema_version": 1,
+          "name": "big", "description": "d", "experiment": "sim",
+          "workload": "SLC",
+          "matrix": {
+            "mem_mb": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17],
+            "dirty": ["FAULT","FLUSH","SPUR","WRITE","MIN"]
+          }
+        }"#;
+        let err = parse_scenario_submission(body.as_bytes()).unwrap_err();
+        assert!(err.contains("85 cells"), "{err}");
+        assert!(err.contains("64"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_stay_path_qualified() {
+        let err = parse_scenario_submission(
+            br#"{"schema_version": 1, "name": "x", "description": "d",
+                 "experiment": "sim", "workload": "SLC",
+                 "matrix": {"mem_mb": [5], "bogus_axis": [1]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("bogus_axis"), "{err}");
+    }
+
+    #[test]
+    fn rebuilt_cell_matches_direct_expansion_byte_for_byte() {
+        let sub = parse_scenario_submission(SMALL.as_bytes()).unwrap();
+        let key = &sub.cells[1].key;
+        let served = run_one(build_scenario_cell(SMALL.as_bytes(), key).unwrap());
+        let scale = sub.scenario.resolve_scale(None);
+        let obs = serving_obs(&sub.scenario);
+        let direct = expand(&sub.scenario, scale, obs)
+            .unwrap()
+            .into_iter()
+            .find(|(cell, _)| cell.key == *key)
+            .map(|(_, job)| run_one(job.map(|_| ())))
+            .unwrap();
+        assert_eq!(
+            job_artifact_json(&served).encode_pretty(),
+            job_artifact_json(&direct).encode_pretty(),
+        );
+    }
+
+    #[test]
+    fn finished_scenarios_evaluate_their_assertions() {
+        let sub = parse_scenario_submission(SMALL.as_bytes()).unwrap();
+        let finished: Vec<(String, Option<String>)> = sub
+            .cells
+            .iter()
+            .map(|cell| {
+                let completed = run_one(build_scenario_cell(SMALL.as_bytes(), &cell.key).unwrap());
+                (
+                    cell.key.clone(),
+                    Some(job_artifact_json(&completed).encode_pretty()),
+                )
+            })
+            .collect();
+        let verdicts = evaluate_finished(SMALL.as_bytes(), &finished).unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].name, "fault_ge_min");
+        assert!(verdicts[0].passed, "{:?}", verdicts[0].failures);
+    }
+
+    #[test]
+    fn missing_cells_fail_assertions_rather_than_vanish() {
+        let sub = parse_scenario_submission(SMALL.as_bytes()).unwrap();
+        // The FAULT cell failed: no artifact. The relation must report
+        // a failure, not silently pass on an empty selection.
+        let finished: Vec<(String, Option<String>)> = sub
+            .cells
+            .iter()
+            .map(|cell| {
+                let artifact = (!cell.key.contains("FAULT")).then(|| {
+                    let completed =
+                        run_one(build_scenario_cell(SMALL.as_bytes(), &cell.key).unwrap());
+                    job_artifact_json(&completed).encode_pretty()
+                });
+                (cell.key.clone(), artifact)
+            })
+            .collect();
+        let verdicts = evaluate_finished(SMALL.as_bytes(), &finished).unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert!(!verdicts[0].passed);
+    }
+}

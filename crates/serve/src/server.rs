@@ -37,10 +37,12 @@ use spur_obs::prometheus::{render_counter, render_counter_labeled, render_gauge}
 use spur_obs::slo::{SloTarget, SloTracker};
 use spur_obs::span::{SpanContext, SpanSink};
 
-use crate::api::parse_job_spec;
+use crate::api::{parse_job_spec, JobSpec};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::metrics::{PhaseSample, ServeMetrics};
 use crate::queue::{BoundedQueue, PushError};
+use crate::scenario::{build_scenario_cell, evaluate_finished, parse_scenario_submission};
+use spur_scenario::Verdict;
 
 /// Simulator traces retained in memory for `GET /v1/jobs/{id}/trace/chrome`
 /// merging. Instrumented sim traces are large (up to the job's
@@ -165,6 +167,16 @@ struct JobRecord {
     admitted_us: u64,
 }
 
+/// Where a queued job came from — what the worker rebuilds it from.
+enum JobSource {
+    /// A single-cell `POST /v1/jobs` submission: its request bytes.
+    Spec(Vec<u8>),
+    /// One cell of a `POST /v1/scenarios` submission: the scenario
+    /// bytes, shared across the whole matrix; the cell is selected by
+    /// the queued job's key.
+    ScenarioCell(Arc<Vec<u8>>),
+}
+
 /// A queued submission holds the validated *request bytes*, not a
 /// built job: the worker rebuilds the job at pop time (and again on
 /// each retry). Jobs are pure functions of their spec, so a rebuild
@@ -172,7 +184,7 @@ struct JobRecord {
 struct QueuedJob {
     id: u64,
     key: String,
-    body: Vec<u8>,
+    source: JobSource,
     /// Root span of the request's trace.
     trace: SpanContext,
     /// The open `queue_wait` span, closed by the worker that pops it.
@@ -181,11 +193,24 @@ struct QueuedJob {
     experiment: &'static str,
 }
 
+/// One accepted scenario submission: the stored config bytes plus the
+/// job ids its matrix expanded to, in expansion order.
+struct ScenarioRecord {
+    name: String,
+    /// The validated scenario document — cells are rebuilt from it at
+    /// pop time, and assertions re-read it at result time.
+    body: Arc<Vec<u8>>,
+    /// `(job id, cell key)` for every expanded cell.
+    cells: Vec<(u64, String)>,
+}
+
 struct Shared {
     cfg: ServeConfig,
     queue: BoundedQueue<QueuedJob>,
     jobs: Mutex<HashMap<u64, JobRecord>>,
+    scenarios: Mutex<HashMap<u64, ScenarioRecord>>,
     next_id: AtomicU64,
+    next_scenario_id: AtomicU64,
     metrics: ServeMetrics,
     stop_accepting: AtomicBool,
     local_addr: SocketAddr,
@@ -256,7 +281,9 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_bound),
             jobs: Mutex::new(HashMap::new()),
+            scenarios: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
+            next_scenario_id: AtomicU64::new(0),
             metrics: ServeMetrics::new(),
             stop_accepting: AtomicBool::new(false),
             local_addr,
@@ -375,12 +402,15 @@ fn slo_ticker_loop(shared: &Shared) {
 /// The bytes were validated at submit time, so a parse failure here is
 /// a bug — it degrades to a job that records the error.
 fn rebuild_job(queued: &QueuedJob) -> Job<()> {
-    match parse_job_spec(&queued.body) {
-        Ok(spec) => spec.build(),
-        Err(message) => Job::new(queued.key.clone(), move || {
+    let built = match &queued.source {
+        JobSource::Spec(body) => parse_job_spec(body).map(JobSpec::build),
+        JobSource::ScenarioCell(body) => build_scenario_cell(body, &queued.key),
+    };
+    built.unwrap_or_else(|message| {
+        Job::new(queued.key.clone(), move || {
             Err(format!("stored request no longer parses: {message}"))
-        }),
-    }
+        })
+    })
 }
 
 fn worker_loop(shared: &Shared) {
@@ -618,6 +648,7 @@ fn route(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
         ("GET", "/metrics") => Response::text(200, render_metrics(shared)).into(),
         ("GET", "/v1/slo") => slo_report(shared).into(),
         ("POST", "/v1/jobs") => submit(shared, request, accepted_us),
+        ("POST", "/v1/scenarios") => submit_scenario(shared, request, accepted_us),
         ("POST", "/v1/shutdown") => {
             let queued = shared.queue.depth();
             shared.request_shutdown();
@@ -631,8 +662,15 @@ fn route(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
             )
             .into()
         }
-        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown" | "/v1/slo") => {
-            error_response(405, "method not allowed").into()
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/jobs" | "/v1/scenarios" | "/v1/shutdown" | "/v1/slo",
+        ) => error_response(405, "method not allowed").into(),
+        ("GET", path) if path.starts_with("/v1/scenarios/") => {
+            match path["/v1/scenarios/".len()..].parse::<u64>() {
+                Ok(id) => scenario_status(shared, id).into(),
+                Err(_) => error_response(404, "no such route").into(),
+            }
         }
         ("GET", path) => match parse_job_path(path) {
             Some((id, JobRoute::Status)) => job_status(shared, id).into(),
@@ -788,7 +826,7 @@ fn submit(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
     match shared.queue.try_push(QueuedJob {
         id,
         key: key.clone(),
-        body: request.body.clone(),
+        source: JobSource::Spec(request.body.clone()),
         trace: root,
         queue_span,
         experiment,
@@ -837,6 +875,229 @@ fn submit(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
             error_response(503, "draining").into()
         }
     }
+}
+
+/// `POST /v1/scenarios`: validate a scenario document, expand its
+/// matrix, and admit every cell to the queue atomically — a 202 means
+/// the whole matrix is queued; a 429 means none of it is.
+fn submit_scenario(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
+    let read_done_us = shared.spans.now_us();
+    let submission = match parse_scenario_submission(&request.body) {
+        Ok(submission) => submission,
+        Err(message) => return error_response_owned(400, message).into(),
+    };
+    let scenario_id = shared.next_scenario_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let body: Arc<Vec<u8>> = Arc::new(request.body.clone());
+
+    // Give every cell the full per-job treatment — its own id, record,
+    // and span trace — before asking the queue for room, so a rejected
+    // batch can be unwound completely.
+    let mut batch = Vec::with_capacity(submission.cells.len());
+    let mut admitted = Vec::with_capacity(submission.cells.len());
+    {
+        let mut jobs = lock_unpoisoned(&shared.jobs);
+        for cell in &submission.cells {
+            let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+            let root = shared.spans.begin_trace("job", Some(accepted_us));
+            shared.spans.annotate(root, "job_id", id.to_string());
+            shared.spans.annotate(root, "key", cell.key.clone());
+            shared
+                .spans
+                .annotate(root, "scenario_id", scenario_id.to_string());
+            let accept = shared
+                .spans
+                .begin_span(root, "accept", Some(accepted_us), 0);
+            shared.spans.end_span(accept, Some(read_done_us));
+            let parse_span = shared
+                .spans
+                .begin_span(root, "parse", Some(read_done_us), 0);
+            let parsed_us = shared.spans.now_us();
+            shared.spans.end_span(parse_span, Some(parsed_us));
+            let queue_span = shared
+                .spans
+                .begin_span(root, "queue_wait", Some(parsed_us), 0);
+            jobs.insert(
+                id,
+                JobRecord {
+                    key: cell.key.clone(),
+                    state: JobState::Queued,
+                    artifact: None,
+                    error: None,
+                    wall_ms: None,
+                    trace_id: root.trace,
+                    experiment: "scenario",
+                    admitted_us: parsed_us,
+                },
+            );
+            batch.push(QueuedJob {
+                id,
+                key: cell.key.clone(),
+                source: JobSource::ScenarioCell(Arc::clone(&body)),
+                trace: root,
+                queue_span,
+                experiment: "scenario",
+            });
+            admitted.push((id, cell.key.clone(), root.trace));
+        }
+    }
+
+    match shared.queue.try_push_many(batch) {
+        Ok(depth) => {
+            shared
+                .metrics
+                .jobs_submitted
+                .fetch_add(admitted.len() as u64, Ordering::Relaxed);
+            lock_unpoisoned(&shared.scenarios).insert(
+                scenario_id,
+                ScenarioRecord {
+                    name: submission.scenario.name.clone(),
+                    body,
+                    cells: admitted
+                        .iter()
+                        .map(|(id, key, _)| (*id, key.clone()))
+                        .collect(),
+                },
+            );
+            let cells: Vec<Json> = admitted
+                .iter()
+                .map(|(id, key, _)| {
+                    Json::object([("id", Json::UInt(*id)), ("key", Json::Str(key.clone()))])
+                })
+                .collect();
+            Response::json(
+                202,
+                Json::object([
+                    ("id", Json::UInt(scenario_id)),
+                    ("name", Json::Str(submission.scenario.name)),
+                    ("status", Json::Str("queued".into())),
+                    ("cells", Json::Arr(cells)),
+                    ("queue_depth", Json::UInt(depth as u64)),
+                ])
+                .encode(),
+            )
+            .into()
+        }
+        Err(refused) => {
+            // Unwind: the matrix never ran, so leave no trace of it.
+            let mut jobs = lock_unpoisoned(&shared.jobs);
+            for (id, _, trace) in &admitted {
+                jobs.remove(id);
+                shared.spans.abandon(*trace);
+            }
+            drop(jobs);
+            match refused {
+                PushError::Full(_) => {
+                    shared
+                        .metrics
+                        .jobs_rejected
+                        .fetch_add(admitted.len() as u64, Ordering::Relaxed);
+                    Response::json(
+                        429,
+                        Json::object([
+                            ("error", Json::Str("queue full".into())),
+                            ("cells", Json::UInt(admitted.len() as u64)),
+                            ("queue_bound", Json::UInt(shared.queue.bound() as u64)),
+                        ])
+                        .encode(),
+                    )
+                    .with_header("retry-after", "1".to_string())
+                    .into()
+                }
+                PushError::Draining(_) => error_response(503, "draining").into(),
+            }
+        }
+    }
+}
+
+/// `GET /v1/scenarios/{id}`: per-cell status while the matrix runs;
+/// once every cell finished, the scenario's assertions evaluated
+/// against the produced artifacts, with per-assertion verdicts.
+fn scenario_status(shared: &Shared, id: u64) -> Response {
+    let (name, body, cells) = {
+        let scenarios = lock_unpoisoned(&shared.scenarios);
+        match scenarios.get(&id) {
+            None => return error_response(404, "no such scenario"),
+            Some(record) => (
+                record.name.clone(),
+                Arc::clone(&record.body),
+                record.cells.clone(),
+            ),
+        }
+    };
+
+    let mut cell_docs = Vec::with_capacity(cells.len());
+    let mut finished: Vec<(String, Option<String>)> = Vec::new();
+    let mut all_finished = true;
+    let mut any_started = false;
+    let mut any_failed = false;
+    {
+        let jobs = lock_unpoisoned(&shared.jobs);
+        for (job_id, key) in &cells {
+            let Some(record) = jobs.get(job_id) else {
+                all_finished = false;
+                continue;
+            };
+            match record.state {
+                JobState::Queued => all_finished = false,
+                JobState::Running => {
+                    all_finished = false;
+                    any_started = true;
+                }
+                JobState::Done => {
+                    any_started = true;
+                    finished.push((key.clone(), record.artifact.clone()));
+                }
+                JobState::Failed => {
+                    any_started = true;
+                    any_failed = true;
+                    finished.push((key.clone(), None));
+                }
+            }
+            let mut fields = vec![
+                ("id".to_string(), Json::UInt(*job_id)),
+                ("key".to_string(), Json::Str(key.clone())),
+                (
+                    "status".to_string(),
+                    Json::Str(record.state.as_str().into()),
+                ),
+            ];
+            if let Some(error) = &record.error {
+                fields.push(("error".to_string(), Json::Str(error.clone())));
+            }
+            cell_docs.push(Json::Obj(fields));
+        }
+    }
+
+    let status = if all_finished {
+        "done"
+    } else if any_started {
+        "running"
+    } else {
+        "queued"
+    };
+    let mut fields = vec![
+        ("id".to_string(), Json::UInt(id)),
+        ("name".to_string(), Json::Str(name)),
+        ("status".to_string(), Json::Str(status.into())),
+        ("cells".to_string(), Json::Arr(cell_docs)),
+    ];
+    if all_finished {
+        match evaluate_finished(&body, &finished) {
+            Ok(verdicts) => {
+                let passed = !any_failed && verdicts.iter().all(|v| v.passed);
+                fields.push(("passed".to_string(), Json::Bool(passed)));
+                fields.push((
+                    "assertions".to_string(),
+                    Json::Arr(verdicts.iter().map(Verdict::to_json).collect()),
+                ));
+            }
+            // The stored bytes validated at submit time; failing to
+            // re-evaluate them is a server bug worth surfacing, not
+            // hiding behind a false verdict.
+            Err(message) => fields.push(("assertion_error".to_string(), Json::Str(message))),
+        }
+    }
+    Response::json(200, Json::Obj(fields).encode_pretty())
 }
 
 fn job_status(shared: &Shared, id: u64) -> Response {

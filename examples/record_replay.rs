@@ -1,25 +1,33 @@
 //! Trace recording and replay: the paper's "precise repeatability"
-//! methodology as a workflow. Record a workload prefix once, save it,
-//! reload it, and replay the identical stream through two different
-//! policies.
+//! methodology as a workflow, end to end through the scenario engine.
+//! Record a workload prefix once, save it where the committed
+//! `scenarios/record_replay.json` config expects it, then run that
+//! scenario — the engine replays the identical reference stream
+//! through the full policy machinery and checks the config's
+//! expected-shape assertions.
 //!
 //! ```text
 //! cargo run --release --example record_replay
 //! ```
+//!
+//! The determinism integration test (`crates/scenario/tests/
+//! determinism.rs`) proves the stronger property this workflow relies
+//! on: a trace-workload scenario produces artifacts byte-identical to
+//! the same cells run from the live generator.
 
-use spur_core::dirty::DirtyPolicy;
-use spur_core::system::{SimConfig, SpurSystem};
+use spur_core::experiments::Scale;
+use spur_scenario::{run_scenario, RunnerOptions, Scenario};
 use spur_trace::record::RecordedTrace;
 use spur_trace::workloads::workload1;
-use spur_types::MemSize;
-use spur_vm::policy::RefPolicy;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = workload1();
-    let n = 1_000_000usize;
+    // The committed scenario runs at quick scale; record exactly the
+    // prefix it will replay, from the same seed.
+    let scale = Scale::quick();
 
     // 1. Record.
-    let trace = RecordedTrace::record(workload.generator(99).take(n));
+    let trace = RecordedTrace::record(workload.generator(scale.seed).take(scale.refs as usize));
     println!(
         "recorded {} references in {} KB ({:.2} bytes/ref)",
         trace.len(),
@@ -27,35 +35,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.bytes_per_ref()
     );
 
-    // 2. Save and reload (the paper's traces were too big to store;
-    //    ours are not).
-    let path = std::env::temp_dir().join("workload1_1M.spurtrace");
-    trace.save(&path)?;
-    let reloaded = RecordedTrace::load(&path)?;
-    std::fs::remove_file(&path).ok();
-    println!("round-tripped through {} successfully", path.display());
+    // 2. Save where scenarios/record_replay.json looks for it (the
+    //    paper's traces were too big to store; ours are not).
+    std::fs::create_dir_all("results")?;
+    let path = "results/record_replay.spurtrace";
+    trace.save(path)?;
+    println!("saved {path}");
 
-    // 3. Replay the identical stream under two dirty-bit mechanisms.
-    for dirty in [DirtyPolicy::Fault, DirtyPolicy::Spur] {
-        let mut sim = SpurSystem::new(SimConfig {
-            mem: MemSize::MB6,
-            dirty,
-            ref_policy: RefPolicy::Miss,
-            ..SimConfig::default()
-        })?;
-        sim.load_workload(&workload)?;
-        sim.run(&mut reloaded.iter(), reloaded.len())?;
-        let ev = sim.events();
+    // 3. Replay through the scenario engine: same parser, expansion,
+    //    and assertion evaluation the spur-scenario CLI uses.
+    let config = std::fs::read_to_string("scenarios/record_replay.json")?;
+    let scenario = Scenario::parse_str(&config)?;
+    let opts = RunnerOptions {
+        obs_enabled: false,
+        persist: false,
+        ..RunnerOptions::default()
+    };
+    let run = run_scenario(&scenario, &opts)?;
+    println!("\n{}", run.to_json(&scenario.name).encode_pretty());
+
+    if run.passed() {
         println!(
-            "{dirty:<6}: N_ds={} N_ef={} elapsed={:.2}s",
-            ev.n_ds,
-            ev.n_ef,
-            ev.elapsed_seconds()
+            "\nSame trace, same necessary faults — the differences are pure policy,\n\
+             which is exactly what trace-driven methodology buys."
         );
+        Ok(())
+    } else {
+        Err("replayed scenario failed its assertions".into())
     }
-    println!(
-        "\nSame trace, same necessary faults — the differences are pure policy,\n\
-         which is exactly what trace-driven methodology buys."
-    );
-    Ok(())
 }
