@@ -9,8 +9,9 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7979 [--conns 16] [--duration-secs 5]
 //!         [--refs 20000] [--mem 5] [--mix full|submit|status]
-//!         [--timeout-ms 5000] [--quick]
-//!         [--open-loop RATE] [--profile expected|stress|adversarial]
+//!         [--timeout-ms 5000] [--quick] [--client NAME]
+//!         [--open-loop RATE]
+//!         [--profile expected|stress|adversarial|duplicate]
 //!         [--soak SECS]
 //! ```
 //!
@@ -28,6 +29,13 @@
 //! `spur_bench::load::Profile`); `adversarial` interleaves malformed
 //! and oversized bodies the server must shrug off with 4xx.
 //!
+//! `--client NAME` stamps every request with an `x-client-id` header,
+//! so the server's per-client fairness quotas see this loadgen as one
+//! client; run two loadgens with different names to pit a greedy
+//! client against a polite one. The `duplicate` profile cycles a small
+//! pool of identical bodies to exercise job coalescing and the results
+//! cache.
+//!
 //! `--soak SECS` runs a timed soak and then *gates on the server's own
 //! SLO verdict*: it fetches `GET /v1/slo`, prints the per-target
 //! breakdown, and exits non-zero unless every declared target holds
@@ -42,7 +50,7 @@ use spur_bench::load::{parse_slo_report, OpenLoopPacer, Profile};
 use spur_harness::Json;
 use spur_obs::validate::{get_field, parse};
 use spur_obs::Histogram;
-use spur_serve::client::{get, post_json};
+use spur_serve::client::{get, http_request_headers};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mix {
@@ -65,6 +73,9 @@ struct Options {
     profile: Profile,
     /// Soak mode: gate the exit code on `GET /v1/slo` at the end.
     soak: bool,
+    /// `x-client-id` stamped on every request (None: per-connection
+    /// identity, whatever the server derives from the socket).
+    client: Option<String>,
 }
 
 impl Default for Options {
@@ -80,6 +91,7 @@ impl Default for Options {
             open_loop: None,
             profile: Profile::Expected,
             soak: false,
+            client: None,
         }
     }
 }
@@ -88,7 +100,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--conns N] [--duration-secs N] [--refs N]\n\
          \x20              [--mem MB] [--mix full|submit|status] [--timeout-ms N] [--quick]\n\
-         \x20              [--open-loop RATE] [--profile expected|stress|adversarial]\n\
+         \x20              [--client NAME] [--open-loop RATE]\n\
+         \x20              [--profile expected|stress|adversarial|duplicate]\n\
          \x20              [--soak SECS]"
     );
     std::process::exit(2);
@@ -152,6 +165,7 @@ fn parse_options() -> Options {
                 opt.duration = Duration::from_secs(parse_num(&value("--soak"), "--soak"));
                 opt.soak = true;
             }
+            "--client" => opt.client = Some(value("--client")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("loadgen: unknown flag {other:?}");
@@ -269,6 +283,14 @@ fn job_state(resp: &spur_serve::HttpResponse) -> Option<String> {
 fn drive(opt: &Options, thread: usize, deadline: Instant, pacer: Option<&OpenLoopPacer>) -> Stats {
     let mut stats = Stats::new();
     let mut iteration = 0u64;
+    // Requests carry the declared client identity, if any.
+    let headers: Vec<(&str, &str)> = match &opt.client {
+        Some(name) => vec![("x-client-id", name.as_str())],
+        None => Vec::new(),
+    };
+    let request = |method: &str, path: &str, body: Option<&[u8]>| {
+        http_request_headers(&opt.addr, method, path, body, &headers, opt.timeout)
+    };
     while Instant::now() < deadline {
         // Ticket number: shared arrival schedule in open-loop mode, a
         // thread-disjoint counter otherwise. The profile derives every
@@ -284,7 +306,7 @@ fn drive(opt: &Options, thread: usize, deadline: Instant, pacer: Option<&OpenLoo
         iteration += 1;
         let submitted = Instant::now();
         let Some(resp) = timed(&mut stats, || {
-            post_json(&opt.addr, "/v1/jobs", &body, opt.timeout)
+            request("POST", "/v1/jobs", Some(body.as_bytes()))
         }) else {
             continue;
         };
@@ -308,7 +330,7 @@ fn drive(opt: &Options, thread: usize, deadline: Instant, pacer: Option<&OpenLoo
             if Instant::now() >= deadline && opt.mix == Mix::Status {
                 return stats;
             }
-            let Some(poll) = timed(&mut stats, || get(&opt.addr, &status_path, opt.timeout)) else {
+            let Some(poll) = timed(&mut stats, || request("GET", &status_path, None)) else {
                 break;
             };
             match job_state(&poll).as_deref() {
@@ -318,7 +340,7 @@ fn drive(opt: &Options, thread: usize, deadline: Instant, pacer: Option<&OpenLoo
                     if opt.mix == Mix::Full {
                         let result_path = format!("/v1/jobs/{id}/result");
                         if let Some(result) =
-                            timed(&mut stats, || get(&opt.addr, &result_path, opt.timeout))
+                            timed(&mut stats, || request("GET", &result_path, None))
                         {
                             stats.result_bytes += result.body.len() as u64;
                         }

@@ -91,7 +91,20 @@ pub enum Profile {
     /// The server must answer every one with a 4xx and keep serving —
     /// 5xx or a dropped daemon is a loadgen failure.
     Adversarial,
+    /// Duplicate-heavy traffic: every ticket draws from a small fixed
+    /// pool of identical bodies, so most submissions are repeats of
+    /// work already in flight or already cached. This is the profile
+    /// that exercises coalescing and the results cache — a soak run
+    /// under it should show `jobs_coalesced_total` and
+    /// `cache_hits_total` climbing while the `run` histogram barely
+    /// moves.
+    Duplicate,
 }
+
+/// How many distinct bodies the [`Profile::Duplicate`] pool cycles
+/// through — small enough that a soak at any realistic rate repeats
+/// each body many times over.
+pub const DUPLICATE_POOL: u64 = 8;
 
 impl Profile {
     /// Parses a `--profile` value.
@@ -100,6 +113,7 @@ impl Profile {
             "expected" => Some(Profile::Expected),
             "stress" => Some(Profile::Stress),
             "adversarial" => Some(Profile::Adversarial),
+            "duplicate" => Some(Profile::Duplicate),
             _ => None,
         }
     }
@@ -110,6 +124,7 @@ impl Profile {
             Profile::Expected => "expected",
             Profile::Stress => "stress",
             Profile::Adversarial => "adversarial",
+            Profile::Duplicate => "duplicate",
         }
     }
 
@@ -157,6 +172,14 @@ impl Profile {
                     ),
                     _ => well_formed(refs, mem_mb, seed, r >> 8),
                 }
+            }
+            Profile::Duplicate => {
+                // A fixed pool keyed only by `ticket % POOL`: the seed
+                // is a function of the pool slot, not the ticket, so
+                // slot 3 always produces the same bytes and the server
+                // sees each body `tickets / POOL` times.
+                let slot = ticket % DUPLICATE_POOL;
+                well_formed(refs, mem_mb, 1989 + slot, slot)
             }
         }
     }
@@ -270,6 +293,27 @@ mod tests {
         let n = seen.len();
         assert!(n >= 2, "a 1 kHz schedule yields tickets in 20 ms");
         assert_eq!(seen, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_profile_cycles_a_small_identical_pool() {
+        // Ticket N and ticket N + POOL produce byte-identical bodies…
+        for ticket in 0..DUPLICATE_POOL * 3 {
+            assert_eq!(
+                Profile::Duplicate.body(5_000, 5, ticket),
+                Profile::Duplicate.body(5_000, 5, ticket + DUPLICATE_POOL),
+            );
+        }
+        // …and the pool really holds DUPLICATE_POOL distinct bodies,
+        // each a valid submission.
+        let distinct: std::collections::HashSet<String> = (0..DUPLICATE_POOL * 10)
+            .map(|t| Profile::Duplicate.body(5_000, 5, t))
+            .collect();
+        assert_eq!(distinct.len(), DUPLICATE_POOL as usize);
+        for body in &distinct {
+            spur_serve::parse_job_spec(body.as_bytes())
+                .unwrap_or_else(|e| panic!("pool body must be well-formed: {e} ({body})"));
+        }
     }
 
     #[test]

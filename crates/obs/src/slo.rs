@@ -23,7 +23,9 @@
 //! exception is `min_jobs_per_sec`, which is only enforced once at
 //! least one job has ever completed — throughput of an idle server is
 //! unknowable, but a server that has started serving and then stalls
-//! below the floor is failing.
+//! below the floor is failing. The floor's clock starts at that first
+//! completion, so time spent idle *before* serving began (a daemon
+//! waiting for its first client) never counts against it.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -167,8 +169,10 @@ struct SloState {
     jobs: VecDeque<(u64, u64, bool)>,
     /// Per-target violation counters, same order as `targets`.
     violations: Vec<u64>,
-    /// Whether any job has ever finished (arms the throughput floor).
-    served_any: bool,
+    /// When the first job ever finished (arms the throughput floor and
+    /// starts its clock — idle time before serving began never counts
+    /// against the floor).
+    served_since: Option<u64>,
 }
 
 /// Sliding-window evaluator for a declared set of [`SloTarget`]s.
@@ -219,7 +223,7 @@ impl SloTracker {
     pub fn record_job(&self, now_us: u64, e2e_us: u64, ok: bool) {
         let mut st = self.lock();
         st.jobs.push_back((now_us, e2e_us, ok));
-        st.served_any = true;
+        st.served_since.get_or_insert(now_us);
         Self::prune(&mut st, now_us, self.window_us);
     }
 
@@ -259,9 +263,6 @@ impl SloTracker {
 
     fn report(&self, st: &SloState, now_us: u64) -> SloReport {
         let window_secs = self.window_us as f64 / 1e6;
-        // The throughput denominator must not exceed the server's age:
-        // a 60s window on a 5s-old server divides by 5s, not 60s.
-        let effective_secs = (now_us as f64 / 1e6).min(window_secs).max(1e-6);
         let targets: Vec<SloStatus> = self
             .targets
             .iter()
@@ -276,14 +277,21 @@ impl SloTracker {
                         let obs = quantile_ms(st.jobs.iter().map(|&(_, us, _)| us), 0.99);
                         (obs, obs.is_none_or(|v| v <= target.value))
                     }
-                    SloKind::MinJobsPerSec => {
-                        if !st.served_any {
-                            (None, true)
-                        } else {
-                            let rate = st.jobs.len() as f64 / effective_secs;
+                    SloKind::MinJobsPerSec => match st.served_since {
+                        None => (None, true),
+                        Some(since) => {
+                            // The denominator is the *serving* period,
+                            // capped at the window: a server idle for
+                            // 20s before its first completion owes no
+                            // throughput for those 20s, and a 60s
+                            // window 5s into serving divides by 5s.
+                            let serving_secs = (now_us.saturating_sub(since) as f64 / 1e6)
+                                .min(window_secs)
+                                .max(1e-6);
+                            let rate = st.jobs.len() as f64 / serving_secs;
                             (Some(rate), rate >= target.value)
                         }
-                    }
+                    },
                     SloKind::MaxErrorRatio => {
                         if st.jobs.is_empty() {
                             (None, true)
@@ -425,13 +433,29 @@ mod tests {
     }
 
     #[test]
-    fn throughput_denominator_is_server_age_when_younger_than_window() {
+    fn throughput_denominator_is_serving_time_when_younger_than_window() {
         let t = tracker(&["min_jobs_per_sec=2"]);
-        // 2s-old server with 6 completed jobs: 3/sec, not 6/10s.
+        // 6 jobs over the first 2s of serving: 3/sec, not 6/10s.
         for i in 0..6 {
             t.record_job(i * SEC / 3, 1_000, true);
         }
         let report = t.peek(2 * SEC);
+        assert!(report.ok, "{report:?}");
+        let rate = report.targets[0].observed.unwrap();
+        assert!((2.5..=3.5).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn throughput_clock_starts_at_first_completion_not_server_start() {
+        let t = tracker(&["min_jobs_per_sec=2"]);
+        // The daemon sits idle for 30s before its first client shows
+        // up, then serves 3/sec. Counting the idle 30s would hold the
+        // floor violated until enough jobs amortized it; the serving
+        // clock makes the rate honest from the first completion.
+        for i in 0..6 {
+            t.record_job(30 * SEC + i * SEC / 3, 1_000, true);
+        }
+        let report = t.peek(32 * SEC);
         assert!(report.ok, "{report:?}");
         let rate = report.targets[0].observed.unwrap();
         assert!((2.5..=3.5).contains(&rate), "rate {rate}");

@@ -12,8 +12,9 @@
 //! # Model
 //!
 //! * A **trace** is one request's causal tree: exactly one root span
-//!   plus any number of phase children (`accept`, `parse`,
-//!   `queue_wait`, `run`, `serialize`, `respond`, …).
+//!   plus any number of phase children (`accept`, `parse`, `route`,
+//!   `cache_lookup`, `queue_wait`, `coalesce_wait`, `run`,
+//!   `serialize`, `respond`, …).
 //! * A **span** is a named `[start_us, end_us]` interval with string
 //!   attributes. Spans may be opened/closed with explicit timestamps so
 //!   a phase measured on one thread (queue admission on the acceptor)

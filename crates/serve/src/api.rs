@@ -31,10 +31,12 @@ use spur_core::obs::ObsParams;
 use spur_core::system::SimOverrides;
 use spur_harness::{Job, Json};
 use spur_obs::validate::{get_field, parse};
-use spur_trace::spec::parse_workload;
+use spur_trace::spec::{format_workload, parse_workload};
 use spur_trace::workloads::{slc, workload1, Workload};
 use spur_types::MemSize;
 use spur_vm::policy::RefPolicy;
+
+use crate::queue::Priority;
 
 /// Guardrail on `scale.refs`: one served job may be big, but not
 /// "typo'd an extra three zeros" big.
@@ -76,6 +78,7 @@ pub struct JobSpec {
     scale: Scale,
     obs: Option<ObsParams>,
     overrides: SimOverrides,
+    priority: Priority,
 }
 
 impl JobSpec {
@@ -104,6 +107,45 @@ impl JobSpec {
                 shared_pages,
             } => spur_mp::mp_key(cpus, shared_pages, policy),
         }
+    }
+
+    /// The submission's priority lane (`"priority"` field, default
+    /// normal).
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The deficit-round-robin cost of running this cell: simulated
+    /// references across repetitions, the one knob that scales run
+    /// time. A greedy client submitting huge cells burns its deficit
+    /// proportionally faster than one submitting quick cells.
+    pub fn cost(&self) -> u64 {
+        self.scale.refs.saturating_mul(u64::from(self.scale.reps))
+    }
+
+    /// The canonical *full-spec* identity, the unit of coalescing,
+    /// caching, and peer routing.
+    ///
+    /// The harness key (`table_4_1/SLC/5MB/MISS`) deliberately omits
+    /// scale, seed, observability, and overrides — two submissions with
+    /// the same key can still demand different simulations. Everything
+    /// that changes the produced artifact byte-for-byte is folded in
+    /// here, so two equal identities are interchangeable results by
+    /// construction. Custom workload text enters as a hash: identity
+    /// strings stay short and never embed user payloads.
+    pub fn identity(&self) -> String {
+        let s = &self.scale;
+        format!(
+            "{}|wl={:016x}|refs={},seed={},reps={},dev={}|obs={:?}|ov={:?}",
+            self.key(),
+            fnv1a(format_workload(&self.workload).as_bytes()),
+            s.refs,
+            s.seed,
+            s.reps,
+            s.dev_refs_per_hour,
+            self.obs,
+            self.overrides,
+        )
     }
 
     /// Compiles the spec into a harness job via the shared builders.
@@ -192,6 +234,7 @@ pub fn parse_job_spec(body: &[u8]) -> Result<JobSpec, String> {
 
     let scale = parse_scale(&doc)?;
     let obs = parse_obs(&doc)?;
+    let priority = parse_priority(&doc)?;
 
     if let Kind::Mp {
         cpus, shared_pages, ..
@@ -212,6 +255,7 @@ pub fn parse_job_spec(body: &[u8]) -> Result<JobSpec, String> {
             scale,
             obs,
             overrides: SimOverrides::default(),
+            priority,
         });
     }
 
@@ -232,7 +276,34 @@ pub fn parse_job_spec(body: &[u8]) -> Result<JobSpec, String> {
         scale,
         obs,
         overrides,
+        priority,
     })
+}
+
+fn parse_priority(doc: &Json) -> Result<Priority, String> {
+    match get_field(doc, "priority") {
+        None => Ok(Priority::Normal),
+        Some(v) => match as_str(v, "priority")? {
+            "high" => Ok(Priority::High),
+            "normal" => Ok(Priority::Normal),
+            "low" => Ok(Priority::Low),
+            other => Err(format!(
+                "unknown priority {other:?} (expected high|normal|low)"
+            )),
+        },
+    }
+}
+
+/// FNV-1a 64, the same tiny non-cryptographic hash the fault plan
+/// uses: enough to fold arbitrary workload text into a fixed-width
+/// identity component.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 fn parse_workload_field(doc: &Json) -> Result<Workload, String> {
@@ -596,6 +667,64 @@ mod tests {
                 "{body:?}: error {err:?} should mention {needle:?}"
             );
         }
+    }
+
+    #[test]
+    fn priority_parses_with_normal_default() {
+        let s = spec(r#"{"experiment":"refbit","workload":"SLC","mem_mb":5}"#).unwrap();
+        assert_eq!(s.priority(), Priority::Normal);
+        let s = spec(r#"{"experiment":"refbit","workload":"SLC","mem_mb":5,"priority":"high"}"#)
+            .unwrap();
+        assert_eq!(s.priority(), Priority::High);
+        let s = spec(r#"{"experiment":"mp","priority":"low"}"#).unwrap();
+        assert_eq!(s.priority(), Priority::Low);
+        let err =
+            spec(r#"{"experiment":"refbit","workload":"SLC","mem_mb":5,"priority":"urgent"}"#)
+                .unwrap_err();
+        assert!(err.contains("unknown priority"), "{err}");
+    }
+
+    #[test]
+    fn identity_separates_what_the_harness_key_conflates() {
+        // Same harness key, different seed: MUST NOT share an identity,
+        // or the cache would serve one seed's artifact for the other.
+        let a = spec(
+            r#"{"experiment":"refbit","workload":"SLC","mem_mb":5,"scale":{"refs":20000,"seed":1}}"#,
+        )
+        .unwrap();
+        let b = spec(
+            r#"{"experiment":"refbit","workload":"SLC","mem_mb":5,"scale":{"refs":20000,"seed":2}}"#,
+        )
+        .unwrap();
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.identity(), b.identity());
+
+        // Obs and overrides change artifact bytes, so they change
+        // identity too.
+        let c = spec(r#"{"experiment":"refbit","workload":"SLC","mem_mb":5,"obs":false}"#).unwrap();
+        let d = spec(r#"{"experiment":"refbit","workload":"SLC","mem_mb":5}"#).unwrap();
+        assert_ne!(c.identity(), d.identity());
+        let e = spec(
+            r#"{"experiment":"refbit","workload":"SLC","mem_mb":5,"overrides":{"daemon_period":500}}"#,
+        )
+        .unwrap();
+        assert_ne!(d.identity(), e.identity());
+
+        // Identical submissions produce identical identities, and
+        // priority deliberately does NOT enter: a high-priority
+        // duplicate can ride an in-flight normal-priority run.
+        let f = spec(r#"{"experiment":"refbit","workload":"SLC","mem_mb":5,"priority":"high"}"#)
+            .unwrap();
+        assert_eq!(d.identity(), f.identity());
+    }
+
+    #[test]
+    fn cost_scales_with_refs_and_reps() {
+        let s = spec(
+            r#"{"experiment":"refbit","workload":"SLC","mem_mb":5,"scale":{"refs":30000,"reps":3}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.cost(), 90_000);
     }
 
     #[test]

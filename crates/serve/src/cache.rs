@@ -1,0 +1,198 @@
+//! The bounded results cache: byte-identical replays for free.
+//!
+//! Every served job is deterministic and stable-keyed (the invariant
+//! PRs 1–8 built), so a completed artifact *is* the answer to every
+//! future submission with the same full-spec identity — re-simulating
+//! it would burn worker time to produce the same bytes. The cache maps
+//! `JobSpec::identity()` → the exact artifact JSON the leader run
+//! persisted, evicting least-recently-used entries at `--cache-entries`
+//! capacity. Only successful single-job runs are cached: failures must
+//! re-run (the fault may have been chaos), and scenario cells carry
+//! matrix context that isn't identity-addressable.
+//!
+//! Counters live here (not in the metrics registry) so a cache and its
+//! accounting can never drift: every `get` is exactly one hit or one
+//! miss, every capacity overflow is one eviction.
+
+use std::collections::HashMap;
+
+/// A cached completed run: everything `job_result` and `job_status`
+/// need to answer without touching a worker.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// The harness key (`table_4_1/SLC/5MB/MISS`) — kept for the
+    /// status body and the experiment label.
+    pub key: String,
+    /// The experiment family, a static label for metrics.
+    pub experiment: &'static str,
+    /// The artifact JSON, byte-identical to the leader's persisted
+    /// file.
+    pub artifact: String,
+    /// The leader run's wall time, reported verbatim so a cache hit's
+    /// status is honest about what the simulation cost.
+    pub wall_ms: u64,
+}
+
+/// A fixed-capacity LRU map from full-spec identity to artifact.
+///
+/// Plain `HashMap` + recency `VecDeque` of identities: capacities are
+/// small (hundreds), so the O(n) recency splice on hit is noise next
+/// to the simulation it saves. Capacity 0 disables caching entirely —
+/// every lookup is a miss and nothing is stored.
+pub struct ResultsCache {
+    entries: HashMap<String, CachedResult>,
+    /// Identities from least- to most-recently used.
+    order: std::collections::VecDeque<String>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultsCache {
+    pub fn new(capacity: usize) -> Self {
+        ResultsCache {
+            entries: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up an identity, counting a hit (and refreshing recency)
+    /// or a miss.
+    pub fn get(&mut self, identity: &str) -> Option<CachedResult> {
+        match self.entries.get(identity) {
+            Some(found) => {
+                let found = found.clone();
+                self.hits += 1;
+                if let Some(pos) = self.order.iter().position(|k| k == identity) {
+                    self.order.remove(pos);
+                }
+                self.order.push_back(identity.to_string());
+                Some(found)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a completed result, evicting the least-recently-used
+    /// entry if at capacity. Re-inserting an existing identity (two
+    /// leaders can race across instances) refreshes value and recency
+    /// without an eviction. Returns `true` when an entry was evicted.
+    pub fn insert(&mut self, identity: String, result: CachedResult) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let mut evicted = false;
+        if self.entries.insert(identity.clone(), result).is_some() {
+            if let Some(pos) = self.order.iter().position(|k| *k == identity) {
+                self.order.remove(pos);
+            }
+        } else if self.entries.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+                evicted = true;
+            }
+        }
+        self.order.push_back(identity);
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: &str) -> CachedResult {
+        CachedResult {
+            key: format!("key/{tag}"),
+            experiment: "refbit",
+            artifact: format!("{{\"artifact\":\"{tag}\"}}"),
+            wall_ms: 7,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_stored_bytes_and_counts() {
+        let mut c = ResultsCache::new(4);
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), result("a"));
+        let hit = c.get("a").unwrap();
+        assert_eq!(hit.artifact, "{\"artifact\":\"a\"}");
+        assert_eq!(hit.key, "key/a");
+        assert_eq!((c.hits(), c.misses(), c.evictions()), (1, 1, 0));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_in_order() {
+        let mut c = ResultsCache::new(2);
+        c.insert("a".into(), result("a"));
+        c.insert("b".into(), result("b"));
+        // Touch "a" so "b" becomes the LRU victim.
+        c.get("a").unwrap();
+        c.insert("c".into(), result("c"));
+        assert!(c.get("b").is_none(), "b was least recently used");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.evictions(), 1);
+        // Next insert evicts "a" (touched before c was inserted, but
+        // the gets above refreshed both a and c — oldest is now a).
+        c.insert("d".into(), result("d"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 2);
+    }
+
+    #[test]
+    fn reinserting_refreshes_without_eviction() {
+        let mut c = ResultsCache::new(2);
+        c.insert("a".into(), result("a"));
+        c.insert("b".into(), result("b"));
+        c.insert("a".into(), result("a2"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get("a").unwrap().artifact, "{\"artifact\":\"a2\"}");
+        // "b" is now the LRU.
+        c.insert("c".into(), result("c"));
+        assert!(c.get("b").is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage_but_still_counts_misses() {
+        let mut c = ResultsCache::new(0);
+        c.insert("a".into(), result("a"));
+        assert!(c.is_empty());
+        assert!(c.get("a").is_none());
+        assert_eq!((c.hits(), c.misses()), (0, 1));
+    }
+}

@@ -50,6 +50,20 @@ pub fn http_request(
     body: Option<&[u8]>,
     timeout: Duration,
 ) -> std::io::Result<HttpResponse> {
+    http_request_headers(addr, method, path, body, &[], timeout)
+}
+
+/// Like [`http_request`], with extra request headers — how a caller
+/// identifies itself (`x-client-id`) or a proxying instance marks a
+/// forwarded hop (`x-spur-forwarded`).
+pub fn http_request_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    extra_headers: &[(&str, &str)],
+    timeout: Duration,
+) -> std::io::Result<HttpResponse> {
     let sockaddr: SocketAddr = addr
         .to_socket_addrs()?
         .next()
@@ -59,10 +73,17 @@ pub fn http_request(
     stream.set_write_timeout(Some(timeout))?;
 
     let body = body.unwrap_or(&[]);
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()?;

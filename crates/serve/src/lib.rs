@@ -5,8 +5,21 @@
 //! daemon owns a long-lived pool, accepts experiment submissions over
 //! a minimal HTTP/1.1 API, and applies backpressure honestly: the job
 //! queue is bounded, a full queue sheds submissions with `429` +
-//! `Retry-After` instead of buffering without limit, and shutdown is
-//! drain-then-exit — every accepted job still runs.
+//! `Retry-After` derived from live queue depth and drain rate, and
+//! shutdown is drain-then-exit — every accepted job still runs.
+//!
+//! # The serve pipeline
+//!
+//! Submissions flow accept → parse → **route** (consistent-hash the
+//! full-spec identity to a worker shard, or to the owning peer in
+//! multi-instance mode) → **cache lookup** (LRU results cache; a hit
+//! answers without simulating) → **coalesce** (identical in-flight
+//! submissions join the running leader instead of queuing) → the
+//! shard's deficit-round-robin lane for this client. Every job is
+//! deterministic and byte-reproducible, which is what makes the cache
+//! and coalescing *correct*, not merely fast: a cached or coalesced
+//! answer is provably the same bytes a fresh run would produce. See
+//! [`queue::FairQueue`], [`cache::ResultsCache`], [`ring::HashRing`].
 //!
 //! # API
 //!
@@ -46,16 +59,22 @@
 //! See `docs/SERVING.md` for the operational guide.
 
 pub mod api;
+pub mod cache;
 pub mod client;
 pub mod http;
 pub mod metrics;
 pub mod queue;
+pub mod ring;
 pub mod scenario;
 pub mod server;
 
 pub use api::{parse_job_spec, JobSpec};
-pub use client::{get, http_request, post_json, HttpResponse};
+pub use cache::{CachedResult, ResultsCache};
+pub use client::{get, http_request, http_request_headers, post_json, HttpResponse};
 pub use metrics::{PhaseSample, ServeMetrics};
-pub use queue::{BoundedQueue, PushError};
+pub use queue::{
+    retry_after_secs, Admission, BoundedQueue, FairPushError, FairQueue, Priority, PushError,
+};
+pub use ring::HashRing;
 pub use scenario::MAX_SCENARIO_CELLS;
 pub use server::{ChaosConfig, DrainSummary, ServeConfig, Server};

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! spur-serve [--addr 127.0.0.1:7979] [--workers N] [--queue-bound N]
+//!            [--shards N] [--cache-entries N] [--client-quota N]
+//!            [--peers HOST:PORT,...] [--self-peer HOST:PORT]
 //!            [--accept-threads N] [--read-timeout-ms N]
 //!            [--write-timeout-ms N] [--max-body-bytes N]
 //!            [--results-dir DIR] [--panic-retries N]
@@ -22,6 +24,13 @@
 //! 60) and exposed at `GET /v1/slo` and on `/metrics`. The `--chaos-*`
 //! flags arm deterministic fault injection for soak testing; any
 //! chaos flag implies chaos with the other rates at zero.
+//!
+//! `--peers` declares the full multi-instance membership (comma
+//! separated, every instance gets the same list) and `--self-peer`
+//! names this instance's own entry in it; submissions whose identity
+//! hashes to another peer are proxied there. `--client-quota` caps
+//! queued jobs per client id (0 = unlimited); `--shards` splits the
+//! worker pool into independently-ordered queues.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,6 +42,8 @@ use spur_serve::{ChaosConfig, ServeConfig, Server};
 fn usage() -> ! {
     eprintln!(
         "usage: spur-serve [--addr HOST:PORT] [--workers N] [--queue-bound N]\n\
+         \x20                 [--shards N] [--cache-entries N] [--client-quota N]\n\
+         \x20                 [--peers HOST:PORT,...] [--self-peer HOST:PORT]\n\
          \x20                 [--accept-threads N] [--read-timeout-ms N]\n\
          \x20                 [--write-timeout-ms N] [--max-body-bytes N]\n\
          \x20                 [--results-dir DIR] [--panic-retries N]\n\
@@ -59,6 +70,21 @@ fn parse_config() -> ServeConfig {
             "--queue-bound" => {
                 cfg.queue_bound = parse_num(&value("--queue-bound"), "--queue-bound")
             }
+            "--shards" => cfg.shards = parse_num(&value("--shards"), "--shards"),
+            "--cache-entries" => {
+                cfg.cache_entries = parse_num(&value("--cache-entries"), "--cache-entries")
+            }
+            "--client-quota" => {
+                cfg.client_quota = parse_num(&value("--client-quota"), "--client-quota")
+            }
+            "--peers" => {
+                cfg.peers = value("--peers")
+                    .split(',')
+                    .map(|p| p.trim().to_string())
+                    .filter(|p| !p.is_empty())
+                    .collect()
+            }
+            "--self-peer" => cfg.self_peer = Some(value("--self-peer")),
             "--accept-threads" => {
                 cfg.accept_threads = parse_num(&value("--accept-threads"), "--accept-threads")
             }

@@ -57,6 +57,20 @@ pub struct ServeMetrics {
     pub jobs_failed: AtomicU64,
     /// Panicked job runs that were re-queued for another attempt.
     pub jobs_retried: AtomicU64,
+    /// Submissions that joined an identical in-flight run instead of
+    /// queuing their own (followers; the leader is counted normally).
+    pub jobs_coalesced: AtomicU64,
+    /// Submissions answered from the results cache without queuing.
+    pub cache_hits: AtomicU64,
+    /// Cache lookups that found nothing (including with caching off).
+    pub cache_misses: AtomicU64,
+    /// Entries evicted from the results cache at capacity.
+    pub cache_evictions: AtomicU64,
+    /// Submissions shed with 429 because their *client* was over
+    /// quota while the queue itself had room.
+    pub quota_rejected: AtomicU64,
+    /// Requests forwarded to the owning peer instance.
+    pub jobs_proxied: AtomicU64,
     latency: Mutex<Latency>,
 }
 
@@ -118,6 +132,12 @@ impl ServeMetrics {
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_retried: AtomicU64::new(0),
+            jobs_coalesced: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
+            jobs_proxied: AtomicU64::new(0),
             latency: Mutex::new(Latency {
                 submit_ms: Histogram::new("submit_ms"),
                 e2e_ms: Histogram::new("e2e_ms"),
@@ -131,6 +151,21 @@ impl ServeMetrics {
     pub fn observe_submit(&self, submit_ms: u64) {
         let mut latency = self.latency.lock().unwrap_or_else(|e| e.into_inner());
         latency.submit_ms.record(submit_ms);
+    }
+
+    /// Records a *logical* completion that ran no simulation of its
+    /// own: a coalesced follower or a cache hit. Counts toward the
+    /// completion/failure totals and the e2e latency summary, but not
+    /// the phase histograms — those measure actual work, and a
+    /// follower's queue_wait/run phases would be fiction.
+    pub fn observe_logical(&self, e2e_ms: u64, ok: bool) {
+        if ok {
+            self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut latency = self.latency.lock().unwrap_or_else(|e| e.into_inner());
+        latency.e2e_ms.record(e2e_ms);
     }
 
     /// Records one finished job's span-derived phase durations.
@@ -152,13 +187,16 @@ impl ServeMetrics {
         }
     }
 
-    /// Renders the Prometheus text exposition. `queue_depth` and
-    /// `draining` come from the queue; `uptime_seconds` from the
-    /// server's start instant.
+    /// Renders the Prometheus text exposition. `queue_depth`,
+    /// `draining`, and the shape gauges (`queue_bound`, `shards`,
+    /// `cache_entries`) come from the queue and config;
+    /// `uptime_seconds` from the server's start instant.
     pub fn render_prometheus(
         &self,
         queue_depth: usize,
         queue_bound: usize,
+        shards: usize,
+        cache_entries: usize,
         draining: bool,
         uptime_seconds: u64,
     ) -> String {
@@ -218,6 +256,42 @@ impl ServeMetrics {
             "Panicked job runs re-queued for another attempt.",
             self.jobs_retried.load(Ordering::Relaxed),
         );
+        render_counter(
+            &mut out,
+            "spur_serve_jobs_coalesced_total",
+            "Submissions that joined an identical in-flight run.",
+            self.jobs_coalesced.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "spur_serve_cache_hits_total",
+            "Submissions answered from the results cache.",
+            self.cache_hits.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "spur_serve_cache_misses_total",
+            "Results-cache lookups that found nothing.",
+            self.cache_misses.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "spur_serve_cache_evictions_total",
+            "Entries evicted from the results cache at capacity.",
+            self.cache_evictions.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "spur_serve_quota_rejected_total",
+            "Submissions shed with 429 because their client was over quota.",
+            self.quota_rejected.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "spur_serve_jobs_proxied_total",
+            "Requests forwarded to the owning peer instance.",
+            self.jobs_proxied.load(Ordering::Relaxed),
+        );
         render_gauge(
             &mut out,
             "spur_serve_queue_depth",
@@ -229,6 +303,18 @@ impl ServeMetrics {
             "spur_serve_queue_bound",
             "Configured queue capacity.",
             queue_bound as u64,
+        );
+        render_gauge(
+            &mut out,
+            "spur_serve_shards",
+            "Configured worker shard count.",
+            shards as u64,
+        );
+        render_gauge(
+            &mut out,
+            "spur_serve_cache_entries",
+            "Configured results-cache capacity in entries.",
+            cache_entries as u64,
         );
         render_gauge(
             &mut out,
@@ -315,7 +401,7 @@ mod tests {
         m.observe_phases("refbit", sample(2, 40, 1, true));
         m.observe_phases("refbit", sample(3, 60, 1, true));
         m.observe_phases("mp", sample(1, 50, 1, false));
-        let text = m.render_prometheus(2, 16, false, 7);
+        let text = m.render_prometheus(2, 16, 4, 128, false, 7);
         assert!(text.contains("spur_serve_build_info{version=\""));
         assert!(text.contains("spur_serve_uptime_seconds 7\n"));
         assert!(text.contains("spur_serve_http_requests_total 5\n"));
@@ -325,7 +411,15 @@ mod tests {
         assert!(text.contains("spur_serve_jobs_failed_total 1\n"));
         assert!(text.contains("spur_serve_queue_depth 2\n"));
         assert!(text.contains("spur_serve_queue_bound 16\n"));
+        assert!(text.contains("spur_serve_shards 4\n"));
+        assert!(text.contains("spur_serve_cache_entries 128\n"));
         assert!(text.contains("spur_serve_draining 0\n"));
+        assert!(text.contains("spur_serve_jobs_coalesced_total 0\n"));
+        assert!(text.contains("spur_serve_cache_hits_total 0\n"));
+        assert!(text.contains("spur_serve_cache_misses_total 0\n"));
+        assert!(text.contains("spur_serve_cache_evictions_total 0\n"));
+        assert!(text.contains("spur_serve_quota_rejected_total 0\n"));
+        assert!(text.contains("spur_serve_jobs_proxied_total 0\n"));
         // The acceptance-criteria quantiles survive the span rework.
         assert!(text.contains("spur_serve_job_run_ms{quantile=\"0.5\"}"));
         assert!(text.contains("spur_serve_job_run_ms{quantile=\"0.9\"}"));
@@ -340,7 +434,7 @@ mod tests {
         let m = ServeMetrics::new();
         m.observe_phases("refbit", sample(2, 40, 1, true));
         m.observe_phases("mp", sample(8, 200, 2, true));
-        let text = m.render_prometheus(0, 16, false, 0);
+        let text = m.render_prometheus(0, 16, 1, 0, false, 0);
         assert!(text.contains("spur_serve_phase_ms_count{phase=\"run\",experiment=\"refbit\"} 1\n"));
         assert!(
             text.contains("spur_serve_phase_ms_count{phase=\"queue_wait\",experiment=\"mp\"} 1\n")
@@ -362,7 +456,7 @@ mod tests {
         let m = ServeMetrics::new();
         m.observe_phases("mp", sample(1, 1, 1, true));
         m.observe_phases("events", sample(1, 1, 1, true));
-        let text = m.render_prometheus(0, 16, false, 0);
+        let text = m.render_prometheus(0, 16, 1, 0, false, 0);
         let events_at = text.find("experiment=\"events\"").unwrap();
         let mp_at = text.find("experiment=\"mp\"").unwrap();
         assert!(events_at < mp_at, "rows sort by experiment name");

@@ -1,10 +1,24 @@
-//! The daemon: accept pool, worker pool, routing, and drain-then-exit.
+//! The daemon: accept pool, sharded worker pool, routing, coalescing,
+//! the results cache, and drain-then-exit.
 //!
 //! Two thread families share one [`Shared`] state. *Acceptors* block in
 //! `accept()` on a cloned listener, parse one request per connection,
-//! and answer; *workers* block in [`BoundedQueue::pop`] and execute
-//! jobs with [`run_one`] — the exact per-job body the batch harness
-//! uses, so a served job's artifact is byte-identical to a sweep's.
+//! and answer; *workers* pin to a shard of the [`FairQueue`] and
+//! execute jobs with [`run_one`] — the exact per-job body the batch
+//! harness uses, so a served job's artifact is byte-identical to a
+//! sweep's.
+//!
+//! A submission's path after parse is a fixed pipeline:
+//! **route** (hash the full-spec identity to a worker shard — or, in
+//! multi-instance mode, to the owning peer, proxying if that isn't
+//! us), **cache lookup** (a previously computed artifact answers
+//! immediately; determinism makes that answer byte-exact, not
+//! approximate), **coalesce** (an identical in-flight submission joins
+//! the running leader as a *follower* and receives the leader's bytes
+//! when it lands), and finally the shard's per-client
+//! deficit-round-robin lane. Every stage is a span phase (`route`,
+//! `cache_lookup`, `coalesce_wait`), so `/v1/jobs/{id}/trace` still
+//! reconciles with root wall time.
 //!
 //! Every accepted submission carries a [`SpanContext`] from the moment
 //! its socket was read: the acceptor opens the trace and its `accept`
@@ -38,9 +52,11 @@ use spur_obs::slo::{SloTarget, SloTracker};
 use spur_obs::span::{SpanContext, SpanSink};
 
 use crate::api::{parse_job_spec, JobSpec};
+use crate::cache::{CachedResult, ResultsCache};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::metrics::{PhaseSample, ServeMetrics};
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{retry_after_secs, Admission, FairPushError, FairQueue, Priority};
+use crate::ring::HashRing;
 use crate::scenario::{build_scenario_cell, evaluate_finished, parse_scenario_submission};
 use spur_scenario::Verdict;
 
@@ -49,6 +65,27 @@ use spur_scenario::Verdict;
 /// `trace_capacity` events), so only the most recent few are kept; the
 /// *span* trees are small and keep their own, much larger ring.
 const SIM_TRACE_RETAIN: usize = 32;
+
+/// Job/scenario id stride between instances: instance *k* of a
+/// multi-instance deployment numbers its jobs from `k * ID_STRIDE`, so
+/// any instance can tell from a bare id which peer owns its records
+/// (and proxy the poll there). A single instance runs out of ids after
+/// a billion jobs — a non-problem for a simulator service.
+const ID_STRIDE: u64 = 1_000_000_000;
+
+/// DRR refill per client lane per rotation, in units of
+/// `JobSpec::cost` (simulated refs). One quantum ≈ one quick-scale
+/// job: clients trading small jobs interleave one-for-one, and a
+/// full-scale job (2M refs) bills ~40 rotations of patience.
+const DRR_QUANTUM: u64 = 50_000;
+
+/// Flat DRR cost billed per scenario cell (cells don't carry a
+/// parsed-out Scale here; a mid-size constant keeps a big matrix from
+/// starving interactive clients without special-casing the lane math).
+const SCENARIO_CELL_COST: u64 = 20_000;
+
+/// Sliding window for the drain-rate estimate behind `Retry-After`.
+const DRAIN_WINDOW_US: u64 = 30_000_000;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -90,6 +127,25 @@ pub struct ServeConfig {
     pub slo_window: Duration,
     /// Completed span traces retained for `GET /v1/jobs/{id}/trace`.
     pub trace_capacity: usize,
+    /// Worker shards. Workers pin round-robin to shards; submissions
+    /// route to a shard by hashing their full-spec identity, so
+    /// identical jobs always land (and coalesce) on the same shard.
+    pub shards: usize,
+    /// Results-cache capacity in entries (LRU by full-spec identity).
+    /// Zero disables caching.
+    pub cache_entries: usize,
+    /// Per-client queued-job quota (0 = unlimited). A client at its
+    /// quota is shed with 429 + its own Retry-After while the queue
+    /// keeps serving everyone else.
+    pub client_quota: usize,
+    /// Multi-instance membership: every instance's address, identical
+    /// on every instance (order-insensitive). Empty = single instance.
+    /// When set, `self_peer` must name this instance's own entry;
+    /// submissions whose identity hashes to another peer are proxied
+    /// there, keeping the cache key-partitioned.
+    pub peers: Vec<String>,
+    /// This instance's entry in `peers`.
+    pub self_peer: Option<String>,
 }
 
 /// Seeded fault-injection knobs, all decided deterministically from
@@ -125,6 +181,11 @@ impl Default for ServeConfig {
             slos: Vec::new(),
             slo_window: Duration::from_secs(60),
             trace_capacity: SpanSink::DEFAULT_CAPACITY,
+            shards: 1,
+            cache_entries: 128,
+            client_quota: 0,
+            peers: Vec::new(),
+            self_peer: None,
         }
     }
 }
@@ -191,6 +252,36 @@ struct QueuedJob {
     queue_span: SpanContext,
     /// Experiment family for metric labels.
     experiment: &'static str,
+    /// Full-spec identity for Spec jobs — the coalescing/cache unit.
+    /// `None` for scenario cells (matrix context isn't
+    /// identity-addressable, so they neither coalesce nor cache).
+    identity: Option<String>,
+}
+
+/// A submission waiting on an identical in-flight leader run.
+struct Follower {
+    id: u64,
+    /// Root span of the follower's own trace.
+    root: SpanContext,
+    /// Its open `coalesce_wait` span, closed at fan-out.
+    coalesce_span: SpanContext,
+}
+
+/// One in-flight Spec run, keyed by full-spec identity.
+struct Inflight {
+    leader_id: u64,
+    followers: Vec<Follower>,
+}
+
+/// The dedup core: the results cache and the in-flight map live under
+/// ONE mutex, so "check cache → check inflight → enqueue as leader"
+/// is atomic against "leader finished → populate cache → fan out".
+/// Without that atomicity a submission could miss the cache, then miss
+/// the inflight entry the finishing worker just removed, and re-run a
+/// job whose result was computed a microsecond ago.
+struct Dedup {
+    cache: ResultsCache,
+    inflight: HashMap<String, Inflight>,
 }
 
 /// One accepted scenario submission: the stored config bytes plus the
@@ -206,9 +297,22 @@ struct ScenarioRecord {
 
 struct Shared {
     cfg: ServeConfig,
-    queue: BoundedQueue<QueuedJob>,
+    queue: FairQueue<QueuedJob>,
     jobs: Mutex<HashMap<u64, JobRecord>>,
     scenarios: Mutex<HashMap<u64, ScenarioRecord>>,
+    /// Cache + inflight coalescing state (see [`Dedup`]). Lock order:
+    /// `dedup` before `jobs`; never taken while holding `jobs`.
+    dedup: Mutex<Dedup>,
+    /// Consistent-hash ring over `cfg.peers`, present in
+    /// multi-instance mode.
+    ring: Option<HashRing>,
+    /// This instance's index into the (sorted) peer list — the id
+    /// namespace selector.
+    instance_index: usize,
+    /// Worker-completion timestamps (span clock, µs) feeding the
+    /// drain-rate estimate behind `Retry-After`. Only actual runs
+    /// count: followers and cache hits consume no worker time.
+    completions: Mutex<VecDeque<u64>>,
     next_id: AtomicU64,
     next_scenario_id: AtomicU64,
     metrics: ServeMetrics,
@@ -269,6 +373,31 @@ impl Server {
     /// Binds, then spawns the worker, acceptor, and (with SLOs
     /// declared) ticker threads.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        // Multi-instance membership must be self-consistent before we
+        // bind anything: an instance that isn't in its own peer list
+        // would proxy every request somewhere else forever.
+        let (ring, instance_index) = if cfg.peers.is_empty() {
+            (None, 0)
+        } else {
+            let Some(self_peer) = &cfg.self_peer else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "peers configured without self_peer",
+                ));
+            };
+            // Sort so every instance numbers the same peer list the
+            // same way regardless of flag order.
+            let mut peers = cfg.peers.clone();
+            peers.sort();
+            peers.dedup();
+            let Some(idx) = peers.iter().position(|p| p == self_peer) else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("self_peer {self_peer:?} is not in the peer list {peers:?}"),
+                ));
+            };
+            (Some(HashRing::new(&peers)), idx)
+        };
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let fault_plan = cfg
@@ -279,11 +408,31 @@ impl Server {
             .then(|| SloTracker::new(cfg.slos.clone(), cfg.slo_window.as_micros() as u64));
         let spans = SpanSink::new(cfg.trace_capacity);
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(cfg.queue_bound),
+            // A shard with no pinned worker would strand its jobs, so
+            // the effective shard count never exceeds the worker pool
+            // (zero-worker test configs keep their shards: nothing
+            // runs anyway).
+            queue: FairQueue::new(
+                if cfg.workers == 0 {
+                    cfg.shards
+                } else {
+                    cfg.shards.min(cfg.workers)
+                },
+                cfg.queue_bound,
+                cfg.client_quota,
+                DRR_QUANTUM,
+            ),
             jobs: Mutex::new(HashMap::new()),
             scenarios: Mutex::new(HashMap::new()),
-            next_id: AtomicU64::new(0),
-            next_scenario_id: AtomicU64::new(0),
+            dedup: Mutex::new(Dedup {
+                cache: ResultsCache::new(cfg.cache_entries),
+                inflight: HashMap::new(),
+            }),
+            ring,
+            instance_index,
+            completions: Mutex::new(VecDeque::new()),
+            next_id: AtomicU64::new(instance_index as u64 * ID_STRIDE),
+            next_scenario_id: AtomicU64::new(instance_index as u64 * ID_STRIDE),
             metrics: ServeMetrics::new(),
             stop_accepting: AtomicBool::new(false),
             local_addr,
@@ -299,10 +448,12 @@ impl Server {
             cfg,
         });
 
+        let shard_count = shared.queue.shard_count();
         let workers = (0..shared.cfg.workers)
-            .map(|_| {
+            .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                let shard = i % shard_count;
+                std::thread::spawn(move || worker_loop(&shared, shard))
             })
             .collect();
         let acceptors = (0..shared.cfg.accept_threads.max(1))
@@ -413,8 +564,8 @@ fn rebuild_job(queued: &QueuedJob) -> Job<()> {
     })
 }
 
-fn worker_loop(shared: &Shared) {
-    while let Some(queued) = shared.queue.pop() {
+fn worker_loop(shared: &Shared, shard: usize) {
+    while let Some(queued) = shared.queue.pop(shard) {
         let picked_us = shared.spans.now_us();
         shared.spans.end_span(queued.queue_span, Some(picked_us));
         if let Some(record) = lock_unpoisoned(&shared.jobs).get_mut(&queued.id) {
@@ -498,10 +649,80 @@ fn worker_loop(shared: &Shared) {
                 ring.pop_front();
             }
         }
+        // This worker just drained one queued job: feed the
+        // Retry-After drain-rate estimator.
+        let finished_us = shared.spans.now_us();
+        {
+            let mut comps = lock_unpoisoned(&shared.completions);
+            comps.push_back(finished_us);
+            while comps
+                .front()
+                .is_some_and(|&t| finished_us.saturating_sub(t) > DRAIN_WINDOW_US)
+            {
+                comps.pop_front();
+            }
+        }
+
+        // Leader bookkeeping: populate the cache (success only — a
+        // failure may be an injected fault, and re-running is the only
+        // honest answer), then resolve every coalesced follower with
+        // the leader's exact bytes. Cache insert and inflight removal
+        // happen under one dedup lock so no submission can fall
+        // between them. This runs BEFORE the leader's record flips to
+        // done: a client that polls "done" and instantly resubmits
+        // must find the cache already populated, not re-run the job.
+        if let Some(identity) = &queued.identity {
+            let followers = {
+                let mut dedup = lock_unpoisoned(&shared.dedup);
+                if ok {
+                    let evicted = dedup.cache.insert(
+                        identity.clone(),
+                        CachedResult {
+                            key: queued.key.clone(),
+                            experiment: queued.experiment,
+                            artifact: artifact.clone(),
+                            wall_ms,
+                        },
+                    );
+                    if evicted {
+                        shared
+                            .metrics
+                            .cache_evictions
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                dedup
+                    .inflight
+                    .remove(identity)
+                    .map(|i| i.followers)
+                    .unwrap_or_default()
+            };
+            for follower in followers {
+                if let Some(record) = lock_unpoisoned(&shared.jobs).get_mut(&follower.id) {
+                    record.state = if ok { JobState::Done } else { JobState::Failed };
+                    record.artifact = Some(artifact.clone());
+                    record.error = error.clone();
+                    record.wall_ms = Some(wall_ms);
+                }
+                shared
+                    .spans
+                    .end_span(follower.coalesce_span, Some(finished_us));
+                if let Some(trace) = shared.spans.finish(follower.root.trace) {
+                    let e2e_us = trace.root().duration_us().unwrap_or(0);
+                    shared.metrics.observe_logical(e2e_us / 1_000, ok);
+                    if let Some(slo) = &shared.slo {
+                        slo.record_job(shared.spans.now_us(), e2e_us, ok);
+                    }
+                } else {
+                    shared.metrics.observe_logical(0, ok);
+                }
+            }
+        }
+
         if let Some(record) = lock_unpoisoned(&shared.jobs).get_mut(&queued.id) {
             record.state = if ok { JobState::Done } else { JobState::Failed };
-            record.artifact = Some(artifact);
-            record.error = error;
+            record.artifact = Some(artifact.clone());
+            record.error = error.clone();
             record.wall_ms = Some(wall_ms);
         }
 
@@ -584,10 +805,16 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
     let accepted_us = shared.spans.now_us();
+    // The fairness fallback identity: clients that don't name
+    // themselves (`x-client-id`) are billed by source IP.
+    let conn_client = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
     let routed = match read_request(&mut stream, shared.cfg.max_body_bytes) {
         Ok(request) => {
             shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
-            route(shared, &request, accepted_us)
+            route(shared, &request, accepted_us, &conn_client)
         }
         // Socket-level failure (timeout, reset, empty probe): nobody
         // is listening for an answer.
@@ -642,13 +869,13 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-fn route(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
+fn route(shared: &Shared, request: &Request, accepted_us: u64, conn_client: &str) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(shared).into(),
         ("GET", "/metrics") => Response::text(200, render_metrics(shared)).into(),
         ("GET", "/v1/slo") => slo_report(shared).into(),
-        ("POST", "/v1/jobs") => submit(shared, request, accepted_us),
-        ("POST", "/v1/scenarios") => submit_scenario(shared, request, accepted_us),
+        ("POST", "/v1/jobs") => submit(shared, request, accepted_us, conn_client),
+        ("POST", "/v1/scenarios") => submit_scenario(shared, request, accepted_us, conn_client),
         ("POST", "/v1/shutdown") => {
             let queued = shared.queue.depth();
             shared.request_shutdown();
@@ -668,19 +895,115 @@ fn route(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
         ) => error_response(405, "method not allowed").into(),
         ("GET", path) if path.starts_with("/v1/scenarios/") => {
             match path["/v1/scenarios/".len()..].parse::<u64>() {
-                Ok(id) => scenario_status(shared, id).into(),
+                Ok(id) => match foreign_owner(shared, request, id) {
+                    Some(peer) => proxy_get(shared, &peer, path).into(),
+                    None => scenario_status(shared, id).into(),
+                },
                 Err(_) => error_response(404, "no such route").into(),
             }
         }
         ("GET", path) => match parse_job_path(path) {
-            Some((id, JobRoute::Status)) => job_status(shared, id).into(),
-            Some((id, JobRoute::Result)) => job_result(shared, id).into(),
-            Some((id, JobRoute::Trace)) => job_trace(shared, id).into(),
-            Some((id, JobRoute::TraceChrome)) => job_trace_chrome(shared, id).into(),
+            Some((id, kind)) => {
+                // A job id names its owning instance via the id
+                // stride: polls that land on the wrong peer are
+                // proxied to the one holding the record.
+                if let Some(peer) = foreign_owner(shared, request, id) {
+                    return proxy_get(shared, &peer, path).into();
+                }
+                match kind {
+                    JobRoute::Status => job_status(shared, id).into(),
+                    JobRoute::Result => job_result(shared, id).into(),
+                    JobRoute::Trace => job_trace(shared, id).into(),
+                    JobRoute::TraceChrome => job_trace_chrome(shared, id).into(),
+                }
+            }
             None => error_response(404, "no such route").into(),
         },
         _ => error_response(404, "no such route").into(),
     }
+}
+
+/// In multi-instance mode: the peer owning `id`'s record, when that
+/// peer isn't us and the request hasn't already been forwarded once
+/// (the guard header breaks proxy loops under inconsistent configs).
+fn foreign_owner(shared: &Shared, request: &Request, id: u64) -> Option<String> {
+    let ring = shared.ring.as_ref()?;
+    if request.header("x-spur-forwarded").is_some() {
+        return None;
+    }
+    let owner_index = (id / ID_STRIDE) as usize;
+    if owner_index == shared.instance_index {
+        return None;
+    }
+    ring.peers().get(owner_index).cloned()
+}
+
+/// Forwards a GET to the owning peer verbatim, marking the hop.
+fn proxy_get(shared: &Shared, peer: &str, path: &str) -> Response {
+    shared.metrics.jobs_proxied.fetch_add(1, Ordering::Relaxed);
+    match crate::client::http_request_headers(
+        peer,
+        "GET",
+        path,
+        None,
+        &[("x-spur-forwarded", "1")],
+        shared.cfg.read_timeout,
+    ) {
+        Ok(upstream) => relay_response(upstream),
+        Err(e) => error_response_owned(502, format!("peer {peer} unreachable: {e}")),
+    }
+}
+
+/// Rebuilds a peer's response for our client: status and body
+/// verbatim, plus the one header that carries semantics (Retry-After).
+fn relay_response(upstream: crate::client::HttpResponse) -> Response {
+    let mut response = Response::json(upstream.status, upstream.text());
+    if let Some(retry) = upstream.header("retry-after") {
+        response = response.with_header("retry-after", retry.to_string());
+    }
+    response
+}
+
+/// The client identity a submission bills to: the self-declared
+/// `x-client-id` header (bounded — it becomes a lane key and a metric
+/// dimension) or the connection's source IP.
+fn client_id(request: &Request, conn_client: &str) -> String {
+    match request.header("x-client-id") {
+        Some(name) if !name.is_empty() => name.chars().take(64).collect(),
+        _ => conn_client.to_string(),
+    }
+}
+
+/// Which shard an identity routes to — the same hash family the peer
+/// ring uses, reduced over the local shard count. Identical identities
+/// always land on the same shard, which is what lets the dedup map
+/// guarantee one leader per identity.
+fn shard_of(shared: &Shared, identity: &str) -> usize {
+    (crate::ring::hash64(identity.as_bytes()) % shared.queue.shard_count() as u64) as usize
+}
+
+/// The queue-backlog Retry-After: how long until the whole queue
+/// plausibly drains at the observed completion rate.
+fn dynamic_retry_after(shared: &Shared, depth: usize) -> u64 {
+    retry_after_secs(depth, drain_rate(shared))
+}
+
+/// Observed worker completions per second over the sliding window
+/// (clipped to uptime, so a young server isn't under-credited).
+fn drain_rate(shared: &Shared) -> f64 {
+    let now = shared.spans.now_us();
+    let mut comps = lock_unpoisoned(&shared.completions);
+    while comps
+        .front()
+        .is_some_and(|&t| now.saturating_sub(t) > DRAIN_WINDOW_US)
+    {
+        comps.pop_front();
+    }
+    if comps.is_empty() {
+        return 0.0;
+    }
+    let effective_us = DRAIN_WINDOW_US.min(now.max(1));
+    comps.len() as f64 / (effective_us as f64 / 1_000_000.0)
 }
 
 /// The per-job sub-resources under `/v1/jobs/{id}`.
@@ -711,6 +1034,8 @@ fn render_metrics(shared: &Shared) -> String {
     let mut out = shared.metrics.render_prometheus(
         shared.queue.depth(),
         shared.queue.bound(),
+        shared.queue.shard_count(),
+        shared.cfg.cache_entries,
         shared.queue.is_draining(),
         shared.started.elapsed().as_secs(),
     );
@@ -762,6 +1087,7 @@ fn healthz(shared: &Shared) -> Response {
             ("queue_depth", Json::UInt(shared.queue.depth() as u64)),
             ("queue_bound", Json::UInt(shared.queue.bound() as u64)),
             ("workers", Json::UInt(shared.cfg.workers as u64)),
+            ("shards", Json::UInt(shared.queue.shard_count() as u64)),
             (
                 "jobs_submitted",
                 Json::UInt(shared.metrics.jobs_submitted.load(Ordering::Relaxed)),
@@ -781,7 +1107,7 @@ fn slo_report(shared: &Shared) -> Response {
     }
 }
 
-fn submit(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
+fn submit(shared: &Shared, request: &Request, accepted_us: u64, conn_client: &str) -> Routed {
     let read_done_us = shared.spans.now_us();
     let spec = match parse_job_spec(&request.body) {
         Ok(spec) => spec,
@@ -789,6 +1115,36 @@ fn submit(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
     };
     let key = spec.key();
     let experiment = spec.experiment();
+    let identity = spec.identity();
+    let client = client_id(request, conn_client);
+
+    // Multi-instance: the identity's ring owner runs this job (and
+    // caches it — key-partitioning falls out of routing). A request
+    // that already hopped once is served locally no matter what the
+    // ring says: one guarded hop can't loop, and serving locally under
+    // an inconsistent peer config beats bouncing forever.
+    if let Some(ring) = &shared.ring {
+        if request.header("x-spur-forwarded").is_none()
+            && ring.owner_index(&identity) != shared.instance_index
+        {
+            let owner = ring.owner(&identity).to_string();
+            shared.metrics.jobs_proxied.fetch_add(1, Ordering::Relaxed);
+            return match crate::client::http_request_headers(
+                &owner,
+                "POST",
+                "/v1/jobs",
+                Some(&request.body),
+                &[("x-spur-forwarded", "1"), ("x-client-id", &client)],
+                shared.cfg.read_timeout,
+            ) {
+                Ok(upstream) => relay_response(upstream).into(),
+                Err(e) => {
+                    error_response_owned(502, format!("peer {owner} unreachable: {e}")).into()
+                }
+            };
+        }
+    }
+
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
 
     // Open the request's trace retroactively from the accept instant;
@@ -797,6 +1153,7 @@ fn submit(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
     let root = shared.spans.begin_trace("job", Some(accepted_us));
     shared.spans.annotate(root, "job_id", id.to_string());
     shared.spans.annotate(root, "key", key.clone());
+    shared.spans.annotate(root, "client", client.clone());
     let accept = shared
         .spans
         .begin_span(root, "accept", Some(accepted_us), 0);
@@ -807,9 +1164,137 @@ fn submit(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
     let parsed_us = shared.spans.now_us();
     shared.spans.end_span(parse_span, Some(parsed_us));
 
+    // Route: pick the worker shard from the identity hash.
+    let shard = shard_of(shared, &identity);
+    let route_span = shared.spans.begin_span(root, "route", Some(parsed_us), 0);
+    shared
+        .spans
+        .annotate(route_span, "shard", shard.to_string());
+    let routed_us = shared.spans.now_us();
+    shared.spans.end_span(route_span, Some(routed_us));
+
+    // Cache lookup + coalesce decision, atomically against worker
+    // completion (see [`Dedup`]).
+    let cache_span = shared
+        .spans
+        .begin_span(root, "cache_lookup", Some(routed_us), 0);
+    let mut dedup = lock_unpoisoned(&shared.dedup);
+
+    if let Some(hit) = dedup.cache.get(&identity) {
+        drop(dedup);
+        shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .jobs_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        let looked_us = shared.spans.now_us();
+        shared.spans.annotate(cache_span, "outcome", "hit");
+        shared.spans.end_span(cache_span, Some(looked_us));
+        lock_unpoisoned(&shared.jobs).insert(
+            id,
+            JobRecord {
+                key: key.clone(),
+                state: JobState::Done,
+                artifact: Some(hit.artifact),
+                error: None,
+                wall_ms: Some(hit.wall_ms),
+                trace_id: root.trace,
+                experiment,
+                admitted_us: looked_us,
+            },
+        );
+        // The trace seals here: a cache hit's lifecycle ends at the
+        // lookup. (The respond span becomes a no-op on the sealed
+        // trace; submit latency is still recorded by the writer.)
+        if let Some(trace) = shared.spans.finish(root.trace) {
+            let e2e_us = trace.root().duration_us().unwrap_or(0);
+            shared.metrics.observe_logical(e2e_us / 1_000, true);
+            if let Some(slo) = &shared.slo {
+                slo.record_job(shared.spans.now_us(), e2e_us, true);
+            }
+        }
+        return Routed {
+            response: Response::json(
+                202,
+                Json::object([
+                    ("id", Json::UInt(id)),
+                    ("key", Json::Str(key)),
+                    ("status", Json::Str("done".into())),
+                    ("cached", Json::Bool(true)),
+                    ("trace_id", Json::UInt(root.trace)),
+                ])
+                .encode(),
+            ),
+            submitted: Some(root),
+        };
+    }
+    shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    if let Some(inflight) = dedup.inflight.get_mut(&identity) {
+        let leader_id = inflight.leader_id;
+        let looked_us = shared.spans.now_us();
+        shared.spans.annotate(cache_span, "outcome", "coalesced");
+        shared.spans.end_span(cache_span, Some(looked_us));
+        let coalesce_span = shared
+            .spans
+            .begin_span(root, "coalesce_wait", Some(looked_us), 0);
+        shared
+            .spans
+            .annotate(coalesce_span, "leader_id", leader_id.to_string());
+        // Record before registering the follower: the instant the
+        // dedup lock drops, the finishing leader may fan out, and it
+        // must find this record to resolve.
+        lock_unpoisoned(&shared.jobs).insert(
+            id,
+            JobRecord {
+                key: key.clone(),
+                state: JobState::Queued,
+                artifact: None,
+                error: None,
+                wall_ms: None,
+                trace_id: root.trace,
+                experiment,
+                admitted_us: looked_us,
+            },
+        );
+        inflight.followers.push(Follower {
+            id,
+            root,
+            coalesce_span,
+        });
+        drop(dedup);
+        shared
+            .metrics
+            .jobs_coalesced
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .jobs_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        return Routed {
+            response: Response::json(
+                202,
+                Json::object([
+                    ("id", Json::UInt(id)),
+                    ("key", Json::Str(key)),
+                    ("status", Json::Str("queued".into())),
+                    ("coalesced", Json::Bool(true)),
+                    ("leader_id", Json::UInt(leader_id)),
+                    ("trace_id", Json::UInt(root.trace)),
+                ])
+                .encode(),
+            ),
+            submitted: Some(root),
+        };
+    }
+
+    // Leader path: this submission runs the simulation.
+    let looked_us = shared.spans.now_us();
+    shared.spans.annotate(cache_span, "outcome", "miss");
+    shared.spans.end_span(cache_span, Some(looked_us));
     let queue_span = shared
         .spans
-        .begin_span(root, "queue_wait", Some(parsed_us), 0);
+        .begin_span(root, "queue_wait", Some(looked_us), 0);
     lock_unpoisoned(&shared.jobs).insert(
         id,
         JobRecord {
@@ -820,18 +1305,37 @@ fn submit(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
             wall_ms: None,
             trace_id: root.trace,
             experiment,
-            admitted_us: parsed_us,
+            admitted_us: looked_us,
         },
     );
-    match shared.queue.try_push(QueuedJob {
-        id,
-        key: key.clone(),
-        source: JobSource::Spec(request.body.clone()),
-        trace: root,
-        queue_span,
-        experiment,
-    }) {
+    let admission = Admission {
+        shard,
+        client: client.clone(),
+        priority: spec.priority(),
+        cost: spec.cost(),
+        item: QueuedJob {
+            id,
+            key: key.clone(),
+            source: JobSource::Spec(request.body.clone()),
+            trace: root,
+            queue_span,
+            experiment,
+            identity: Some(identity.clone()),
+        },
+    };
+    match shared.queue.try_push(admission) {
         Ok(depth) => {
+            // Register the in-flight leader while still holding the
+            // dedup lock, so no identical submission can slip past
+            // both the cache and this map.
+            dedup.inflight.insert(
+                identity,
+                Inflight {
+                    leader_id: id,
+                    followers: Vec::new(),
+                },
+            );
+            drop(dedup);
             shared
                 .metrics
                 .jobs_submitted
@@ -854,22 +1358,52 @@ fn submit(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
                 submitted: Some(root),
             }
         }
-        Err(PushError::Full(_)) => {
+        Err(FairPushError::Full(_)) => {
+            drop(dedup);
             lock_unpoisoned(&shared.jobs).remove(&id);
             shared.spans.abandon(root.trace);
             shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            let retry = dynamic_retry_after(shared, shared.queue.depth());
             Response::json(
                 429,
                 Json::object([
                     ("error", Json::Str("queue full".into())),
                     ("queue_bound", Json::UInt(shared.queue.bound() as u64)),
+                    ("retry_after", Json::UInt(retry)),
                 ])
                 .encode(),
             )
-            .with_header("retry-after", "1".to_string())
+            .with_header("retry-after", retry.to_string())
             .into()
         }
-        Err(PushError::Draining(_)) => {
+        Err(FairPushError::ClientQuota { queued, .. }) => {
+            drop(dedup);
+            lock_unpoisoned(&shared.jobs).remove(&id);
+            shared.spans.abandon(root.trace);
+            shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .quota_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            // The offender's Retry-After is about *its own* backlog
+            // draining, not the whole queue's.
+            let retry = retry_after_secs(queued, drain_rate(shared));
+            Response::json(
+                429,
+                Json::object([
+                    ("error", Json::Str("client over quota".into())),
+                    ("client", Json::Str(client)),
+                    ("quota", Json::UInt(shared.queue.client_quota() as u64)),
+                    ("queued", Json::UInt(queued as u64)),
+                    ("retry_after", Json::UInt(retry)),
+                ])
+                .encode(),
+            )
+            .with_header("retry-after", retry.to_string())
+            .into()
+        }
+        Err(FairPushError::Draining(_)) => {
+            drop(dedup);
             lock_unpoisoned(&shared.jobs).remove(&id);
             shared.spans.abandon(root.trace);
             error_response(503, "draining").into()
@@ -880,14 +1414,21 @@ fn submit(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
 /// `POST /v1/scenarios`: validate a scenario document, expand its
 /// matrix, and admit every cell to the queue atomically — a 202 means
 /// the whole matrix is queued; a 429 means none of it is.
-fn submit_scenario(shared: &Shared, request: &Request, accepted_us: u64) -> Routed {
+fn submit_scenario(
+    shared: &Shared,
+    request: &Request,
+    accepted_us: u64,
+    conn_client: &str,
+) -> Routed {
     let read_done_us = shared.spans.now_us();
     let submission = match parse_scenario_submission(&request.body) {
         Ok(submission) => submission,
         Err(message) => return error_response_owned(400, message).into(),
     };
+    let client = client_id(request, conn_client);
     let scenario_id = shared.next_scenario_id.fetch_add(1, Ordering::Relaxed) + 1;
     let body: Arc<Vec<u8>> = Arc::new(request.body.clone());
+    let body_hash = crate::ring::hash64(&body);
 
     // Give every cell the full per-job treatment — its own id, record,
     // and span trace — before asking the queue for room, so a rejected
@@ -929,13 +1470,25 @@ fn submit_scenario(shared: &Shared, request: &Request, accepted_us: u64) -> Rout
                     admitted_us: parsed_us,
                 },
             );
-            batch.push(QueuedJob {
-                id,
-                key: cell.key.clone(),
-                source: JobSource::ScenarioCell(Arc::clone(&body)),
-                trace: root,
-                queue_span,
-                experiment: "scenario",
+            // Scenario cells never coalesce or cache (identity: None)
+            // — a matrix run is explicitly "run it now". They still
+            // shard deterministically by submission + cell key so one
+            // matrix spreads across the pool.
+            let shard_key = format!("scenario:{body_hash:016x}/{}", cell.key);
+            batch.push(Admission {
+                shard: shard_of(shared, &shard_key),
+                client: client.clone(),
+                priority: Priority::Normal,
+                cost: SCENARIO_CELL_COST,
+                item: QueuedJob {
+                    id,
+                    key: cell.key.clone(),
+                    source: JobSource::ScenarioCell(Arc::clone(&body)),
+                    trace: root,
+                    queue_span,
+                    experiment: "scenario",
+                    identity: None,
+                },
             });
             admitted.push((id, cell.key.clone(), root.trace));
         }
@@ -986,24 +1539,51 @@ fn submit_scenario(shared: &Shared, request: &Request, accepted_us: u64) -> Rout
             }
             drop(jobs);
             match refused {
-                PushError::Full(_) => {
+                FairPushError::Full(_) => {
                     shared
                         .metrics
                         .jobs_rejected
                         .fetch_add(admitted.len() as u64, Ordering::Relaxed);
+                    let retry = dynamic_retry_after(shared, shared.queue.depth());
                     Response::json(
                         429,
                         Json::object([
                             ("error", Json::Str("queue full".into())),
                             ("cells", Json::UInt(admitted.len() as u64)),
                             ("queue_bound", Json::UInt(shared.queue.bound() as u64)),
+                            ("retry_after", Json::UInt(retry)),
                         ])
                         .encode(),
                     )
-                    .with_header("retry-after", "1".to_string())
+                    .with_header("retry-after", retry.to_string())
                     .into()
                 }
-                PushError::Draining(_) => error_response(503, "draining").into(),
+                FairPushError::ClientQuota { queued, .. } => {
+                    shared
+                        .metrics
+                        .jobs_rejected
+                        .fetch_add(admitted.len() as u64, Ordering::Relaxed);
+                    shared
+                        .metrics
+                        .quota_rejected
+                        .fetch_add(admitted.len() as u64, Ordering::Relaxed);
+                    let retry = retry_after_secs(queued, drain_rate(shared));
+                    Response::json(
+                        429,
+                        Json::object([
+                            ("error", Json::Str("client over quota".into())),
+                            ("client", Json::Str(client)),
+                            ("cells", Json::UInt(admitted.len() as u64)),
+                            ("quota", Json::UInt(shared.queue.client_quota() as u64)),
+                            ("queued", Json::UInt(queued as u64)),
+                            ("retry_after", Json::UInt(retry)),
+                        ])
+                        .encode(),
+                    )
+                    .with_header("retry-after", retry.to_string())
+                    .into()
+                }
+                FairPushError::Draining(_) => error_response(503, "draining").into(),
             }
         }
     }

@@ -1,0 +1,201 @@
+//! Two in-process instances sharing a results dir and a static peer
+//! list: every job identity has exactly one owning instance, requests
+//! landing on the wrong instance are proxied to the owner, ids are
+//! namespaced per instance, and the cache stays key-partitioned (only
+//! the owner ever caches an identity).
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use spur_obs::validate::{get_field, parse};
+use spur_serve::client::{get, post_json};
+use spur_serve::{parse_job_spec, HashRing, ServeConfig, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Mirrors the server's per-instance job-id namespace stride.
+const ID_STRIDE: u64 = 1_000_000_000;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "spur-serve-multi-{tag}-{}-{}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Reserves an ephemeral port by binding and immediately releasing it.
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+fn spec(seed: u64) -> String {
+    format!(
+        r#"{{"experiment":"refbit","workload":"SLC","mem_mb":5,"policy":"MISS",
+        "scale":{{"refs":20000,"seed":{seed},"reps":1}},"obs":false}}"#
+    )
+}
+
+/// The seed whose job identity the given peer owns, per the same ring
+/// both instances build.
+fn seed_owned_by(ring: &HashRing, peer: &str) -> u64 {
+    (1..500)
+        .find(|&seed| {
+            let s = parse_job_spec(spec(seed).as_bytes()).unwrap();
+            ring.owner(&s.identity()) == peer
+        })
+        .expect("some seed must hash to this peer")
+}
+
+fn submit(addr: &str, body: &str) -> spur_harness::Json {
+    let resp = post_json(addr, "/v1/jobs", body, TIMEOUT).unwrap();
+    assert_eq!(resp.status, 202, "submit failed: {}", resp.text());
+    parse(&resp.text()).unwrap()
+}
+
+fn uint(doc: &spur_harness::Json, field: &str) -> u64 {
+    match get_field(doc, field) {
+        Some(spur_harness::Json::UInt(v)) => *v,
+        other => panic!("field {field} not a uint: {other:?}"),
+    }
+}
+
+fn await_done(addr: &str, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = get(addr, &format!("/v1/jobs/{id}"), TIMEOUT).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let doc = parse(&resp.text()).unwrap();
+        match get_field(&doc, "status") {
+            Some(spur_harness::Json::Str(s)) if s == "done" => return,
+            Some(spur_harness::Json::Str(s)) if s == "failed" => panic!("job {id} failed"),
+            _ if Instant::now() > deadline => panic!("job {id} never finished"),
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn metric(addr: &str, name: &str) -> u64 {
+    let text = get(addr, "/metrics", TIMEOUT).unwrap().text();
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .unwrap_or_else(|| panic!("metric {name} missing:\n{text}"))
+        .split(' ')
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn wrong_instance_requests_are_proxied_to_the_owner() {
+    let results = temp_dir("shared");
+    let peer_a = format!("127.0.0.1:{}", free_port());
+    let peer_b = format!("127.0.0.1:{}", free_port());
+    let peers = vec![peer_a.clone(), peer_b.clone()];
+    let config = |addr: &str| ServeConfig {
+        addr: addr.to_string(),
+        workers: 1,
+        cache_entries: 8,
+        peers: peers.clone(),
+        self_peer: Some(addr.to_string()),
+        results_dir: Some(results.clone()),
+        read_timeout: TIMEOUT,
+        write_timeout: TIMEOUT,
+        ..ServeConfig::default()
+    };
+    let server_a = Server::start(config(&peer_a)).unwrap();
+    let server_b = Server::start(config(&peer_b)).unwrap();
+
+    // The servers sort the peer list; mirror that to predict each
+    // instance's id namespace index.
+    let mut sorted = peers.clone();
+    sorted.sort();
+    let index_of = |peer: &str| sorted.iter().position(|p| p == peer).unwrap() as u64;
+    let ring = HashRing::new(&sorted);
+    let seed_a = seed_owned_by(&ring, &peer_a);
+    let seed_b = seed_owned_by(&ring, &peer_b);
+
+    // A-owned work submitted to A stays local, in A's id namespace.
+    let local = submit(&peer_a, &spec(seed_a));
+    let local_id = uint(&local, "id");
+    assert_eq!(local_id / ID_STRIDE, index_of(&peer_a));
+
+    // B-owned work submitted to A is proxied: the 202 comes back from
+    // B (its id sits in B's namespace) and A counts the forward.
+    let proxied = submit(&peer_a, &spec(seed_b));
+    let proxied_id = uint(&proxied, "id");
+    assert_eq!(
+        proxied_id / ID_STRIDE,
+        index_of(&peer_b),
+        "proxied submission must be numbered by the owner"
+    );
+    assert_eq!(metric(&peer_a, "spur_serve_jobs_proxied_total"), 1);
+
+    // Polling the foreign id on the wrong instance is proxied too —
+    // the client never has to care where a job lives.
+    await_done(&peer_a, proxied_id);
+    await_done(&peer_a, local_id);
+    let via_a = get(&peer_a, &format!("/v1/jobs/{proxied_id}/result"), TIMEOUT).unwrap();
+    assert_eq!(via_a.status, 200, "{}", via_a.text());
+    let via_b = get(&peer_b, &format!("/v1/jobs/{proxied_id}/result"), TIMEOUT).unwrap();
+    assert_eq!(via_b.status, 200, "{}", via_b.text());
+    assert_eq!(
+        via_a.body, via_b.body,
+        "proxied result must be byte-identical to the owner's"
+    );
+    assert!(!via_a.body.is_empty());
+
+    // The id that does not exist on either instance 404s, not 502s.
+    let missing = get(&peer_a, &format!("/v1/jobs/{}", ID_STRIDE * 2 + 7), TIMEOUT).unwrap();
+    assert_eq!(missing.status, 404, "{}", missing.text());
+
+    // Cache partitioning: resubmitting the B-owned spec to A is
+    // answered from *B's* cache (the hit travels through the proxy);
+    // A never caches a foreign identity. Every status poll above was
+    // itself a proxied GET, so count the forward as a delta.
+    let proxied_before = metric(&peer_a, "spur_serve_jobs_proxied_total");
+    let resubmit = submit(&peer_a, &spec(seed_b));
+    assert_eq!(
+        get_field(&resubmit, "cached"),
+        Some(&spur_harness::Json::Bool(true)),
+        "owner must answer the resubmission from its cache: {resubmit:?}"
+    );
+    assert_eq!(metric(&peer_b, "spur_serve_cache_hits_total"), 1);
+    assert_eq!(metric(&peer_a, "spur_serve_cache_hits_total"), 0);
+    assert_eq!(
+        metric(&peer_a, "spur_serve_jobs_proxied_total"),
+        proxied_before + 1
+    );
+
+    // Both instances persisted into the shared results dir under
+    // their own namespaced job ids — no collisions.
+    let persisted: Vec<String> = std::fs::read_dir(&results)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        persisted.iter().any(|n| n.contains(&format!("{local_id}"))),
+        "A's artifact dir missing from {persisted:?}"
+    );
+    assert!(
+        persisted
+            .iter()
+            .any(|n| n.contains(&format!("{proxied_id}"))),
+        "B's artifact dir missing from {persisted:?}"
+    );
+
+    let summary_a = server_a.shutdown();
+    let summary_b = server_b.shutdown();
+    assert_eq!(summary_a.failed + summary_b.failed, 0);
+    let _ = std::fs::remove_dir_all(&results);
+}

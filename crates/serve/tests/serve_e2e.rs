@@ -160,14 +160,28 @@ fn full_queue_sheds_with_429_and_retry_after() {
     })
     .unwrap();
     let addr = server.addr().to_string();
-    let body = r#"{"experiment":"events","workload":"SLC","mem_mb":5,
-                   "scale":{"refs":5000,"seed":1,"reps":1},"obs":false}"#;
+    // Distinct seeds: identical submissions would coalesce rather than
+    // occupy queue slots.
+    let body = |seed: u64| {
+        format!(
+            r#"{{"experiment":"events","workload":"SLC","mem_mb":5,
+               "scale":{{"refs":5000,"seed":{seed},"reps":1}},"obs":false}}"#
+        )
+    };
 
-    submit(&addr, body);
-    submit(&addr, body);
-    let third = post_json(&addr, "/v1/jobs", body, TIMEOUT).unwrap();
+    submit(&addr, &body(1));
+    submit(&addr, &body(2));
+    let third = post_json(&addr, "/v1/jobs", &body(3), TIMEOUT).unwrap();
     assert_eq!(third.status, 429, "{}", third.text());
-    assert_eq!(third.header("retry-after"), Some("1"));
+    let retry: u64 = third
+        .header("retry-after")
+        .expect("429 must carry retry-after")
+        .parse()
+        .expect("retry-after must be integral seconds");
+    assert!(
+        (1..=60).contains(&retry),
+        "retry-after {retry} out of bounds"
+    );
     assert!(third.text().contains("queue full"));
 
     let health = get(&addr, "/healthz", TIMEOUT).unwrap();
@@ -235,12 +249,18 @@ fn malformed_requests_get_4xx_never_a_panic() {
 fn graceful_drain_runs_the_backlog_then_refuses() {
     let server = Server::start(test_config()).unwrap();
     let addr = server.addr().to_string();
-    let body = r#"{"experiment":"refbit","workload":"SLC","mem_mb":5,
-                   "scale":{"refs":5000,"seed":1,"reps":1},"obs":false}"#;
+    // Distinct seeds so all three occupy the queue (identical bodies
+    // would coalesce onto one run).
+    let body = |seed: u64| {
+        format!(
+            r#"{{"experiment":"refbit","workload":"SLC","mem_mb":5,
+               "scale":{{"refs":5000,"seed":{seed},"reps":1}},"obs":false}}"#
+        )
+    };
     let ids = [
-        submit(&addr, body),
-        submit(&addr, body),
-        submit(&addr, body),
+        submit(&addr, &body(1)),
+        submit(&addr, &body(2)),
+        submit(&addr, &body(3)),
     ];
 
     let resp = post_json(&addr, "/v1/shutdown", "", TIMEOUT).unwrap();
@@ -248,7 +268,7 @@ fn graceful_drain_runs_the_backlog_then_refuses() {
     assert!(resp.text().contains("draining"));
 
     // New submissions are refused while the backlog drains...
-    let refused = post_json(&addr, "/v1/jobs", body, TIMEOUT).unwrap();
+    let refused = post_json(&addr, "/v1/jobs", &body(4), TIMEOUT).unwrap();
     assert_eq!(refused.status, 503, "{}", refused.text());
 
     // ...but the accepted jobs all run to completion before exit.

@@ -108,10 +108,18 @@ fn trace_endpoint_returns_a_reconciling_span_tree() {
     // wall time within scheduling slack. `respond` overlaps
     // `queue_wait` by design, so it is excluded from the sum.
     let wall_us = field_u64(&trace, "wall_us").expect("complete trace has wall_us");
-    let contiguous: u64 = ["accept", "parse", "queue_wait", "run", "serialize"]
-        .iter()
-        .map(|p| phase_us(&trace, p))
-        .sum();
+    let contiguous: u64 = [
+        "accept",
+        "parse",
+        "route",
+        "cache_lookup",
+        "queue_wait",
+        "run",
+        "serialize",
+    ]
+    .iter()
+    .map(|p| phase_us(&trace, p))
+    .sum();
     let tolerance = 25_000.max(wall_us / 4);
     assert!(
         contiguous.abs_diff(wall_us) <= tolerance,
